@@ -1,0 +1,87 @@
+"""Shared fixtures for the benchmark suite.
+
+The expensive parts — the full-corpus sweep, the common-matrix sweep and
+the ablation sweeps — run once per session and are shared by every
+table/figure benchmark.  Each benchmark then times its own reproduction
+step (building the table/figure from the records) and prints the rendered
+output so the run log documents the reproduced evaluation.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.eval import common_matrices, full_corpus, run_suite
+from repro.eval.suite import MatrixCase
+from repro.matrices import generators as gen
+
+
+@pytest.fixture(scope="session")
+def corpus_result():
+    """Paper line-up over the full synthetic corpus (Figs. 6/7/15, Table 3)."""
+    return run_suite(full_corpus())
+
+
+@pytest.fixture(scope="session")
+def common_result():
+    """Paper line-up over the 11 common-matrix stand-ins (Figs. 9-11, Table 4)."""
+    return run_suite(common_matrices())
+
+
+def _case(name, fn, *args, **kwargs):
+    rect = kwargs.pop("rectangular", False)
+    return MatrixCase(
+        name=name,
+        family="ablation",
+        build_a=lambda: fn(*args, **kwargs),
+        rectangular=rect,
+    )
+
+
+@pytest.fixture(scope="session")
+def long_row_cases():
+    """Sweep over the longest output row length — Fig. 12's x-axis."""
+    cases = []
+    for ll in (700, 1200, 1800, 2400, 4200, 6000, 12_000):
+        cases.append(
+            _case(f"longrow_{ll}", gen.skew_single, 20_000, 6, ll, seed=ll)
+        )
+    return cases
+
+
+@pytest.fixture(scope="session")
+def row_length_cases():
+    """Sweep over average output-row length — Fig. 13's x-axis."""
+    # Large enough that the launch spans multiple hardware waves, so the
+    # per-block cost difference shows up as throughput (as in the paper,
+    # whose corpus matrices at these row lengths are big).  Short rows go
+    # down the hash path (diagonal matrices would take the direct path,
+    # where g is irrelevant).
+    cases = [
+        _case("avg_2", gen.random_uniform, 150_000, 150_000, 1.3, seed=1),
+        _case("avg_4", gen.random_uniform, 100_000, 100_000, 2.0, seed=2),
+        _case("avg_9", gen.banded, 60_000, 4, seed=3),
+        _case("avg_30", gen.banded, 30_000, 8, seed=4),
+        _case("avg_100", gen.banded, 8000, 24, seed=5),
+        _case("avg_300", gen.dense_stripe, 4000, 512, 24, seed=6),
+        _case("avg_1200", gen.dense_stripe, 1500, 2048, 40, seed=7),
+    ]
+    return cases
+
+
+@pytest.fixture(scope="session")
+def size_sweep_cases():
+    """Sweep over total products with mixed uniformity — Fig. 14's x-axis."""
+    cases = []
+    for n in (300, 1000, 3000, 10_000, 30_000):
+        cases.append(_case(f"uniform_{n}", gen.banded, n, 6, seed=n))
+        cases.append(
+            _case(f"skewed_{n}", gen.skew_single, n, 6, max(64, n // 5), seed=n)
+        )
+    return cases
+
+
+def print_header(title: str) -> None:
+    print("\n" + "=" * 72)
+    print(title)
+    print("=" * 72)

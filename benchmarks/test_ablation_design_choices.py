@@ -1,0 +1,121 @@
+"""Ablation benches for design choices DESIGN.md calls out beyond the
+paper's own figures.
+
+1. **Block merging** (§4.2, Alg. 2): merging neighbouring short rows into
+   shared blocks vs one-row-per-block in the smallest bin.  Matrices
+   dominated by very short rows should lose without merging (per-block
+   fixed overheads and hash-map initialisation dominate).
+2. **The 96 KB opt-in configuration**: spECK's sixth kernel size halves
+   occupancy but doubles the largest in-scratchpad map; long-row matrices
+   should benefit from its presence.
+3. **Conditional analysis** (§3.3): the overall value of spending the
+   O(NNZ_A) row analysis — spECK with everything adaptive vs a
+   "no-information" variant (fixed g, no dense/direct, LB always on).
+"""
+
+import numpy as np
+
+from repro.baselines.speck_adapter import Speck
+from repro.core import SpeckParams
+from repro.eval.harness import evaluate_case
+from repro.eval.suite import MatrixCase
+from repro.gpu import TITAN_V
+from repro.matrices import generators as gen
+
+from conftest import print_header
+
+
+def _case(name, fn, *args, **kwargs):
+    return MatrixCase(name=name, family="ablation", build_a=lambda: fn(*args, **kwargs))
+
+
+def _compare(cases, variants):
+    rows = []
+    algos = [Speck(TITAN_V, p, name=n) for n, p in variants.items()]
+    for case in cases:
+        _, runs = evaluate_case(case, algos)
+        times = {r.method: r.time_s for r in runs if r.valid}
+        rows.append((case.name, times))
+    return rows
+
+
+def test_block_merge_ablation(benchmark):
+    cases = [
+        _case("circuit_60k", gen.circuit, 60_000, seed=1),
+        _case("diag_80k", gen.diagonal, 80_000, seed=2),
+        _case("uniform_short", gen.random_uniform, 80_000, 80_000, 1.5, seed=3),
+    ]
+    variants = {
+        "merge on": SpeckParams(global_lb_mode="always"),
+        "merge off": SpeckParams(global_lb_mode="always", enable_block_merge=False),
+    }
+    rows = benchmark.pedantic(_compare, args=(cases, variants), rounds=1, iterations=1)
+    print_header("Ablation — Alg. 2 block merging (LB forced on)")
+    for name, times in rows:
+        ratio = times["merge off"] / times["merge on"]
+        print(f"  {name:16s} on={times['merge on'] * 1e6:8.1f}us "
+              f"off={times['merge off'] * 1e6:8.1f}us  off/on={ratio:.2f}")
+    # Merging never hurts and helps on short-row-dominated matrices.
+    ratios = [t["merge off"] / t["merge on"] for _, t in rows]
+    assert all(r > 0.98 for r in ratios)
+    assert max(ratios) > 1.05
+
+
+def test_large_scratchpad_config_ablation(benchmark):
+    """Without the 96 KB configuration, long rows spill to global hashing."""
+    from dataclasses import replace
+
+    from repro.core import MultiplyContext, SpeckEngine
+
+    def run():
+        a = gen.skew_single(20_000, 6, 5000, seed=4)
+        ctx = MultiplyContext(a, a)
+        with_96k = SpeckEngine(TITAN_V).multiply(a, a, ctx=ctx)
+        # A device whose opt-in ceiling equals the default 48 KB.
+        small_dev = replace(TITAN_V, scratchpad_large=49152)
+        without = SpeckEngine(small_dev).multiply(a, a, ctx=ctx)
+        return with_96k, without
+
+    with_96k, without = benchmark.pedantic(run, rounds=1, iterations=1)
+    print_header("Ablation — 96 KB opt-in scratchpad configuration")
+    print(f"  with 96 KB:    {with_96k.time_s * 1e6:8.1f} us "
+          f"(global-hash blocks: {with_96k.decisions['global_hash_blocks']})")
+    print(f"  48 KB ceiling: {without.time_s * 1e6:8.1f} us "
+          f"(global-hash blocks: {without.decisions['global_hash_blocks']})")
+    assert with_96k.time_s <= without.time_s * 1.02
+    assert (
+        with_96k.decisions["global_hash_blocks"]
+        <= without.decisions["global_hash_blocks"]
+    )
+
+
+def test_adaptivity_value(benchmark):
+    """Everything-adaptive spECK vs an information-free configuration."""
+    cases = [
+        _case("mesh", gen.poisson2d, 120),
+        _case("powerlaw", gen.rmat, 11, 8, seed=5),
+        _case("skew", gen.skew_single, 30_000, 6, 4000, seed=6),
+        _case("circuit", gen.circuit, 40_000, seed=7),
+        _case("stripe", gen.dense_stripe, 3000, 512, 24, seed=8),
+    ]
+    variants = {
+        "adaptive": SpeckParams(),
+        "no information": SpeckParams(
+            global_lb_mode="always",
+            enable_dense=False,
+            enable_direct=False,
+            fixed_group_size=32,
+            enable_block_merge=False,
+        ),
+    }
+    rows = benchmark.pedantic(_compare, args=(cases, variants), rounds=1, iterations=1)
+    print_header("Ablation — value of the lightweight analysis (all knobs)")
+    ratios = []
+    for name, times in rows:
+        r = times["no information"] / times["adaptive"]
+        ratios.append(r)
+        print(f"  {name:10s} adaptive={times['adaptive'] * 1e6:8.1f}us "
+              f"blind={times['no information'] * 1e6:8.1f}us  blind/adaptive={r:.2f}")
+    # Adaptivity wins on average and never loses badly.
+    assert float(np.mean(ratios)) > 1.2
+    assert min(ratios) > 0.9

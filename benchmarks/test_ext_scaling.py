@@ -1,0 +1,89 @@
+"""Benchmarks for the §7 future-work extensions (DESIGN.md inventory).
+
+1. **Partitioned multiplication**: time and peak memory versus the device
+   budget — tighter budgets mean more slabs and more transfer, but the
+   peak stays under budget (the capability the paper lacks).
+2. **Multi-GPU scaling**: speedup over one device for a compute-heavy
+   matrix, and the value of product-balanced partitioning on skew.
+"""
+
+import numpy as np
+
+from repro.core import MultiplyContext, device_csr_bytes, speck_multiply
+from repro.extensions import multigpu_multiply, partitioned_multiply
+from repro.matrices import generators as gen
+
+from conftest import print_header
+
+
+def test_partitioned_budget_sweep(benchmark):
+    def run():
+        a = gen.banded(40_000, 8, seed=1)
+        base = device_csr_bytes(a.rows, a.nnz)
+        out = []
+        for mult in (32, 8, 4, 2.5):
+            budget = int(base * mult)
+            res = partitioned_multiply(a, a, budget_bytes=budget, compute_result=False)
+            out.append((mult, budget, res))
+        return out
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    print_header("Extension — partitioned SpGEMM under a memory budget")
+    print(f"{'budget (xA)':>12s} {'slabs':>6s} {'time (ms)':>10s} "
+          f"{'peak (MB)':>10s} {'transfer %':>11s}")
+    for mult, budget, res in rows:
+        assert res.valid
+        share = res.transfer_s / res.time_s * 100
+        print(f"{mult:>12.1f} {res.n_slabs:>6d} {res.time_s * 1e3:>10.3f} "
+              f"{res.peak_mem_bytes / 1e6:>10.2f} {share:>10.1f}%")
+
+    slabs = [r.n_slabs for _, _, r in rows]
+    times = [r.time_s for _, _, r in rows]
+    peaks = [r.peak_mem_bytes for (_, b, r) in rows]
+    budgets = [b for (_, b, _) in rows]
+    # Tighter budgets -> more slabs, more time, lower (bounded) peak.
+    assert slabs == sorted(slabs)
+    assert times == sorted(times)
+    assert all(p <= b * 1.1 for p, b in zip(peaks, budgets))
+
+
+def test_multigpu_scaling(benchmark):
+    def run():
+        a = gen.banded(120_000, 8, seed=2)
+        ctx = MultiplyContext(a, a)
+        single = speck_multiply(a, a, ctx=ctx)
+        curve = []
+        for p in (1, 2, 4, 8):
+            res = multigpu_multiply(a, a, p, compute_result=False)
+            curve.append((p, res))
+        return single, curve
+
+    single, curve = benchmark.pedantic(run, rounds=1, iterations=1)
+    print_header("Extension — multi-GPU scaling (row-partitioned, shared C)")
+    print(f"{'devices':>8s} {'time (ms)':>10s} {'speedup':>8s} {'imbalance':>10s}")
+    for p, res in curve:
+        assert res.valid
+        print(f"{p:>8d} {res.time_s * 1e3:>10.3f} "
+              f"{res.speedup_vs(single.time_s):>8.2f} {res.imbalance():>10.2f}")
+
+    speedups = [res.speedup_vs(single.time_s) for _, res in curve]
+    # Monotone-ish scaling with real gains at 4 devices.
+    assert speedups[0] > 0.95  # one device ~= plain spECK
+    assert speedups[2] > 1.5
+    assert speedups[3] >= speedups[2] * 0.8  # diminishing, not collapsing
+
+
+def test_multigpu_skew_partitioning(benchmark):
+    def run():
+        a = gen.skew_single(60_000, 8, 8000, seed=3)
+        by_rows = multigpu_multiply(a, a, 4, balance="rows", compute_result=False)
+        by_prods = multigpu_multiply(a, a, 4, balance="products", compute_result=False)
+        return by_rows, by_prods
+
+    by_rows, by_prods = benchmark.pedantic(run, rounds=1, iterations=1)
+    print_header("Extension — partitioning policy on a skewed matrix")
+    print(f"  equal rows:      {by_rows.time_s * 1e3:8.3f} ms "
+          f"(imbalance {by_rows.imbalance():.2f})")
+    print(f"  equal products:  {by_prods.time_s * 1e3:8.3f} ms "
+          f"(imbalance {by_prods.imbalance():.2f})")
+    assert by_prods.imbalance() <= by_rows.imbalance() + 0.05

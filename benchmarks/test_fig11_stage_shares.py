@@ -1,0 +1,50 @@
+"""Reproduce Fig. 11: share of duration of spECK's pipeline stages.
+
+Shape targets from the paper (§6.3):
+
+* the numeric SpGEMM kernel takes the majority of time on most matrices;
+* row analysis is cheap — "less than 10% in most cases";
+* both load balancers together cost roughly as much as the row analysis
+  on average;
+* sorting can reach a large share (up to ~40%) on some matrices but is
+  zero where dense accumulation / scratchpad sorting covers everything.
+"""
+
+import numpy as np
+
+from repro.eval import figure11_stage_shares
+from repro.eval.report import render_stage_shares
+
+from conftest import print_header
+from test_fig9_common_gflops import COMMON_ORDER
+
+
+def test_fig11(common_result, benchmark):
+    shares = benchmark(figure11_stage_shares, common_result)
+    print_header("Figure 11 — spECK stage shares on the common matrices")
+    ordered = {n: shares[n] for n in COMMON_ORDER if n in shares}
+    print(render_stage_shares(ordered))
+
+    assert len(shares) == 11
+    for name, d in shares.items():
+        assert abs(sum(d.values()) - 1.0) < 1e-9, name
+
+    # Numeric + symbolic SpGEMM dominate on most matrices.
+    compute_major = sum(
+        1 for d in shares.values() if d["numeric"] + d["symbolic"] > 0.5
+    )
+    assert compute_major >= 6
+
+    # Analysis share below 10% on most matrices.
+    cheap_analysis = sum(1 for d in shares.values() if d["analysis"] < 0.10)
+    assert cheap_analysis >= 8
+
+    # Load balancing is of the same order as analysis on average.
+    mean_lb = np.mean(
+        [d["symbolic_lb"] + d["numeric_lb"] for d in shares.values()]
+    )
+    mean_an = np.mean([d["analysis"] for d in shares.values()])
+    assert mean_lb < 4 * mean_an + 0.05
+
+    # Sorting share stays below the paper's 40% ceiling.
+    assert all(d["sorting"] <= 0.45 for d in shares.values())

@@ -1,0 +1,48 @@
+"""Reproduce Fig. 12: hash-only vs +dense vs +dense+direct accumulation.
+
+The paper sweeps matrices ordered by the length of their longest output
+row (clamped at 702, the smallest dense-capable kernel) and reports the
+slowdown of each variant against the best.  Shape targets:
+
+* adding dense accumulation never hurts and increasingly helps as the
+  longest row grows (the paper reports >60% improvements for medium rows
+  and up to 40x where global hash maps are avoided);
+* the full configuration (hash+dense+direct) is the best variant
+  essentially everywhere.
+"""
+
+import numpy as np
+
+from repro.eval import figure12_accumulator_ablation
+
+from conftest import print_header
+
+
+def test_fig12(long_row_cases, benchmark):
+    data = benchmark.pedantic(
+        figure12_accumulator_ablation, args=(long_row_cases,), rounds=1,
+        iterations=1,
+    )
+    print_header("Figure 12 — accumulator ablation (slowdown to best variant)")
+    variants = data["variants"]
+    print(f"{'max NNZ/row C':>14s}" + "".join(f"{v:>24s}" for v in variants))
+    for row in data["rows"]:
+        cells = "".join(f"{row['slowdown'][v]:>24.2f}" for v in variants)
+        print(f"{row['max_nnz_row_c']:>14d}" + cells)
+
+    rows = data["rows"]
+    full = "Hash + Dense + Direct"
+    hash_only = "Hash"
+
+    # The full variant is (near-)best everywhere.
+    for row in rows:
+        assert row["slowdown"][full] <= 1.1
+
+    # Hash-only degrades as the longest row grows.
+    hash_slow = [r["slowdown"][hash_only] for r in rows]
+    assert hash_slow[-1] > hash_slow[0]
+    assert max(hash_slow) > 1.5  # the long-row cliff
+
+    # Dense accumulation recovers most of that loss.
+    dense_slow = [r["slowdown"]["Hash + Dense"] for r in rows]
+    assert max(dense_slow) < max(hash_slow)

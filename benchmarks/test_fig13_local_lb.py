@@ -1,0 +1,51 @@
+"""Reproduce Fig. 13: dynamic group size vs fixed g=32 (nsparse's choice).
+
+The paper sweeps the average NNZ per row of C and shows that a fixed 32
+threads per row of B is competitive only near its ~300-NZ sweet spot,
+degrading severely for much shorter and much longer rows (up to 8x),
+while the dynamic selection stays near the best everywhere (mean
+iteration count within 1.02 of the best fixed g).
+"""
+
+import numpy as np
+
+from repro.eval import figure13_local_lb_ablation
+
+from conftest import print_header
+
+
+def test_fig13(row_length_cases, benchmark):
+    data = benchmark.pedantic(
+        figure13_local_lb_ablation, args=(row_length_cases,), rounds=1,
+        iterations=1,
+    )
+    print_header("Figure 13 — dynamic vs fixed-32 local load balancing")
+    variants = data["variants"]
+    print(f"{'avg NNZ/row C':>14s}" + "".join(f"{v:>12s}" for v in variants))
+    for row in data["rows"]:
+        cells = "".join(f"{row['slowdown'][v]:>12.2f}" for v in variants)
+        print(f"{row['avg_nnz_row_c']:>14.1f}" + cells)
+
+    rows = data["rows"]
+    dyn = [r["slowdown"]["dynamic"] for r in rows]
+    fixed = [r["slowdown"]["fixed 32"] for r in rows]
+
+    # Dynamic g stays near the best across the whole sweep (the paper:
+    # mean iteration count within 1.02 of the best fixed g).
+    assert max(dyn) < 1.6
+    assert float(np.mean(dyn)) < 1.2
+
+    # Fixed 32 loses at the short-row end of the sweep.  The paper reports
+    # up to 8x on a real device; the cost model reproduces the *direction*
+    # with a smaller magnitude because it conserves memory bandwidth for
+    # idle lanes (short-row kernels are memory-bound in the model), while
+    # real fixed-mapping kernels also idle whole warps — see EXPERIMENTS.md.
+    assert fixed[0] > 1.04
+    assert fixed[0] == max(fixed)
+
+    # Near the ~300-NZ sweet spot fixed-32 is competitive (paper Fig. 13).
+    sweet = [r for r in rows if 100 <= r["avg_nnz_row_c"] <= 2000]
+    assert sweet and all(r["slowdown"]["fixed 32"] < 1.2 for r in sweet)
+
+    # Averaged over the sweep, dynamic wins.
+    assert float(np.mean(dyn)) < float(np.mean(fixed))

@@ -1,0 +1,46 @@
+"""Reproduce Fig. 14: global load balancer always-off / always-on / auto.
+
+Shape targets from the paper:
+
+* always-on wastes time on small and uniform matrices (spECK's automatic
+  decision achieves "twice the performance for small matrices");
+* always-off loses on large skewed matrices;
+* the automatic decision tracks the better of the two, with an average
+  slowdown below a few percent versus the per-matrix best choice.
+"""
+
+import numpy as np
+
+from repro.eval import figure14_global_lb_ablation
+
+from conftest import print_header
+
+
+def test_fig14(size_sweep_cases, benchmark):
+    data = benchmark.pedantic(
+        figure14_global_lb_ablation, args=(size_sweep_cases,), rounds=1,
+        iterations=1,
+    )
+    print_header("Figure 14 — global LB: always off / always on / automatic")
+    variants = data["variants"]
+    print(f"{'products':>12s} {'matrix':16s}" + "".join(f"{v:>12s}" for v in variants))
+    for row in data["rows"]:
+        cells = "".join(f"{row['slowdown'][v]:>12.2f}" for v in variants)
+        print(f"{row['products']:>12d} {row['matrix']:16s}" + cells)
+
+    rows = data["rows"]
+    on = np.array([r["slowdown"]["always on"] for r in rows])
+    off = np.array([r["slowdown"]["always off"] for r in rows])
+    auto = np.array([r["slowdown"]["automatic"] for r in rows])
+
+    # Auto tracks the best forced choice (small average regret).
+    assert float(auto.mean()) < 1.10
+    assert float(auto.max()) < 1.45
+
+    # Always-on pays a clear penalty on the small matrices.
+    small = np.array([r["products"] < 20_000 for r in rows])
+    assert float(on[small].mean()) > 1.3
+
+    # Somewhere in the sweep each forced mode is strictly worse than auto.
+    assert np.any(on > auto + 0.05)
+    assert np.any(off > auto - 1e-12) or np.any(off > 1.02)

@@ -1,0 +1,53 @@
+"""Reproduce Fig. 6: smoothed GFLOPS over matrices ordered by products.
+
+Shape targets from the paper:
+
+* Intel MKL is the best method in the smallest product buckets; GPU
+  methods take over beyond a crossover in the tens-of-thousands of
+  products (the paper places it at ~15k);
+* spECK achieves the best (or tied-best) GPU throughput trend across the
+  upper buckets, independent of input size;
+* cuSPARSE and KokkosKernels trail the field throughout.
+"""
+
+import numpy as np
+
+from repro.eval import figure6_gflops_trend
+from repro.eval.report import render_series_table
+
+from conftest import print_header
+
+
+def test_fig6(corpus_result, benchmark):
+    data = benchmark(figure6_gflops_trend, corpus_result)
+    print_header("Figure 6 — GFLOPS vs products (geometric mean per bucket)")
+    print(render_series_table("products", data["products"], data["gflops"]))
+
+    prods = np.array(data["products"])
+    g = {m: np.array(v) for m, v in data["gflops"].items()}
+    small = prods < 10_000
+    big = prods > 100_000
+
+    # MKL dominates the small buckets...
+    gpu_methods = [m for m in g if m != "MKL"]
+    small_wins = sum(
+        1
+        for i in np.flatnonzero(small)
+        if g["MKL"][i] >= max(g[m][i] for m in gpu_methods)
+    )
+    assert small_wins >= max(1, int(0.6 * small.sum()))
+
+    # ...and a crossover exists: spECK overtakes MKL in the big buckets.
+    assert np.all(g["spECK"][big] > g["MKL"][big])
+
+    # spECK is the best GPU trend in (almost) every big bucket.
+    for i in np.flatnonzero(big):
+        best_other = max(g[m][i] for m in gpu_methods if m != "spECK")
+        assert g["spECK"][i] >= 0.8 * best_other
+
+    # cuSPARSE and Kokkos trail spECK everywhere above the crossover.
+    for m in ("cuSPARSE", "Kokkos"):
+        assert np.all(g[m][big] < g["spECK"][big])
+
+    # Throughput grows with size for the good methods (log-log trend up).
+    assert g["spECK"][big].max() > 4 * g["spECK"][small].max()

@@ -1,0 +1,47 @@
+"""Reproduce Fig. 7: slowdown to the fastest method per matrix (>15k products).
+
+Shape targets from the paper:
+
+* spECK's slowdown curve hugs 1.0 — it is "always close to the best
+  performing method" (its share of >5x cases is 0.1%);
+* the ordering of the >5x shares is
+  spECK < AC-SpGEMM < nsparse < RMerge < cuSPARSE/bhSPARSE/Kokkos;
+* nsparse/AC-SpGEMM look similar in the median but nsparse has a much
+  heavier tail.
+"""
+
+import numpy as np
+
+from repro.eval import figure7_slowdown
+from repro.eval.report import render_slowdown_profile
+
+from conftest import print_header
+
+
+def test_fig7(corpus_result, benchmark):
+    prof = benchmark(figure7_slowdown, corpus_result)
+    print_header("Figure 7 — slowdown-to-fastest profiles (>15k products)")
+    print(render_slowdown_profile(prof, n_points=11))
+
+    def share_over_5x(method):
+        vals = prof[method]
+        return sum(1 for v in vals if v > 5.0) / max(1, len(vals))
+
+    shares = {m: share_over_5x(m) for m in prof}
+    print("\nshare of matrices >5x slower than best:")
+    for m, s in sorted(shares.items(), key=lambda kv: kv[1]):
+        print(f"  {m:10s} {s * 100:5.1f}%")
+
+    # spECK: among the smallest >5x shares (paper: 0.1% vs 3.8% for the
+    # runner-up) and a near-1 median.
+    assert shares["spECK"] <= sorted(shares.values())[1] + 1e-9
+    assert shares["spECK"] < 0.05
+    assert np.median(prof["spECK"]) < 1.5
+
+    # Tail ordering.
+    assert shares["AC-SpGEMM"] <= shares["nsparse"] + 1e-9
+    assert shares["nsparse"] <= shares["cuSPARSE"] + 1e-9
+    assert shares["cuSPARSE"] > 0.3
+
+    # nsparse has a heavier tail than AC-SpGEMM despite similar medians.
+    assert max(prof["nsparse"]) > max(prof["AC-SpGEMM"])

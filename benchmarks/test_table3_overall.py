@@ -1,0 +1,52 @@
+"""Reproduce Table 3: overall performance statistics over the corpus.
+
+Paper shape targets (not absolute numbers):
+
+* spECK has the most #best* wins by a wide margin (paper: 1777 of 2263,
+  ~79%) and the fewest >5x-slower cases;
+* spECK has the lowest (baseline 1.0) relative peak memory, with the
+  cuSPARSE-like method essentially tied and ESC/merge methods far above;
+* relative-time-to-best ordering: spECK < AC-SpGEMM < nsparse/RMerge <
+  bhSPARSE/cuSPARSE/Kokkos;
+* only spECK and cuSPARSE complete every matrix.
+"""
+
+from repro.baselines import PAPER_LINEUP
+from repro.eval import compute_table3, render_table3
+
+from conftest import print_header
+
+
+def test_table3(corpus_result, benchmark):
+    stats = benchmark(compute_table3, corpus_result)
+    print_header("Table 3 — overall statistics (synthetic corpus)")
+    print(render_table3(stats, PAPER_LINEUP))
+
+    n_matrices = len(corpus_result.matrices)
+    n_big = sum(
+        1 for r in corpus_result.matrices.values() if r.products > 15_000
+    )
+    speck = stats["spECK"]
+
+    # spECK wins the majority of >15k-product matrices (paper: 79%).
+    assert speck.n_best_star >= 0.5 * n_big
+
+    # spECK and cuSPARSE never fail (paper: the only two).
+    assert speck.n_invalid == 0
+    assert stats["cuSPARSE"].n_invalid == 0
+
+    # spECK has the lowest peak memory; ESC/merge methods are multiples.
+    for m in ("AC-SpGEMM", "nsparse", "RMerge", "bhSPARSE"):
+        assert stats[m].mem_rel >= speck.mem_rel
+    assert stats["AC-SpGEMM"].mem_rel > 2.0
+    assert stats["cuSPARSE"].mem_rel < 1.6
+
+    # Relative-time ordering on >15k products.
+    assert speck.t_rel_star <= stats["AC-SpGEMM"].t_rel_star
+    assert stats["AC-SpGEMM"].t_rel_star <= stats["bhSPARSE"].t_rel_star
+    assert speck.t_rel_star < 1.5  # paper: 1.08
+
+    # spECK is (near-)never >5x slower than the best (paper: 3 of 2263).
+    assert speck.n_5x_star <= 0.05 * n_big
+    for m in ("cuSPARSE", "bhSPARSE", "Kokkos"):
+        assert stats[m].n_5x_star > speck.n_5x_star

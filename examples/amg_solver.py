@@ -1,0 +1,46 @@
+#!/usr/bin/env python
+"""From SpGEMM to solution: AMG setup + preconditioned CG.
+
+The paper accelerates the *setup* phase of algebraic multigrid — the
+Galerkin triple products.  This example runs the whole arc: build the
+hierarchy (every product through the simulated spECK engine), then solve
+a Poisson system with AMG-preconditioned conjugate gradients, reporting
+both the simulated setup cost and the real convergence history.
+
+Run:  python examples/amg_solver.py
+"""
+
+import numpy as np
+
+from repro.apps import amg_pcg, build_hierarchy, spmv
+from repro.matrices.generators import poisson2d
+
+
+def main() -> None:
+    nx = 64
+    a = poisson2d(nx)
+    print(f"Poisson {nx}x{nx}: {a.rows} unknowns, {a.nnz} nnz")
+
+    hierarchy = build_hierarchy(a, min_coarse=32)
+    print(f"\nAMG hierarchy: {hierarchy.n_levels} levels")
+    print(f"{'level':>6s} {'rows':>8s} {'nnz':>9s} {'galerkin (us)':>14s}")
+    for i, lvl in enumerate(hierarchy.levels):
+        print(f"{i:>6d} {lvl.a.rows:>8d} {lvl.a.nnz:>9d} "
+              f"{lvl.galerkin_time_s * 1e6:>14.1f}")
+    print(f"operator complexity: {hierarchy.operator_complexity():.2f}")
+    print(f"total simulated SpGEMM setup: "
+          f"{hierarchy.total_galerkin_s * 1e3:.3f} ms")
+
+    rng = np.random.default_rng(42)
+    x_true = rng.random(a.rows)
+    b = spmv(a, x_true)
+    res = amg_pcg(hierarchy, b, tol=1e-10)
+    err = np.linalg.norm(res.x - x_true) / np.linalg.norm(x_true)
+    print(f"\nAMG-PCG: converged={res.converged} in {res.iterations} iterations")
+    print(f"relative error vs known solution: {err:.2e}")
+    print("residual history:",
+          " ".join(f"{r:.1e}" for r in res.residual_history[:8]), "...")
+
+
+if __name__ == "__main__":
+    main()

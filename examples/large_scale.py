@@ -1,0 +1,53 @@
+#!/usr/bin/env python
+"""Beyond single-device memory: the paper's §7 future-work directions.
+
+The paper's stated limitation is that A, B and C must fit device memory
+together; it names partial multiplication and multi-GPU shared storage as
+future work.  Both are implemented in :mod:`repro.extensions`; this
+example demonstrates them:
+
+1. multiply a matrix under an artificially tight memory budget via row
+   slabs, verifying the result and showing the transfer/compute split;
+2. scale the same multiplication across 1-8 simulated GPUs with
+   product-balanced row partitioning.
+
+Run:  python examples/large_scale.py
+"""
+
+from repro import MultiplyContext, speck_multiply
+from repro.core import device_csr_bytes
+from repro.extensions import multigpu_multiply, partitioned_multiply
+from repro.matrices.generators import banded
+
+
+def main() -> None:
+    a = banded(80_000, 8, seed=7)
+    ctx = MultiplyContext(a, a)
+    single = speck_multiply(a, a, ctx=ctx)
+    print(f"matrix: {a.rows} rows, {a.nnz} nnz, {ctx.total_products} products")
+    print(f"single-device spECK: {single.time_s * 1e3:.3f} ms, "
+          f"peak {single.peak_mem_bytes / 1e6:.1f} MB\n")
+
+    # --- partitioned: pretend the device only has ~4x A of memory -------
+    budget = device_csr_bytes(a.rows, a.nnz) * 4
+    print(f"— partitioned under a {budget / 1e6:.1f} MB budget —")
+    res = partitioned_multiply(a, a, budget_bytes=budget)
+    print(f"  slabs: {res.n_slabs}")
+    print(f"  time:  {res.time_s * 1e3:.3f} ms "
+          f"(compute {res.compute_s * 1e3:.3f} + transfer {res.transfer_s * 1e3:.3f})")
+    print(f"  peak:  {res.peak_mem_bytes / 1e6:.1f} MB (within budget: "
+          f"{res.peak_mem_bytes <= budget})")
+    assert res.c.nnz == ctx.c_nnz, "partitioned result must match"
+    print(f"  result verified: C has {res.c.nnz} non-zeros\n")
+
+    # --- multi-GPU: shared distributed output ---------------------------
+    print("— multi-GPU (row-partitioned, C stays distributed) —")
+    print(f"{'devices':>8s} {'time (ms)':>10s} {'speedup':>8s} {'imbalance':>10s}")
+    for p in (1, 2, 4, 8):
+        r = multigpu_multiply(a, a, p, compute_result=False)
+        print(f"{p:>8d} {r.time_s * 1e3:>10.3f} "
+              f"{r.speedup_vs(single.time_s):>8.2f} {r.imbalance():>10.2f}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,77 @@
+#!/usr/bin/env python
+"""Markov clustering: SpGEMM as the inner loop of a graph algorithm.
+
+MCL alternates flow expansion (squaring the stochastic matrix — a SpGEMM)
+with inflation and pruning.  The iterates change structure dramatically:
+early expansions densify the matrix, later ones collapse it towards
+sparse attractor columns — so a single clustering run walks spECK through
+different regions of its decision space.
+
+This example clusters a planted-partition graph (dense communities with
+sparse inter-community noise), reports the recovered communities, and
+shows how the per-iteration SpGEMM cost and spECK's decisions evolve.
+
+Run:  python examples/markov_clustering.py
+"""
+
+import numpy as np
+
+from repro.apps import markov_clustering
+from repro.matrices.csr import CSR, INDEX_DTYPE, VALUE_DTYPE
+
+
+def planted_partition(
+    n_communities: int = 6,
+    size: int = 40,
+    p_in: float = 0.4,
+    p_out: float = 0.004,
+    seed: int = 7,
+):
+    """Symmetric planted-partition graph + ground-truth labels."""
+    rng = np.random.default_rng(seed)
+    n = n_communities * size
+    truth = np.repeat(np.arange(n_communities), size)
+    rows, cols = [], []
+    for i in range(n):
+        for j in range(i + 1, n):
+            p = p_in if truth[i] == truth[j] else p_out
+            if rng.random() < p:
+                rows += [i, j]
+                cols += [j, i]
+    g = CSR.from_coo(
+        np.array(rows, dtype=INDEX_DTYPE),
+        np.array(cols, dtype=INDEX_DTYPE),
+        np.ones(len(rows), dtype=VALUE_DTYPE),
+        (n, n),
+    )
+    return g, truth
+
+
+def purity(labels: np.ndarray, truth: np.ndarray) -> float:
+    """Fraction of vertices in clusters dominated by one true community."""
+    total = 0
+    for c in np.unique(labels):
+        members = truth[labels == c]
+        total += np.bincount(members).max()
+    return total / labels.size
+
+
+def main() -> None:
+    g, truth = planted_partition()
+    print(f"graph: {g.rows} vertices, {g.nnz // 2} edges, "
+          f"{len(np.unique(truth))} planted communities")
+
+    res = markov_clustering(g, inflation=2.0)
+    print(f"\nMCL: {res.n_clusters} clusters in {res.iterations} iterations "
+          f"(converged: {res.converged})")
+    print(f"purity vs planted communities: {purity(res.labels, truth):.3f}")
+
+    print("\nper-iteration SpGEMM profile:")
+    print(f"{'iter':>5s} {'expansion (us)':>15s} {'nnz after':>10s}")
+    for i, (t, nnz) in enumerate(zip(res.expansion_times, res.nnz_history), 1):
+        print(f"{i:>5d} {t * 1e6:>15.1f} {nnz:>10d}")
+    print(f"\ntotal simulated SpGEMM time: {res.total_expansion_s * 1e3:.3f} ms")
+
+
+if __name__ == "__main__":
+    main()

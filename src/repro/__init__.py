@@ -1,0 +1,49 @@
+"""spECK reproduction: adaptive SpGEMM with lightweight analysis.
+
+A from-scratch Python reproduction of *spECK: Accelerating GPU Sparse
+Matrix-Matrix Multiplication through Lightweight Analysis* (Parger et al.,
+PPoPP 2020) on a simulated SIMT GPU.
+
+Quickstart::
+
+    from repro import CSR, speck_multiply
+    from repro.matrices.generators import poisson2d
+
+    a = poisson2d(64)
+    result = speck_multiply(a, a)          # C = A @ A on the simulated GPU
+    print(result.time_s, result.c.nnz)
+
+See :mod:`repro.eval` for the full paper evaluation harness.
+"""
+
+from .core import (
+    DEFAULT_PARAMS,
+    MultiplyContext,
+    SpeckEngine,
+    SpeckParams,
+    speck_multiply,
+)
+from .gpu import TITAN_V, DeviceSpec
+from .kernels import esc_multiply, gustavson_multiply
+from .matrices import COO, CSR, read_mtx, write_mtx
+from .result import SpGEMMResult
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CSR",
+    "COO",
+    "read_mtx",
+    "write_mtx",
+    "speck_multiply",
+    "SpeckEngine",
+    "SpeckParams",
+    "DEFAULT_PARAMS",
+    "MultiplyContext",
+    "SpGEMMResult",
+    "DeviceSpec",
+    "TITAN_V",
+    "esc_multiply",
+    "gustavson_multiply",
+    "__version__",
+]

@@ -1,0 +1,21 @@
+"""Applications built on the SpGEMM engine: the paper's motivating domains."""
+
+from .amg import AmgHierarchy, AmgLevel, build_hierarchy, greedy_aggregate
+from .mcl import MclResult, add_self_loops, column_normalize, markov_clustering
+from .solver import SolveResult, amg_pcg, jacobi, spmv, v_cycle
+
+__all__ = [
+    "AmgHierarchy",
+    "AmgLevel",
+    "build_hierarchy",
+    "greedy_aggregate",
+    "MclResult",
+    "markov_clustering",
+    "column_normalize",
+    "add_self_loops",
+    "spmv",
+    "jacobi",
+    "v_cycle",
+    "amg_pcg",
+    "SolveResult",
+]

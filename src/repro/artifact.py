@@ -1,0 +1,206 @@
+"""The spECK artifact's runner interface (paper Appendix A).
+
+The original artifact ships ``runspECK <path-to-matrix> config.ini``; the
+config file controls benchmarking and validation:
+
+* ``TrackCompleteTimes``   — enable/disable end-to-end timing;
+* ``TrackIndividualTimes`` — per-stage timing (with overhead in the real
+  artifact; free here);
+* ``CompareResult``        — validate the output structure against a
+  reference (the artifact uses cuSPARSE; we use the exact engine) and
+  print an error if column indices mismatch;
+* ``IterationsWarmUp`` / ``IterationsExecution`` — benchmark repetition
+  counts (warm-up lets the real GPU reach its boost clock; the simulator
+  is deterministic, so warm-up iterations are run but do not change
+  results);
+* ``InputFile``            — overrides the command-line matrix path.
+
+:func:`run_artifact` reproduces that behaviour on the simulator, returning
+the measurements in a structured form and printing the same style of
+summary.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Union
+
+import numpy as np
+
+from .core import MultiplyContext, SpeckEngine
+from .gpu import DeviceSpec, TITAN_V
+from .kernels import esc_multiply
+from .matrices import read_mtx
+from .matrices.csr import CSR
+
+__all__ = ["ArtifactConfig", "ArtifactRun", "parse_config", "run_artifact"]
+
+_BOOL_KEYS = ("TrackCompleteTimes", "TrackIndividualTimes", "CompareResult")
+_INT_KEYS = ("IterationsWarmUp", "IterationsExecution")
+
+
+@dataclass
+class ArtifactConfig:
+    """Parsed ``config.ini`` options (artifact defaults)."""
+
+    track_complete_times: bool = True
+    track_individual_times: bool = False
+    compare_result: bool = False
+    iterations_warm_up: int = 1
+    iterations_execution: int = 3
+    input_file: Optional[str] = None
+
+
+def parse_config(path_or_text: Union[str, Path]) -> ArtifactConfig:
+    """Parse the artifact's ``key=value`` config format.
+
+    Accepts a file path or the raw text.  Unknown keys are ignored (the
+    artifact's parser is likewise permissive); booleans accept
+    ``true/false/1/0`` case-insensitively.
+    """
+    p = Path(str(path_or_text))
+    try:
+        text = p.read_text() if p.exists() else str(path_or_text)
+    except OSError:  # pragma: no cover - exotic path-like inputs
+        text = str(path_or_text)
+    cfg = ArtifactConfig()
+    for raw in text.splitlines():
+        line = raw.split("#", 1)[0].split(";", 1)[0].strip()
+        if not line or "=" not in line:
+            continue
+        key, _, value = line.partition("=")
+        key, value = key.strip(), value.strip()
+        if key in _BOOL_KEYS:
+            flag = value.lower() in ("1", "true", "yes", "on")
+            if key == "TrackCompleteTimes":
+                cfg.track_complete_times = flag
+            elif key == "TrackIndividualTimes":
+                cfg.track_individual_times = flag
+            else:
+                cfg.compare_result = flag
+        elif key in _INT_KEYS:
+            try:
+                n = int(value)
+            except ValueError:
+                continue
+            if key == "IterationsWarmUp":
+                cfg.iterations_warm_up = max(0, n)
+            else:
+                cfg.iterations_execution = max(1, n)
+        elif key == "InputFile":
+            cfg.input_file = value
+    return cfg
+
+
+@dataclass
+class ArtifactRun:
+    """Results of one artifact invocation."""
+
+    matrix_path: str
+    rows: int
+    cols: int
+    nnz_a: int
+    nnz_c: int
+    products: int
+    #: Per-execution-iteration complete times (seconds); empty if timing
+    #: was disabled.
+    complete_times: List[float] = field(default_factory=list)
+    #: Mean per-stage times (seconds); empty unless individual tracking.
+    stage_times: Dict[str, float] = field(default_factory=dict)
+    #: Result-comparison outcome (None if comparison was disabled).
+    result_matches: Optional[bool] = None
+
+    @property
+    def mean_time_s(self) -> float:
+        return float(np.mean(self.complete_times)) if self.complete_times else 0.0
+
+    def gflops(self) -> float:
+        t = self.mean_time_s
+        return 2 * self.products / t / 1e9 if t > 0 else 0.0
+
+    def summary(self) -> str:
+        lines = [
+            f"matrix: {self.matrix_path} ({self.rows} x {self.cols}, "
+            f"nnz {self.nnz_a})",
+            f"C: nnz {self.nnz_c} ({self.products} products)",
+        ]
+        if self.complete_times:
+            lines.append(
+                f"spECK: {self.mean_time_s * 1e3:.4f} ms "
+                f"({self.gflops():.2f} GFLOPS, "
+                f"{len(self.complete_times)} iterations)"
+            )
+        for stage, t in self.stage_times.items():
+            lines.append(f"  {stage:12s} {t * 1e6:9.1f} us")
+        if self.result_matches is not None:
+            lines.append(
+                "result check: OK"
+                if self.result_matches
+                else "ERROR: column indices do not match the reference"
+            )
+        return "\n".join(lines)
+
+
+def run_artifact(
+    matrix: Union[str, Path, CSR],
+    config: Union[str, Path, ArtifactConfig, None] = None,
+    *,
+    device: DeviceSpec = TITAN_V,
+) -> ArtifactRun:
+    """Reproduce ``runspECK <matrix> config.ini``.
+
+    ``matrix`` may be a ``.mtx`` path or an in-memory CSR matrix;
+    ``config`` a path, raw config text, or a parsed :class:`ArtifactConfig`.
+    Square matrices multiply as ``A·A``, rectangular as ``A·Aᵀ`` (the
+    paper's protocol).
+    """
+    if config is None:
+        cfg = ArtifactConfig()
+    elif isinstance(config, ArtifactConfig):
+        cfg = config
+    else:
+        cfg = parse_config(config)
+
+    if isinstance(matrix, CSR):
+        a = matrix
+        path = "<in-memory>"
+    else:
+        path = str(cfg.input_file or matrix)
+        a = read_mtx(path)
+    b = a if a.rows == a.cols else a.transpose()
+    ctx = MultiplyContext(a, b)
+    engine = SpeckEngine(device)
+
+    run = ArtifactRun(
+        matrix_path=path,
+        rows=a.rows,
+        cols=b.cols,
+        nnz_a=a.nnz,
+        nnz_c=ctx.c_nnz,
+        products=ctx.total_products,
+    )
+
+    for _ in range(cfg.iterations_warm_up):
+        engine.multiply(a, b, ctx=ctx)
+    stage_acc: Dict[str, float] = {}
+    for _ in range(cfg.iterations_execution):
+        res = engine.multiply(a, b, ctx=ctx)
+        if cfg.track_complete_times:
+            run.complete_times.append(res.time_s)
+        if cfg.track_individual_times:
+            for k, v in res.stage_times.items():
+                stage_acc[k] = stage_acc.get(k, 0.0) + v
+    if cfg.track_individual_times and cfg.iterations_execution:
+        run.stage_times = {
+            k: v / cfg.iterations_execution for k, v in stage_acc.items()
+        }
+
+    if cfg.compare_result:
+        produced = engine.multiply(a, b, ctx=ctx, mode="execute").c
+        reference = esc_multiply(a, b)
+        run.result_matches = bool(
+            np.array_equal(produced.indptr, reference.indptr)
+            and np.array_equal(produced.indices, reference.indices)
+        )
+    return run

@@ -1,0 +1,63 @@
+"""Simulated reimplementations of the compared SpGEMM methods.
+
+Importing this package registers every algorithm; :func:`all_algorithms`
+instantiates the evaluation line-up of the paper (Table 3 column order).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from ..gpu import DeviceSpec, TITAN_V
+from .ac_spgemm import AcSpgemm
+from .base import SpGEMMAlgorithm, register, registry
+from .bhsparse import BhSparse
+from .cusp_esc import CuspEsc
+from .cusparse_like import CusparseLike
+from .kokkos_like import KokkosLike
+from .mkl_cpu import MklCpu
+from .nsparse import Nsparse
+from .rmerge import RMerge
+from .speck_adapter import Speck
+
+__all__ = [
+    "SpGEMMAlgorithm",
+    "register",
+    "registry",
+    "AcSpgemm",
+    "BhSparse",
+    "CuspEsc",
+    "CusparseLike",
+    "KokkosLike",
+    "MklCpu",
+    "Nsparse",
+    "RMerge",
+    "Speck",
+    "all_algorithms",
+    "PAPER_LINEUP",
+]
+
+#: Table 3's column order: cu, AC, n, r, bh, ours, kk, mkl.
+PAPER_LINEUP = [
+    "cuSPARSE",
+    "AC-SpGEMM",
+    "nsparse",
+    "RMerge",
+    "bhSPARSE",
+    "spECK",
+    "Kokkos",
+    "MKL",
+]
+
+
+def all_algorithms(
+    device: DeviceSpec = TITAN_V,
+    names: Optional[Sequence[str]] = None,
+) -> List[SpGEMMAlgorithm]:
+    """Instantiate the evaluation line-up (or a named subset)."""
+    reg = registry()
+    chosen = list(names) if names is not None else PAPER_LINEUP
+    unknown = [n for n in chosen if n not in reg]
+    if unknown:
+        raise KeyError(f"unknown algorithms: {unknown}; have {sorted(reg)}")
+    return [reg[n](device) for n in chosen]

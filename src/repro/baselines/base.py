@@ -1,0 +1,85 @@
+"""Common interface for all simulated SpGEMM implementations.
+
+Every algorithm (spECK and the seven comparison methods) implements
+:class:`SpGEMMAlgorithm`: given a shared :class:`~repro.core.context.MultiplyContext`
+it returns a :class:`~repro.result.SpGEMMResult` with simulated time, peak
+memory and validity.  The harness treats them uniformly.
+
+Cost-model conventions shared by the baselines:
+
+* Device-wide streaming passes (ESC expansion, radix sorting, compaction)
+  are charged at full memory bandwidth plus per-kernel launch overhead —
+  these phases parallelise well by construction.
+* Row-parallel phases are charged through per-block
+  :func:`~repro.gpu.cost.block_cycles` with each method's own thread
+  mapping, so load imbalance and thread under-utilisation cost time exactly
+  as they do on hardware.
+* Temporary storage is allocated on a :class:`~repro.gpu.memory.MemoryLedger`;
+  exhausting device memory marks the run invalid (the paper's ``#inv.``).
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Dict, Type
+
+import numpy as np
+
+from ..core.context import MultiplyContext
+from ..gpu import DeviceSpec, TITAN_V
+from ..result import SpGEMMResult
+
+__all__ = ["SpGEMMAlgorithm", "register", "registry", "stream_time_s", "row_blocks"]
+
+_REGISTRY: Dict[str, Type["SpGEMMAlgorithm"]] = {}
+
+
+def register(cls: Type["SpGEMMAlgorithm"]) -> Type["SpGEMMAlgorithm"]:
+    """Class decorator adding an algorithm to the global registry."""
+    _REGISTRY[cls.name] = cls
+    return cls
+
+
+def registry() -> Dict[str, Type["SpGEMMAlgorithm"]]:
+    """Name → class mapping of all registered algorithms."""
+    return dict(_REGISTRY)
+
+
+class SpGEMMAlgorithm(abc.ABC):
+    """Base class: one simulated SpGEMM implementation."""
+
+    #: Display name used in tables and figures.
+    name: str = "abstract"
+
+    def __init__(self, device: DeviceSpec = TITAN_V) -> None:
+        self.device = device
+
+    @abc.abstractmethod
+    def run(self, ctx: MultiplyContext) -> SpGEMMResult:
+        """Multiply ``ctx.a @ ctx.b``, returning the simulated outcome."""
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}(device={self.device.name!r})"
+
+
+def stream_time_s(
+    nbytes: float, device: DeviceSpec, *, launches: int = 1
+) -> float:
+    """Time of a bandwidth-bound device-wide pass over ``nbytes``."""
+    return nbytes / device.mem_bandwidth + launches * device.kernel_launch_s
+
+
+def row_blocks(values: np.ndarray, rows_per_block: int) -> np.ndarray:
+    """Sum consecutive per-row values into per-block totals.
+
+    Models the fixed "N consecutive rows per block" global mapping that
+    most baselines use; returns one aggregate per block.
+    """
+    values = np.asarray(values, dtype=np.float64)
+    n = values.size
+    if n == 0:
+        return np.zeros(0)
+    n_blocks = (n + rows_per_block - 1) // rows_per_block
+    padded = np.zeros(n_blocks * rows_per_block)
+    padded[:n] = values
+    return padded.reshape(n_blocks, rows_per_block).sum(axis=1)

@@ -1,0 +1,32 @@
+"""Adapter exposing the spECK engine through the common algorithm interface."""
+
+from __future__ import annotations
+
+from ..core.context import MultiplyContext
+from ..core.params import DEFAULT_PARAMS, SpeckParams
+from ..core.speck import SpeckEngine
+from ..gpu import DeviceSpec, TITAN_V
+from ..result import SpGEMMResult
+from .base import SpGEMMAlgorithm, register
+
+__all__ = ["Speck"]
+
+
+@register
+class Speck(SpGEMMAlgorithm):
+    """spECK as a registry entry, optionally with overridden parameters."""
+
+    name = "spECK"
+
+    def __init__(
+        self,
+        device: DeviceSpec = TITAN_V,
+        params: SpeckParams = DEFAULT_PARAMS,
+        name: str = "spECK",
+    ) -> None:
+        super().__init__(device)
+        self.name = name
+        self.engine = SpeckEngine(device, params, name=name)
+
+    def run(self, ctx: MultiplyContext) -> SpGEMMResult:
+        return self.engine.multiply(ctx.a, ctx.b, ctx=ctx)

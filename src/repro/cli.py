@@ -1,0 +1,195 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Mirrors the spECK artifact's ``runspECK`` executable and adds the
+evaluation entry points:
+
+* ``multiply`` — run one SpGEMM (from a ``.mtx`` file or a generator
+  family) through any of the implemented methods;
+* ``bench`` — sweep the synthetic corpus and print the Table 3 statistics;
+* ``tune`` — run the §5 auto-tuning procedure and print Table 2;
+* ``spy`` — ASCII non-zero pattern of a matrix (Fig. 8 style);
+* ``info`` — structural statistics of a matrix / multiplication.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+from .baselines import PAPER_LINEUP, all_algorithms
+from .core import MultiplyContext
+from .gpu.presets import PRESETS
+from .matrices import generators as gen
+from .matrices import read_mtx
+from .matrices.csr import CSR
+
+__all__ = ["main", "build_parser"]
+
+_FAMILIES = {
+    "banded": lambda n, seed: gen.banded(n, 8, seed=seed),
+    "mesh": lambda n, seed: gen.poisson2d(max(2, int(n**0.5))),
+    "rmat": lambda n, seed: gen.rmat(max(4, n), 8, seed=seed),
+    "circuit": lambda n, seed: gen.circuit(n, seed=seed),
+    "uniform": lambda n, seed: gen.random_uniform(n, n, 8.0, seed=seed),
+    "skew": lambda n, seed: gen.skew_single(n, 6, max(64, n // 8), seed=seed),
+    "stripe": lambda n, seed: gen.dense_stripe(n, min(512, n), 24, seed=seed),
+    "diagonal": lambda n, seed: gen.diagonal(n, seed=seed),
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    p = argparse.ArgumentParser(prog="repro", description=__doc__)
+    sub = p.add_subparsers(dest="command", required=True)
+
+    def add_matrix_args(sp):
+        sp.add_argument("--mtx", help="MatrixMarket file to load")
+        sp.add_argument(
+            "--family", choices=sorted(_FAMILIES), default="mesh",
+            help="generator family when no --mtx is given",
+        )
+        sp.add_argument("--size", type=int, default=10_000,
+                        help="rows (RMAT: scale) for the generator")
+        sp.add_argument("--seed", type=int, default=0)
+        sp.add_argument(
+            "--device", choices=sorted(PRESETS), default="titan-v",
+            help="simulated GPU preset",
+        )
+
+    mult = sub.add_parser("multiply", help="run one SpGEMM")
+    add_matrix_args(mult)
+    mult.add_argument(
+        "--methods", default="spECK",
+        help="comma-separated method names, or 'all' (default: spECK)",
+    )
+    mult.add_argument(
+        "--execute", action="store_true",
+        help="compute C through spECK's executable accumulators",
+    )
+
+    bench = sub.add_parser("bench", help="corpus sweep + Table 3")
+    bench.add_argument("--small", action="store_true",
+                       help="use the fast 9-matrix test corpus")
+
+    tune = sub.add_parser("tune", help="auto-tune thresholds (Table 2)")
+    tune.add_argument("--small", action="store_true")
+
+    spy = sub.add_parser("spy", help="ASCII non-zero pattern")
+    add_matrix_args(spy)
+    spy.add_argument("--grid", type=int, default=32)
+
+    info = sub.add_parser("info", help="structural statistics")
+    add_matrix_args(info)
+    return p
+
+
+def _load_matrix(args) -> CSR:
+    if args.mtx:
+        return read_mtx(args.mtx)
+    return _FAMILIES[args.family](args.size, args.seed)
+
+
+def _cmd_multiply(args) -> int:
+    a = _load_matrix(args)
+    b = a if a.rows == a.cols else a.transpose()
+    device = PRESETS[getattr(args, "device", "titan-v")]
+    ctx = MultiplyContext(a, b)
+    print(f"A: {a.rows} x {a.cols}, nnz {a.nnz}; products {ctx.total_products}")
+    names = (
+        PAPER_LINEUP if args.methods == "all" else [m.strip() for m in args.methods.split(",")]
+    )
+    if args.execute:
+        from .core import speck_multiply
+
+        res = speck_multiply(a, b, ctx=ctx, mode="execute", device=device)
+        print(
+            f"spECK (executed): C nnz {res.c.nnz}, "
+            f"{res.time_s * 1e3:.3f} ms simulated, "
+            f"{res.gflops(ctx.flops):.2f} GFLOPS"
+        )
+        return 0
+    print(f"{'method':10s} {'time(ms)':>9s} {'GFLOPS':>8s} {'mem(MB)':>8s}")
+    for algo in all_algorithms(device=device, names=names):
+        r = algo.run(ctx)
+        if not r.valid:
+            print(f"{algo.name:10s}    FAILED  ({r.failure[:40]})")
+            continue
+        print(
+            f"{algo.name:10s} {r.time_s * 1e3:>9.3f} "
+            f"{r.gflops(ctx.flops):>8.2f} {r.peak_mem_bytes / 1e6:>8.2f}"
+        )
+    return 0
+
+
+def _cmd_bench(args) -> int:
+    from .eval import compute_table3, full_corpus, render_table3, run_suite, small_corpus
+
+    cases = small_corpus() if args.small else full_corpus()
+    result = run_suite(cases, verbose=True)
+    print()
+    print(render_table3(compute_table3(result), PAPER_LINEUP))
+    return 0
+
+
+def _cmd_tune(args) -> int:
+    from .core.tuning import autotune
+    from .eval import full_corpus, small_corpus
+
+    cases = small_corpus() if args.small else full_corpus()
+    res = autotune(cases)
+    t2 = res.table2()
+    print(f"{'':10s}{'ratio':>10s}{'rows':>10s}{'ratio*':>10s}{'rows*':>10s}")
+    for stage in ("symbolic", "numeric"):
+        row = t2[stage]
+        print(
+            f"{stage:10s}{row['ratio']:>10.2f}{row['rows']:>10d}"
+            f"{row['ratio*']:>10.2f}{row['rows*']:>10d}"
+        )
+    print(f"average slowdown vs best combination: {res.final_slowdown * 100:.2f}%")
+    print(f"best-combination accuracy: {res.accuracy * 100:.1f}%")
+    return 0
+
+
+def _cmd_spy(args) -> int:
+    from .eval.report import spy_text
+
+    a = _load_matrix(args)
+    print(f"{a.rows} x {a.cols}, nnz {a.nnz}")
+    print(spy_text(a, size=args.grid))
+    return 0
+
+
+def _cmd_info(args) -> int:
+    a = _load_matrix(args)
+    b = a if a.rows == a.cols else a.transpose()
+    ctx = MultiplyContext(a, b)
+    an = ctx.analysis
+    nnz_rows = a.row_nnz()
+    print(f"shape:         {a.rows} x {a.cols}")
+    print(f"nnz(A):        {a.nnz}")
+    print(f"nnz/row:       mean {nnz_rows.mean():.2f}, max {int(nnz_rows.max())}")
+    print(f"products:      {ctx.total_products}")
+    print(f"max row prods: {an.prod_max}")
+    print(f"nnz(C):        {ctx.c_nnz}")
+    print(f"compaction:    {ctx.compaction:.2f}")
+    print(f"single-entry rows of A: {int((nnz_rows == 1).sum())}")
+    return 0
+
+
+_COMMANDS = {
+    "multiply": _cmd_multiply,
+    "bench": _cmd_bench,
+    "tune": _cmd_tune,
+    "spy": _cmd_spy,
+    "info": _cmd_info,
+}
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """Entry point for ``python -m repro``."""
+    args = build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,30 @@
+"""spECK core: analysis, load balancing, adaptive accumulation, pipeline."""
+
+from .analysis import RowAnalysis, analyze
+from .config import KernelConfig, build_configs
+from .context import MultiplyContext, device_csr_bytes
+from .global_lb import BlockPlan, balanced_plan, block_merge, uniform_plan
+from .local_lb import choose_group_size, round_pow2
+from .params import DEFAULT_PARAMS, PAPER_PARAMS, LbThresholds, SpeckParams
+from .speck import SpeckEngine, speck_multiply
+
+__all__ = [
+    "RowAnalysis",
+    "analyze",
+    "KernelConfig",
+    "build_configs",
+    "MultiplyContext",
+    "device_csr_bytes",
+    "BlockPlan",
+    "balanced_plan",
+    "uniform_plan",
+    "block_merge",
+    "choose_group_size",
+    "round_pow2",
+    "LbThresholds",
+    "SpeckParams",
+    "DEFAULT_PARAMS",
+    "PAPER_PARAMS",
+    "SpeckEngine",
+    "speck_multiply",
+]

@@ -1,0 +1,158 @@
+"""Block-level hash map with compound row/column keys (§4.3).
+
+When spECK merges up to 32 short rows into one block, all of them share a
+single scratchpad hash map.  The paper packs the key as a compound integer:
+**5 bits of local row index + 27 bits of column index** in 32 bits, falling
+back to 64-bit keys for matrices with ≥ 2²⁷ columns.
+
+This module is the executable form of that structure: a linear-probing map
+over compound keys serving a whole merged block, with the same hash
+function (prime multiply, modulo table size) as the per-row accumulators.
+Tests use it to validate the multi-row path and the 32/64-bit switch; the
+cost models in :mod:`repro.core.passes` charge for exactly the operations
+it performs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from ..matrices.csr import CSR
+from .exec_accumulators import HASH_PRIME
+
+__all__ = [
+    "ROW_BITS",
+    "COL_BITS",
+    "MAX_LOCAL_ROWS",
+    "MAX_COLS_32BIT",
+    "compound_key",
+    "split_key",
+    "BlockHashMap",
+    "block_hash_accumulate",
+]
+
+#: Bits reserved for the local row index inside a 32-bit compound key.
+ROW_BITS = 5
+#: Bits left for the column index.
+COL_BITS = 27
+#: Maximum rows a merged block can cover (2^5).
+MAX_LOCAL_ROWS = 1 << ROW_BITS
+#: Column count beyond which 64-bit keys are required (2^27).
+MAX_COLS_32BIT = 1 << COL_BITS
+
+
+def compound_key(local_row: int, col: int, *, wide: bool) -> int:
+    """Pack (local_row, column) into a compound integer key.
+
+    ``wide=False`` uses the 32-bit 5+27 layout and rejects out-of-range
+    inputs; ``wide=True`` uses a 64-bit 5+59 layout.
+    """
+    if local_row < 0 or local_row >= MAX_LOCAL_ROWS:
+        raise ValueError(f"local row {local_row} exceeds {ROW_BITS} bits")
+    if not wide:
+        if col < 0 or col >= MAX_COLS_32BIT:
+            raise ValueError(
+                f"column {col} needs 64-bit keys (limit {MAX_COLS_32BIT})"
+            )
+        return (local_row << COL_BITS) | col
+    return (local_row << 59) | col
+
+
+def split_key(key: int, *, wide: bool) -> Tuple[int, int]:
+    """Inverse of :func:`compound_key`."""
+    shift = 59 if wide else COL_BITS
+    mask = (1 << shift) - 1
+    return key >> shift, key & mask
+
+
+@dataclass
+class BlockHashStats:
+    """Operational counters of one block accumulation."""
+
+    inserts: int = 0
+    probes: int = 0
+    capacity: int = 0
+    wide_keys: bool = False
+
+    @property
+    def fill(self) -> float:
+        return self.inserts / self.capacity if self.capacity else 0.0
+
+
+class BlockHashMap:
+    """Linear-probing map over compound keys for one merged block."""
+
+    def __init__(self, capacity: int, *, wide: bool = False) -> None:
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        self.capacity = int(capacity)
+        self.wide = bool(wide)
+        self._keys = np.full(self.capacity, -1, dtype=np.int64)
+        self._vals = np.zeros(self.capacity, dtype=np.float64)
+        self.stats = BlockHashStats(capacity=self.capacity, wide_keys=wide)
+
+    def accumulate(self, local_row: int, col: int, value: float) -> None:
+        """Insert-or-add one product into the shared map."""
+        key = compound_key(local_row, col, wide=self.wide)
+        slot = (key * HASH_PRIME) % self.capacity
+        start = slot
+        while True:
+            self.stats.probes += 1
+            k = self._keys[slot]
+            if k == key:
+                self._vals[slot] += value
+                return
+            if k == -1:
+                self._keys[slot] = key
+                self._vals[slot] = value
+                self.stats.inserts += 1
+                return
+            slot = (slot + 1) % self.capacity
+            if slot == start:
+                raise RuntimeError("block hash map full")
+
+    def extract_rows(self, n_rows: int) -> List[Tuple[np.ndarray, np.ndarray]]:
+        """Per-local-row sorted (columns, values) — the extraction scan."""
+        occupied = np.flatnonzero(self._keys >= 0)
+        shift = 59 if self.wide else COL_BITS
+        mask = (1 << shift) - 1
+        keys = self._keys[occupied]
+        rows = keys >> shift
+        cols = keys & mask
+        vals = self._vals[occupied]
+        out: List[Tuple[np.ndarray, np.ndarray]] = []
+        for r in range(n_rows):
+            sel = rows == r
+            order = np.argsort(cols[sel], kind="stable")
+            out.append((cols[sel][order], vals[sel][order]))
+        return out
+
+
+def block_hash_accumulate(
+    a: CSR,
+    b: CSR,
+    row_ids: Sequence[int],
+    capacity: int,
+) -> Tuple[List[Tuple[np.ndarray, np.ndarray]], BlockHashStats]:
+    """Accumulate several rows of ``C = A·B`` through one shared map.
+
+    ``row_ids`` are the (≤32) rows of A merged into the block; the key
+    width switches to 64 bits automatically when B has ≥ 2²⁷ columns.
+    Returns per-row sorted outputs plus the probe statistics.
+    """
+    if len(row_ids) > MAX_LOCAL_ROWS:
+        raise ValueError(
+            f"a block covers at most {MAX_LOCAL_ROWS} rows, got {len(row_ids)}"
+        )
+    wide = b.cols >= MAX_COLS_32BIT
+    table = BlockHashMap(capacity, wide=wide)
+    for local, i in enumerate(row_ids):
+        a_cols, a_vals = a.row(int(i))
+        for k, av in zip(a_cols, a_vals):
+            b_cols, b_vals = b.row(int(k))
+            for j, bv in zip(b_cols, b_vals):
+                table.accumulate(local, int(j), float(av * bv))
+    return table.extract_rows(len(row_ids)), table.stats

@@ -1,0 +1,112 @@
+"""Shared per-multiplication context.
+
+A single SpGEMM evaluation runs many algorithms (spECK, six baselines, the
+CPU reference) over the same ``(A, B)`` pair.  All of them need the same
+exact structural facts — per-row intermediate-product counts, exact output
+row sizes, and (for assembling the result) the exact product matrix.  The
+context computes each of these once, lazily, and caches it; algorithm cost
+models then read from it instead of recomputing.
+
+This mirrors the real-world setup: on the device every algorithm computes
+these quantities itself (and *pays* for doing so in its cost model); the
+context only removes redundant host-side work from the simulation.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..kernels.reference import esc_multiply
+from ..matrices.csr import CSR
+from .analysis import RowAnalysis, analyze
+
+__all__ = ["MultiplyContext", "device_csr_bytes"]
+
+
+def device_csr_bytes(rows: int, nnz: int) -> int:
+    """Device-side bytes of a CSR matrix: 32-bit offsets and column indices,
+    64-bit (double) values — the layout all compared methods share."""
+    return 4 * (rows + 1) + 12 * nnz
+
+
+class MultiplyContext:
+    """Lazily cached exact facts about one ``C = A · B`` multiplication."""
+
+    def __init__(self, a: CSR, b: CSR) -> None:
+        if a.cols != b.rows:
+            raise ValueError(f"dimension mismatch: A is {a.shape}, B is {b.shape}")
+        self.a = a
+        self.b = b
+        self._analysis: Optional[RowAnalysis] = None
+        self._c_row_nnz: Optional[np.ndarray] = None
+        self._c: Optional[CSR] = None
+        self._b_row_nnz: Optional[np.ndarray] = None
+
+    # -- structural facts ------------------------------------------------
+    @property
+    def analysis(self) -> RowAnalysis:
+        """The Algorithm-1 row analysis (products, max row, column extent)."""
+        if self._analysis is None:
+            self._analysis = analyze(self.a, self.b)
+        return self._analysis
+
+    @property
+    def row_prods(self) -> np.ndarray:
+        """Intermediate products per row of A."""
+        return self.analysis.products
+
+    @property
+    def total_products(self) -> int:
+        return self.analysis.prod_total
+
+    @property
+    def flops(self) -> int:
+        """FLOPs as counted in the paper: two per intermediate product."""
+        return 2 * self.total_products
+
+    @property
+    def b_row_nnz(self) -> np.ndarray:
+        if self._b_row_nnz is None:
+            self._b_row_nnz = self.b.row_nnz()
+        return self._b_row_nnz
+
+    @property
+    def c_row_nnz(self) -> np.ndarray:
+        """Exact non-zeros per row of C (what a symbolic pass computes)."""
+        if self._c_row_nnz is None:
+            # The model path materialises C anyway; deriving the row sizes
+            # from it avoids a second full product expansion.
+            self._c_row_nnz = self.c.row_nnz()
+        return self._c_row_nnz
+
+    @property
+    def c_nnz(self) -> int:
+        return int(self.c_row_nnz.sum())
+
+    @property
+    def c(self) -> CSR:
+        """The exact product matrix (computed once via the ESC engine)."""
+        if self._c is None:
+            self._c = esc_multiply(self.a, self.b)
+        return self._c
+
+    @property
+    def compaction(self) -> float:
+        """Average products per output non-zero (the paper's compaction
+        factor; SuiteSparse-wide average ≈ 7)."""
+        return self.total_products / max(1, self.c_nnz)
+
+    # -- memory facts ------------------------------------------------------
+    @property
+    def input_bytes(self) -> int:
+        """Device bytes of A and B (resident throughout the call)."""
+        return device_csr_bytes(self.a.rows, self.a.nnz) + device_csr_bytes(
+            self.b.rows, self.b.nnz
+        )
+
+    @property
+    def output_bytes(self) -> int:
+        """Device bytes of C (every method allocates this)."""
+        return device_csr_bytes(self.a.rows, self.c_nnz)

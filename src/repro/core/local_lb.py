@@ -1,0 +1,98 @@
+"""Local load balancing: choosing the group size ``g`` (paper §4.3).
+
+Each block's ``T`` threads are divided into ``k = T / g`` groups of ``g``
+threads; groups are assigned successively to the non-zeros of A and thereby
+to the referenced rows of B (Fig. 1 of the paper).  ``g`` trades coalesced
+access (large ``g``) against thread utilisation on short rows (small ``g``).
+
+The selection uses only statistics available from the row analysis — the
+average and maximum referenced-row length and the number of non-zeros of A
+in the block — and applies the paper's correction heuristic: if the longest
+row would dominate (``iter_max > 2 · n_rows``) grow ``g``; if groups churn
+through many rows while the longest row is short (``n_rows > 2 · iter_max``)
+shrink ``g``; always keep at least one non-zero of A per group; round to a
+power of two.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["choose_group_size", "round_pow2", "group_stats"]
+
+
+def round_pow2(x: np.ndarray) -> np.ndarray:
+    """Round (positive) values to the nearest power of two, at least 1."""
+    x = np.maximum(np.asarray(x, dtype=np.float64), 1.0)
+    return np.exp2(np.rint(np.log2(x))).astype(np.int64)
+
+
+def choose_group_size(
+    avg_len: np.ndarray,
+    max_len: np.ndarray,
+    nnz_a: np.ndarray,
+    threads: int,
+) -> np.ndarray:
+    """Dynamic group size ``g`` per block (vectorised over blocks).
+
+    Parameters mirror the analysis outputs aggregated per block: average
+    and maximum length of the referenced rows of B, and the number of
+    non-zeros of A the block processes.
+    """
+    avg_len = np.maximum(np.asarray(avg_len, dtype=np.float64), 1.0)
+    max_len = np.maximum(np.asarray(max_len, dtype=np.float64), 1.0)
+    nnz_a = np.maximum(np.asarray(nnz_a, dtype=np.float64), 1.0)
+
+    g = np.clip(round_pow2(avg_len).astype(np.float64), 1, threads)
+    k = threads / g
+    iter_max = max_len / g
+    n_rows = nnz_a / k
+
+    # One long row must not serialise the block: widen its groups.
+    grow = iter_max > 2.0 * n_rows
+    g = np.where(grow, g * iter_max / np.maximum(2.0 * n_rows, 1e-9), g)
+    # Conversely, many short rows per group: narrow the groups so more
+    # rows proceed in parallel (prioritising low n_rows over low iter_max).
+    # Both iter_max and n_rows scale with g, so a single multiplicative
+    # update by their ratio overshoots; the balanced fixed point
+    # (iter_max(g) = n_rows(g)) is reached at g · sqrt(iter_max / n_rows).
+    # Shrinking only pays when a multi-iteration tail exists (iter_max > 2):
+    # for uniform rows that already fit one pass it would merely destroy
+    # coalescing without reducing any group's iteration count.
+    shrink = (~grow) & (n_rows > 2.0 * iter_max) & (iter_max > 2.0)
+    g = np.where(
+        shrink, g * np.sqrt(iter_max / np.maximum(n_rows, 1e-9)), g
+    )
+
+    # Never more groups than non-zeros of A to serve.
+    k = threads / np.clip(round_pow2(g), 1, threads)
+    too_many_groups = k > nnz_a
+    g = np.where(too_many_groups, threads / np.maximum(nnz_a, 1.0), g)
+
+    return np.clip(round_pow2(g), 1, threads).astype(np.int64)
+
+
+def group_stats(
+    row_lens: np.ndarray,
+    g: int,
+    threads: int,
+) -> tuple[float, float]:
+    """Iterations and utilisation of one block given actual row lengths.
+
+    Returns ``(total_group_iterations, lane_utilisation)`` where an
+    iteration is one ``g``-wide pass over part of a row of B, and
+    utilisation is the fraction of issued lanes doing useful work:
+    ``Σ len / (g · Σ ceil(len / g))``.
+
+    Used by the cost model — the *selection* of ``g`` never sees the full
+    length distribution, exactly as in the paper.
+    """
+    row_lens = np.asarray(row_lens, dtype=np.float64)
+    if row_lens.size == 0:
+        return 0.0, 1.0
+    iters = np.ceil(row_lens / g)
+    total_iters = float(iters.sum())
+    useful = float(row_lens.sum())
+    if total_iters <= 0:
+        return 0.0, 1.0
+    return total_iters, max(1e-3, useful / (g * total_iters))

@@ -1,0 +1,37 @@
+"""Assemble per-row accumulator outputs into a CSR matrix."""
+
+from __future__ import annotations
+
+from typing import Sequence, Tuple
+
+import numpy as np
+
+from ..matrices.csr import CSR, INDEX_DTYPE, VALUE_DTYPE
+
+__all__ = ["assemble_rows"]
+
+
+def assemble_rows(
+    rows: Sequence[Tuple[np.ndarray, np.ndarray]],
+    shape: Tuple[int, int],
+) -> CSR:
+    """Concatenate per-row ``(cols, vals)`` outputs into one CSR matrix.
+
+    Each row's columns must already be sorted and unique — which every
+    accumulator guarantees (hash results are sorted on extraction, dense
+    and direct results are ordered by construction).
+    """
+    n_rows = shape[0]
+    if len(rows) != n_rows:
+        raise ValueError(f"expected {n_rows} rows, got {len(rows)}")
+    counts = np.fromiter((c.size for c, _ in rows), dtype=INDEX_DTYPE, count=n_rows)
+    indptr = np.zeros(n_rows + 1, dtype=INDEX_DTYPE)
+    np.cumsum(counts, out=indptr[1:])
+    nnz = int(indptr[-1])
+    indices = np.empty(nnz, dtype=INDEX_DTYPE)
+    data = np.empty(nnz, dtype=VALUE_DTYPE)
+    for i, (cols, vals) in enumerate(rows):
+        lo, hi = indptr[i], indptr[i + 1]
+        indices[lo:hi] = cols
+        data[lo:hi] = vals
+    return CSR(indptr, indices, data, shape, check=False)

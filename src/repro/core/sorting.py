@@ -1,0 +1,91 @@
+"""Executable forms of the device sorting strategies (§4.3 "Numeric SpGEMM").
+
+spECK sorts hash-extracted rows three different ways depending on the
+kernel size:
+
+* **rank sort** in scratchpad for the three smallest configurations —
+  each element counts how many elements precede it (O(n²) work but no
+  extra memory and fully parallel);
+* **device radix sort** for the middle configurations — results are
+  compacted unsorted to global memory and a byte-wise LSD radix pass
+  orders them;
+* **no sort** for dense-accumulated rows (ordered by construction).
+
+The cost models in :mod:`repro.core.passes` charge for these; the
+implementations here execute them, so tests can verify the strategies
+produce identical orderings and that the cost model's operation counts
+describe real algorithms.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+__all__ = ["rank_sort", "radix_sort_pairs", "rank_sort_ops", "radix_passes"]
+
+
+def rank_sort(cols: np.ndarray, vals: np.ndarray) -> Tuple[np.ndarray, np.ndarray, int]:
+    """Counting/rank sort: each element's output slot is the number of
+    elements smaller than it (ties impossible — hash keys are unique).
+
+    Returns the sorted pair plus the number of comparisons performed
+    (n², what the small-kernel cost model charges).
+    """
+    cols = np.asarray(cols)
+    vals = np.asarray(vals)
+    n = cols.size
+    if n == 0:
+        return cols.copy(), vals.copy(), 0
+    # ranks via broadcast comparison — the scratchpad kernel's all-pairs scan
+    ranks = (cols[None, :] < cols[:, None]).sum(axis=1)
+    out_cols = np.empty_like(cols)
+    out_vals = np.empty_like(vals)
+    out_cols[ranks] = cols
+    out_vals[ranks] = vals
+    return out_cols, out_vals, n * n
+
+
+def radix_passes(max_key: int, bits_per_pass: int = 8) -> int:
+    """Digit passes needed to sort keys up to ``max_key``."""
+    if max_key <= 0:
+        return 1
+    key_bits = int(max_key).bit_length()
+    return max(1, -(-key_bits // bits_per_pass))
+
+
+def radix_sort_pairs(
+    keys: np.ndarray,
+    vals: np.ndarray,
+    *,
+    bits_per_pass: int = 8,
+) -> Tuple[np.ndarray, np.ndarray, int]:
+    """Byte-wise LSD radix sort of (key, payload) pairs.
+
+    Returns the sorted pair plus the number of passes executed (each pass
+    streams the arrays once — the device cost model charges
+    2 × passes × bytes of traffic).
+    """
+    keys = np.asarray(keys, dtype=np.int64)
+    vals = np.asarray(vals)
+    if keys.size == 0:
+        return keys.copy(), vals.copy(), 0
+    if keys.min() < 0:
+        raise ValueError("radix sort requires non-negative keys")
+    n_passes = radix_passes(int(keys.max()), bits_per_pass)
+    radix = 1 << bits_per_pass
+    mask = radix - 1
+    out_k, out_v = keys.copy(), vals.copy()
+    for p in range(n_passes):
+        digits = (out_k >> (p * bits_per_pass)) & mask
+        # counting sort by digit (stable)
+        order = np.argsort(digits, kind="stable")
+        out_k = out_k[order]
+        out_v = out_v[order]
+    return out_k, out_v, n_passes
+
+
+def rank_sort_ops(n: int) -> int:
+    """Comparison count of :func:`rank_sort` for ``n`` elements."""
+    return n * n

@@ -1,0 +1,343 @@
+"""The spECK pipeline (paper §4, Fig. 2).
+
+Six stages: row analysis → (conditional) global load balancing → symbolic
+SpGEMM → (conditional) global load balancing → numeric SpGEMM → sorting.
+Each stage consumes only information gathered by the earlier ones, and the
+two load-balancing stages run only when the auto-tuned thresholds predict
+the gain exceeds the cost — the paper's central idea of *conditional*
+lightweight analysis.
+
+Two modes:
+
+* ``mode="model"`` (default) — full cost simulation; the result matrix is
+  taken from the shared exact engine.  Used by the evaluation harness.
+* ``mode="execute"`` — additionally computes C through the *executable*
+  accumulators (real linear-probing hash maps, windowed dense arrays,
+  direct referencing), following the same per-row decisions.  Used by the
+  test suite to prove the adaptive pipeline is numerically correct.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..gpu import DeviceOOM, DeviceSpec, MemoryLedger, TITAN_V
+from ..gpu.trace import Trace
+from ..matrices.csr import CSR, INDEX_DTYPE, VALUE_DTYPE
+from ..result import SpGEMMResult
+from .analysis import analysis_time_s
+from .config import KernelConfig, build_configs, config_index_for_entries
+from .context import MultiplyContext
+from .exec_accumulators import (
+    dense_accumulate_row,
+    direct_reference_row,
+    hash_accumulate_row,
+)
+from .global_lb import balanced_plan, load_balance_time_s, uniform_plan
+from .params import DEFAULT_PARAMS, SpeckParams
+from .passes import radix_sort_time_s, run_pass
+from .result_assembly import assemble_rows
+
+__all__ = ["speck_multiply", "SpeckEngine"]
+
+
+def _lb_decision(
+    stage: str,
+    params: SpeckParams,
+    ratio: float,
+    rows: int,
+    largest_cfg: int,
+    n_cfg: int,
+) -> bool:
+    """Global-LB on/off for one stage, honouring forced modes."""
+    force = (
+        params.force_lb_symbolic if stage == "symbolic" else params.force_lb_numeric
+    )
+    if force is not None:
+        return force
+    if params.global_lb_mode == "always":
+        return True
+    if params.global_lb_mode == "never":
+        return False
+    thresholds = params.symbolic_lb if stage == "symbolic" else params.numeric_lb
+    return thresholds.decide(ratio, rows, largest_cfg, n_cfg)
+
+
+class SpeckEngine:
+    """Reusable spECK instance bound to a device and parameter set."""
+
+    def __init__(
+        self,
+        device: DeviceSpec = TITAN_V,
+        params: SpeckParams = DEFAULT_PARAMS,
+        name: str = "spECK",
+    ) -> None:
+        self.device = device
+        self.params = params
+        self.name = name
+        self.configs: list[KernelConfig] = build_configs(device)
+
+    # ------------------------------------------------------------------
+    def multiply(
+        self,
+        a: CSR,
+        b: CSR,
+        *,
+        ctx: Optional[MultiplyContext] = None,
+        mode: str = "model",
+        trace: Optional[Trace] = None,
+    ) -> SpGEMMResult:
+        """Run the full pipeline on ``C = A · B``.
+
+        Pass a :class:`~repro.gpu.trace.Trace` to record a structured
+        timeline of stages and per-configuration kernel launches.
+        """
+        if mode not in ("model", "execute"):
+            raise ValueError(f"unknown mode {mode!r}")
+        ctx = ctx or MultiplyContext(a, b)
+        device, params, configs = self.device, self.params, self.configs
+        n_cfg = len(configs)
+        analysis = ctx.analysis
+        ledger = MemoryLedger(device, resident_bytes=ctx.input_bytes)
+        stage_times: dict[str, float] = {}
+        decisions: dict[str, object] = {}
+
+        try:
+            # ---- 1. row analysis -------------------------------------
+            stage_times["analysis"] = analysis_time_s(a, device)
+
+            # ---- 2. symbolic load balancing ---------------------------
+            sym_entries = analysis.products
+            mean_prod = max(analysis.mean_products(), 1e-9)
+            ratio_sym = analysis.prod_max / mean_prod
+            largest_cfg_sym = int(
+                config_index_for_entries(
+                    np.array([analysis.prod_max]), configs, "symbolic"
+                )[0]
+            )
+            use_lb_sym = _lb_decision(
+                "symbolic", params, ratio_sym, a.rows, largest_cfg_sym, n_cfg
+            )
+            if use_lb_sym:
+                plan_sym = balanced_plan(
+                    sym_entries,
+                    configs,
+                    "symbolic",
+                    merge_smallest=params.enable_block_merge,
+                )
+                stage_times["symbolic_lb"] = load_balance_time_s(
+                    a.rows, n_cfg, device
+                )
+                ledger.alloc(8 * a.rows + 64 * n_cfg, "symbolic bins")
+            else:
+                plan_sym = uniform_plan(sym_entries, configs, "symbolic")
+                stage_times["symbolic_lb"] = 0.0
+
+            # ---- 3. symbolic SpGEMM -----------------------------------
+            c_row_nnz = ctx.c_row_nnz
+            sym = run_pass(
+                "symbolic", analysis, plan_sym, c_row_nnz, configs, params, device
+            )
+            if sym.global_hash_blocks:
+                pool = min(
+                    device.concurrency(
+                        configs[-1].threads, configs[-1].scratch_bytes
+                    ),
+                    sym.global_hash_blocks,
+                )
+                ledger.alloc(
+                    pool * sym.global_hash_max_entries * 8, "symbolic global maps"
+                )
+            stage_times["symbolic"] = sym.time_s
+
+            # Output allocation (excluded from time per the paper's
+            # methodology, included in peak memory).
+            ledger.alloc(ctx.output_bytes, "C")
+
+            # ---- 4. numeric load balancing ----------------------------
+            num_entries = np.ceil(
+                c_row_nnz / max(params.numeric_max_fill, 1e-9)
+            ).astype(np.int64)
+            max_c = int(c_row_nnz.max()) if c_row_nnz.size else 0
+            mean_c = max(float(c_row_nnz.mean()) if c_row_nnz.size else 0.0, 1e-9)
+            ratio_num = max_c / mean_c
+            largest_cfg_num = int(
+                config_index_for_entries(
+                    np.array([int(num_entries.max()) if num_entries.size else 0]),
+                    configs,
+                    "numeric",
+                )[0]
+            )
+            use_lb_num = _lb_decision(
+                "numeric", params, ratio_num, a.rows, largest_cfg_num, n_cfg
+            )
+            if use_lb_num:
+                plan_num = balanced_plan(
+                    num_entries,
+                    configs,
+                    "numeric",
+                    merge_smallest=params.enable_block_merge,
+                )
+                stage_times["numeric_lb"] = load_balance_time_s(
+                    a.rows, n_cfg, device
+                )
+                ledger.alloc(8 * a.rows + 64 * n_cfg, "numeric bins")
+            else:
+                plan_num = uniform_plan(num_entries, configs, "numeric")
+                stage_times["numeric_lb"] = 0.0
+
+            # ---- 5. numeric SpGEMM ------------------------------------
+            num = run_pass(
+                "numeric", analysis, plan_num, c_row_nnz, configs, params, device
+            )
+            if num.global_hash_blocks:
+                pool = min(
+                    device.concurrency(
+                        configs[-1].threads, configs[-1].scratch_bytes
+                    ),
+                    num.global_hash_blocks,
+                )
+                ledger.alloc(
+                    pool * num.global_hash_max_entries * 16, "numeric global maps"
+                )
+            stage_times["numeric"] = num.time_s
+
+            # ---- 6. sorting -------------------------------------------
+            if num.radix_entries:
+                ledger.alloc(num.radix_entries * 8, "radix key buffers")
+            stage_times["sorting"] = radix_sort_time_s(num.radix_entries, device)
+
+        except DeviceOOM as oom:
+            return SpGEMMResult.failed(self.name, f"OOM: {oom}")
+
+        if trace is not None:
+            trace.record("call overhead", device.call_overhead_s, category="host")
+            trace.record("analysis", stage_times["analysis"], category="stage")
+            if use_lb_sym:
+                trace.record(
+                    "symbolic LB", stage_times["symbolic_lb"], category="stage",
+                    meta={"blocks": plan_sym.n_blocks},
+                )
+            for cfg_id, t in sorted(sym.kernel_times.items()):
+                trace.record(
+                    f"symbolic k{cfg_id}", t, category="kernel",
+                    meta={
+                        "threads": configs[cfg_id].threads,
+                        "scratch": configs[cfg_id].scratch_bytes,
+                    },
+                )
+            if use_lb_num:
+                trace.record(
+                    "numeric LB", stage_times["numeric_lb"], category="stage",
+                    meta={"blocks": plan_num.n_blocks},
+                )
+            for cfg_id, t in sorted(num.kernel_times.items()):
+                trace.record(
+                    f"numeric k{cfg_id}", t, category="kernel",
+                    meta={
+                        "threads": configs[cfg_id].threads,
+                        "scratch": configs[cfg_id].scratch_bytes,
+                    },
+                )
+            if stage_times["sorting"] > 0:
+                trace.record(
+                    "radix sort", stage_times["sorting"], category="stage",
+                    meta={"entries": num.radix_entries},
+                )
+            trace.mark(
+                "decisions",
+                lb_symbolic=use_lb_sym,
+                lb_numeric=use_lb_num,
+                accumulators=str(num.accum_blocks),
+            )
+
+        total = device.call_overhead_s + sum(stage_times.values())
+        decisions.update(
+            used_lb_symbolic=use_lb_sym,
+            used_lb_numeric=use_lb_num,
+            ratio_symbolic=ratio_sym,
+            ratio_numeric=ratio_num,
+            accum_blocks_symbolic=sym.accum_blocks,
+            accum_blocks_numeric=num.accum_blocks,
+            global_hash_blocks=sym.global_hash_blocks + num.global_hash_blocks,
+            mean_group_size=(
+                float(num.group_sizes.mean()) if num.group_sizes.size else 0.0
+            ),
+            mean_utilization=num.mean_utilization,
+        )
+
+        if mode == "execute":
+            c = self._execute(a, b, ctx)
+        else:
+            c = ctx.c
+        return SpGEMMResult(
+            method=self.name,
+            c=c,
+            time_s=total,
+            peak_mem_bytes=ledger.peak,
+            stage_times=stage_times,
+            decisions=decisions,
+        )
+
+    # ------------------------------------------------------------------
+    def _execute(self, a: CSR, b: CSR, ctx: MultiplyContext) -> CSR:
+        """Compute C through the executable accumulators, row by row,
+        following the same per-row method decisions as the cost model."""
+        params, configs = self.params, self.configs
+        n_cfg = len(configs)
+        analysis = ctx.analysis
+        c_row_nnz = ctx.c_row_nnz
+        num_entries = np.ceil(
+            c_row_nnz / max(params.numeric_max_fill, 1e-9)
+        ).astype(np.int64)
+        cfg_idx = config_index_for_entries(num_entries, configs, "numeric")
+        rows_out: list[tuple[np.ndarray, np.ndarray]] = []
+        for i in range(a.rows):
+            a_cols, a_vals = a.row(i)
+            if a_cols.size == 0 or analysis.products[i] == 0:
+                rows_out.append(
+                    (np.empty(0, dtype=INDEX_DTYPE), np.empty(0, dtype=VALUE_DTYPE))
+                )
+                continue
+            if params.enable_direct and a_cols.size == 1:
+                rows_out.append(direct_reference_row(int(a_cols[0]), float(a_vals[0]), b))
+                continue
+            cfg = configs[int(cfg_idx[i])]
+            col_lo, col_hi = int(analysis.col_min[i]), int(analysis.col_max[i])
+            col_range = max(1, col_hi - col_lo + 1)
+            density = c_row_nnz[i] / col_range
+            use_dense = params.enable_dense and (
+                cfg_idx[i] == n_cfg - 1
+                or (
+                    density >= params.dense_density_threshold
+                    and cfg_idx[i] >= n_cfg - 3
+                )
+            )
+            if use_dense:
+                window = max(cfg.dense_entries("numeric"), 1)
+                cols, vals, _ = dense_accumulate_row(
+                    a_cols, a_vals, b, window, col_lo, col_hi
+                )
+            else:
+                capacity = cfg.hash_entries("numeric")
+                if c_row_nnz[i] >= capacity:
+                    # Global hash map fallback: sized at 2x the row.
+                    capacity = int(2 * c_row_nnz[i] + 1)
+                cols, vals, _ = hash_accumulate_row(a_cols, a_vals, b, capacity)
+            rows_out.append((cols, vals))
+        return assemble_rows(rows_out, (a.rows, b.cols))
+
+
+def speck_multiply(
+    a: CSR,
+    b: CSR,
+    *,
+    device: DeviceSpec = TITAN_V,
+    params: SpeckParams = DEFAULT_PARAMS,
+    ctx: Optional[MultiplyContext] = None,
+    mode: str = "model",
+) -> SpGEMMResult:
+    """Convenience wrapper: run spECK once on ``(A, B)``."""
+    return SpeckEngine(device, params).multiply(a, b, ctx=ctx, mode=mode)

@@ -1,0 +1,120 @@
+"""Compare two evaluation sweeps: regression detection for the cost model.
+
+The benchmark suite asserts the paper's shapes, but day-to-day model work
+needs finer feedback: "did my change to the probe formula slow spECK on
+the power-law family?"  :func:`compare_results` diffs two
+:class:`~repro.eval.harness.EvalResult` objects (e.g. loaded via
+:func:`repro.eval.export.result_from_json`) per method and per family and
+flags runs whose time moved by more than a threshold.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+import numpy as np
+
+from .harness import EvalResult
+
+__all__ = ["RunDelta", "ComparisonReport", "compare_results"]
+
+
+@dataclass
+class RunDelta:
+    """One (matrix, method) pair whose timing moved."""
+
+    matrix: str
+    method: str
+    before_s: float
+    after_s: float
+
+    @property
+    def ratio(self) -> float:
+        return self.after_s / self.before_s if self.before_s > 0 else float("inf")
+
+
+@dataclass
+class ComparisonReport:
+    """Outcome of comparing two sweeps."""
+
+    #: Geometric-mean time ratio (after/before) per method.
+    method_ratios: Dict[str, float] = field(default_factory=dict)
+    #: Per (method, family) geometric-mean ratios.
+    family_ratios: Dict[str, Dict[str, float]] = field(default_factory=dict)
+    #: Individual runs that moved beyond the threshold.
+    regressions: List[RunDelta] = field(default_factory=list)
+    improvements: List[RunDelta] = field(default_factory=list)
+    #: Runs whose validity changed (new failures are serious).
+    new_failures: List[str] = field(default_factory=list)
+    fixed_failures: List[str] = field(default_factory=list)
+
+    def render(self) -> str:
+        lines = ["method time ratios (after/before, geometric mean):"]
+        for m, r in sorted(self.method_ratios.items()):
+            lines.append(f"  {m:12s} {r:6.3f}")
+        if self.new_failures:
+            lines.append(f"NEW FAILURES: {', '.join(self.new_failures)}")
+        if self.fixed_failures:
+            lines.append(f"fixed failures: {', '.join(self.fixed_failures)}")
+        lines.append(
+            f"{len(self.regressions)} regressions, "
+            f"{len(self.improvements)} improvements beyond threshold"
+        )
+        for d in self.regressions[:10]:
+            lines.append(
+                f"  REG {d.method:10s} {d.matrix:24s} x{d.ratio:.2f}"
+            )
+        return "\n".join(lines)
+
+
+def compare_results(
+    before: EvalResult,
+    after: EvalResult,
+    *,
+    threshold: float = 1.10,
+) -> ComparisonReport:
+    """Diff two sweeps; runs moving by more than ``threshold`` are flagged."""
+    report = ComparisonReport()
+    ratios_by_method: Dict[str, List[float]] = {}
+    ratios_by_family: Dict[str, Dict[str, List[float]]] = {}
+
+    for run_b in before.runs:
+        run_a = after.record(run_b.matrix, run_b.method)
+        if run_a is None:
+            continue
+        key = f"{run_b.method}:{run_b.matrix}"
+        if run_b.valid and not run_a.valid:
+            report.new_failures.append(key)
+            continue
+        if not run_b.valid and run_a.valid:
+            report.fixed_failures.append(key)
+            continue
+        if not (run_b.valid and run_a.valid):
+            continue
+        ratio = run_a.time_s / run_b.time_s if run_b.time_s > 0 else 1.0
+        ratios_by_method.setdefault(run_b.method, []).append(ratio)
+        family = before.matrices[run_b.matrix].family
+        ratios_by_family.setdefault(run_b.method, {}).setdefault(
+            family, []
+        ).append(ratio)
+        delta = RunDelta(
+            matrix=run_b.matrix,
+            method=run_b.method,
+            before_s=run_b.time_s,
+            after_s=run_a.time_s,
+        )
+        if ratio > threshold:
+            report.regressions.append(delta)
+        elif ratio < 1.0 / threshold:
+            report.improvements.append(delta)
+
+    gm = lambda vals: float(np.exp(np.mean(np.log(np.maximum(vals, 1e-12)))))
+    report.method_ratios = {m: gm(v) for m, v in ratios_by_method.items()}
+    report.family_ratios = {
+        m: {f: gm(v) for f, v in fams.items()}
+        for m, fams in ratios_by_family.items()
+    }
+    report.regressions.sort(key=lambda d: -d.ratio)
+    report.improvements.sort(key=lambda d: d.ratio)
+    return report

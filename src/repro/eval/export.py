@@ -1,0 +1,123 @@
+"""Export evaluation results to CSV / JSON for downstream analysis.
+
+The text tables in :mod:`repro.eval.report` are for eyeballing; this module
+serialises a full :class:`~repro.eval.harness.EvalResult` so the sweep can
+be re-plotted or diffed without re-running it (the corpus sweep is the
+expensive part of the benchmark suite).
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from pathlib import Path
+from typing import Union
+
+from .harness import EvalResult, MatrixRecord, RunRecord
+
+__all__ = ["runs_to_csv", "result_to_json", "result_from_json"]
+
+
+def runs_to_csv(result: EvalResult, path: Union[str, Path]) -> int:
+    """Write one CSV row per (matrix, method) run; returns the row count."""
+    path = Path(path)
+    fields = [
+        "matrix", "family", "rows", "cols", "nnz_a", "products", "nnz_c",
+        "method", "valid", "time_s", "peak_mem_bytes", "gflops",
+        "sorted_output",
+    ]
+    n = 0
+    with open(path, "w", newline="") as fh:
+        writer = csv.DictWriter(fh, fieldnames=fields)
+        writer.writeheader()
+        for run in result.runs:
+            rec = result.matrices[run.matrix]
+            writer.writerow(
+                {
+                    "matrix": run.matrix,
+                    "family": rec.family,
+                    "rows": rec.rows,
+                    "cols": rec.cols,
+                    "nnz_a": rec.nnz_a,
+                    "products": rec.products,
+                    "nnz_c": rec.nnz_c,
+                    "method": run.method,
+                    "valid": run.valid,
+                    "time_s": run.time_s if run.valid else "",
+                    "peak_mem_bytes": run.peak_mem_bytes,
+                    "gflops": run.gflops(rec.flops),
+                    "sorted_output": run.sorted_output,
+                }
+            )
+            n += 1
+    return n
+
+
+def result_to_json(result: EvalResult, path: Union[str, Path, None] = None) -> str:
+    """Serialise the full result (matrices + runs + stage times) to JSON."""
+    payload = {
+        "matrices": {
+            name: {
+                "family": rec.family,
+                "rows": rec.rows,
+                "cols": rec.cols,
+                "nnz_a": rec.nnz_a,
+                "products": rec.products,
+                "nnz_c": rec.nnz_c,
+                "max_c_row_nnz": rec.max_c_row_nnz,
+            }
+            for name, rec in result.matrices.items()
+        },
+        "runs": [
+            {
+                "matrix": r.matrix,
+                "method": r.method,
+                "time_s": r.time_s if r.valid else None,
+                "peak_mem_bytes": r.peak_mem_bytes,
+                "valid": r.valid,
+                "sorted_output": r.sorted_output,
+                "stage_times": r.stage_times,
+            }
+            for r in result.runs
+        ],
+    }
+    text = json.dumps(payload, indent=1)
+    if path is not None:
+        Path(path).write_text(text)
+    return text
+
+
+def result_from_json(path_or_text: Union[str, Path]) -> EvalResult:
+    """Reload a result serialised by :func:`result_to_json`."""
+    text = str(path_or_text)
+    if "{" not in text.lstrip()[:1]:  # looks like a path, not JSON
+        try:
+            text = Path(text).read_text()
+        except OSError:
+            pass
+    payload = json.loads(text)
+    out = EvalResult()
+    for name, m in payload["matrices"].items():
+        out.matrices[name] = MatrixRecord(
+            name=name,
+            family=m["family"],
+            rows=m["rows"],
+            cols=m["cols"],
+            nnz_a=m["nnz_a"],
+            products=m["products"],
+            nnz_c=m["nnz_c"],
+            max_c_row_nnz=m.get("max_c_row_nnz", 0),
+        )
+    for r in payload["runs"]:
+        out.runs.append(
+            RunRecord(
+                matrix=r["matrix"],
+                method=r["method"],
+                time_s=r["time_s"] if r["time_s"] is not None else float("inf"),
+                peak_mem_bytes=r["peak_mem_bytes"],
+                valid=r["valid"],
+                sorted_output=r["sorted_output"],
+                stage_times=dict(r.get("stage_times", {})),
+            )
+        )
+    return out

@@ -1,0 +1,251 @@
+"""Figure builders: the data series behind every figure of the paper.
+
+Each function returns plain Python containers (dicts / lists of floats)
+that :mod:`repro.eval.report` renders as text tables; benchmark targets in
+``benchmarks/`` call them one-to-one per figure.
+
+Figures 6, 7, 9, 10, 11 and 15 are views over a corpus sweep
+(:class:`~repro.eval.harness.EvalResult`); Figures 12–14 are spECK
+ablations that re-run the engine with modified parameters.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+from ..baselines.speck_adapter import Speck
+from ..core.params import SpeckParams
+from ..gpu import DeviceSpec, TITAN_V
+from .harness import EvalResult, evaluate_case
+from .metrics import PRODUCT_CUTOFF, best_times
+from .suite import MatrixCase
+
+__all__ = [
+    "figure6_gflops_trend",
+    "figure7_slowdown",
+    "figure9_common_gflops",
+    "figure10_common_memory",
+    "figure11_stage_shares",
+    "figure12_accumulator_ablation",
+    "figure13_local_lb_ablation",
+    "figure14_global_lb_ablation",
+    "figure15_per_matrix_gflops",
+]
+
+
+# ---------------------------------------------------------------------------
+# Corpus views
+# ---------------------------------------------------------------------------
+def figure6_gflops_trend(
+    result: EvalResult, n_buckets: int = 12
+) -> Dict[str, object]:
+    """GFLOPS vs. products trend (Fig. 6).
+
+    Matrices are bucketed by product count on a log scale; each method's
+    bucket value is the geometric-mean GFLOPS.  Runs a method failed are
+    replaced by the slowest valid timing for that matrix — the paper's
+    convention.
+    """
+    names = list(result.matrices)
+    prods = np.array([result.matrices[n].products for n in names], dtype=float)
+    order = np.argsort(prods)
+    names = [names[i] for i in order]
+    prods = prods[order]
+    lo, hi = math.log10(max(prods.min(), 1)), math.log10(prods.max() + 1)
+    edges = np.logspace(lo, hi, n_buckets + 1)
+    edges[-1] *= 1.001
+    bucket_of = np.clip(np.searchsorted(edges, prods, side="right") - 1, 0, n_buckets - 1)
+
+    methods = result.methods()
+    series: Dict[str, List[float]] = {m: [] for m in methods}
+    centers: List[float] = []
+    for b in range(n_buckets):
+        members = [names[i] for i in range(len(names)) if bucket_of[i] == b]
+        if not members:
+            continue
+        centers.append(float(np.sqrt(edges[b] * edges[b + 1])))
+        for m in methods:
+            vals = []
+            for name in members:
+                rec = result.record(name, m)
+                flops = result.matrices[name].flops
+                runs = [r for r in result.by_matrix(name) if r.valid]
+                if not runs:
+                    continue
+                slowest = max(r.time_s for r in runs)
+                t = rec.time_s if (rec is not None and rec.valid) else slowest
+                vals.append(flops / t / 1e9)
+            series[m].append(
+                float(np.exp(np.mean(np.log(np.maximum(vals, 1e-9))))) if vals else 0.0
+            )
+    return {"products": centers, "gflops": series}
+
+
+def figure7_slowdown(
+    result: EvalResult, cutoff: int = PRODUCT_CUTOFF
+) -> Dict[str, List[float]]:
+    """Per-matrix slowdown-to-fastest, sorted ascending per method (Fig. 7)."""
+    best = best_times(result)
+    big = {n for n, rec in result.matrices.items() if rec.products > cutoff}
+    out: Dict[str, List[float]] = {}
+    for m in result.methods():
+        vals = [
+            r.time_s / best[r.matrix]
+            for r in result.by_method(m)
+            if r.valid and r.matrix in big and r.matrix in best
+        ]
+        out[m] = sorted(vals)
+    return out
+
+
+def figure9_common_gflops(result: EvalResult) -> Dict[str, Dict[str, float]]:
+    """GFLOPS per method per common matrix (Fig. 9)."""
+    out: Dict[str, Dict[str, float]] = {}
+    for name, rec in result.matrices.items():
+        out[name] = {}
+        for r in result.by_matrix(name):
+            out[name][r.method] = r.gflops(rec.flops)
+    return out
+
+
+def figure10_common_memory(result: EvalResult) -> Dict[str, Dict[str, float]]:
+    """Peak memory in MB per method per common matrix (Fig. 10)."""
+    out: Dict[str, Dict[str, float]] = {}
+    for name in result.matrices:
+        out[name] = {
+            r.method: (r.peak_mem_bytes / 1e6 if r.valid else float("nan"))
+            for r in result.by_matrix(name)
+        }
+    return out
+
+
+def figure11_stage_shares(
+    result: EvalResult, method: str = "spECK"
+) -> Dict[str, Dict[str, float]]:
+    """spECK stage-time shares per common matrix (Fig. 11)."""
+    out: Dict[str, Dict[str, float]] = {}
+    for name in result.matrices:
+        rec = result.record(name, method)
+        if rec is None or not rec.valid:
+            continue
+        total = sum(rec.stage_times.values())
+        if total <= 0:
+            continue
+        out[name] = {k: v / total for k, v in rec.stage_times.items()}
+    return out
+
+
+def figure15_per_matrix_gflops(result: EvalResult) -> Dict[str, Dict[str, float]]:
+    """GFLOPS of every method for every corpus matrix (appendix Fig. 15)."""
+    out: Dict[str, Dict[str, float]] = {}
+    for name, rec in result.matrices.items():
+        out[name] = {
+            r.method: r.gflops(rec.flops) for r in result.by_matrix(name)
+        }
+    return out
+
+
+# ---------------------------------------------------------------------------
+# Ablations (Figs. 12–14)
+# ---------------------------------------------------------------------------
+def _run_variants(
+    cases: Sequence[MatrixCase],
+    variants: Dict[str, SpeckParams],
+    device: DeviceSpec = TITAN_V,
+) -> EvalResult:
+    algos = [Speck(device, params, name=name) for name, params in variants.items()]
+    out = EvalResult()
+    for case in cases:
+        mrec, runs = evaluate_case(case, algos)
+        out.matrices[case.name] = mrec
+        out.runs.extend(runs)
+    return out
+
+
+def figure12_accumulator_ablation(
+    cases: Sequence[MatrixCase], device: DeviceSpec = TITAN_V
+) -> Dict[str, object]:
+    """Hash-only vs +dense vs +dense+direct, by max NNZ/row of C (Fig. 12)."""
+    variants = {
+        "Hash": SpeckParams(enable_dense=False, enable_direct=False),
+        "Hash + Dense": SpeckParams(enable_dense=True, enable_direct=False),
+        "Hash + Dense + Direct": SpeckParams(enable_dense=True, enable_direct=True),
+    }
+    result = _run_variants(cases, variants, device)
+    rows: List[Dict[str, object]] = []
+    for name, rec in result.matrices.items():
+        runs = {r.method: r for r in result.by_matrix(name)}
+        times = {m: runs[m].time_s for m in variants if m in runs and runs[m].valid}
+        if not times:
+            continue
+        best = min(times.values())
+        rows.append(
+            {
+                "matrix": name,
+                # x-axis of the paper: length of the longest output row.
+                "max_nnz_row_c": rec.max_c_row_nnz,
+                "slowdown": {m: times[m] / best for m in times},
+            }
+        )
+    rows.sort(key=lambda r: r["max_nnz_row_c"])
+    return {"variants": list(variants), "rows": rows, "result": result}
+
+
+def figure13_local_lb_ablation(
+    cases: Sequence[MatrixCase],
+    device: DeviceSpec = TITAN_V,
+    fixed_g: int = 32,
+) -> Dict[str, object]:
+    """Dynamic g vs fixed g=32 by avg NNZ/row of C (Fig. 13)."""
+    variants = {
+        "dynamic": SpeckParams(),
+        f"fixed {fixed_g}": SpeckParams(fixed_group_size=fixed_g),
+    }
+    result = _run_variants(cases, variants, device)
+    rows: List[Dict[str, object]] = []
+    for name, rec in result.matrices.items():
+        runs = {r.method: r for r in result.by_matrix(name)}
+        times = {m: runs[m].time_s for m in variants if m in runs and runs[m].valid}
+        if len(times) < 2:
+            continue
+        best = min(times.values())
+        rows.append(
+            {
+                "matrix": name,
+                "avg_nnz_row_c": rec.nnz_c / max(rec.rows, 1),
+                "slowdown": {m: times[m] / best for m in times},
+            }
+        )
+    rows.sort(key=lambda r: r["avg_nnz_row_c"])
+    return {"variants": list(variants), "rows": rows, "result": result}
+
+
+def figure14_global_lb_ablation(
+    cases: Sequence[MatrixCase], device: DeviceSpec = TITAN_V
+) -> Dict[str, object]:
+    """Global LB always-off / always-on / automatic by products (Fig. 14)."""
+    variants = {
+        "always off": SpeckParams(global_lb_mode="never"),
+        "always on": SpeckParams(global_lb_mode="always"),
+        "automatic": SpeckParams(global_lb_mode="auto"),
+    }
+    result = _run_variants(cases, variants, device)
+    rows: List[Dict[str, object]] = []
+    for name, rec in result.matrices.items():
+        runs = {r.method: r for r in result.by_matrix(name)}
+        times = {m: runs[m].time_s for m in variants if m in runs and runs[m].valid}
+        if not times:
+            continue
+        best = min(times.values())
+        rows.append(
+            {
+                "matrix": name,
+                "products": rec.products,
+                "slowdown": {m: times[m] / best for m in times},
+            }
+        )
+    rows.sort(key=lambda r: r["products"])
+    return {"variants": list(variants), "rows": rows, "result": result}

@@ -1,0 +1,154 @@
+"""Evaluation harness: run algorithms over a corpus, collect records.
+
+One :class:`RunRecord` per (matrix, algorithm) holds everything the tables
+and figures need: simulated time, peak memory, validity, FLOPs.  The
+harness computes the exact structural facts of each matrix once (via the
+shared :class:`~repro.core.context.MultiplyContext`) and hands them to
+every algorithm, so a full corpus sweep is dominated by one exact multiply
+per matrix rather than one per (matrix × algorithm).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from ..baselines import SpGEMMAlgorithm, all_algorithms
+from ..core.context import MultiplyContext
+from ..gpu import DeviceSpec, TITAN_V
+from ..result import SpGEMMResult
+from .suite import MatrixCase
+
+__all__ = ["RunRecord", "MatrixRecord", "EvalResult", "run_suite", "evaluate_case"]
+
+
+@dataclass
+class RunRecord:
+    """Outcome of one algorithm on one matrix."""
+
+    matrix: str
+    method: str
+    time_s: float
+    peak_mem_bytes: int
+    valid: bool
+    sorted_output: bool
+    stage_times: Dict[str, float] = field(default_factory=dict)
+    decisions: Dict[str, object] = field(default_factory=dict)
+
+    def gflops(self, flops: int) -> float:
+        if not self.valid or self.time_s <= 0:
+            return 0.0
+        return flops / self.time_s / 1e9
+
+
+@dataclass
+class MatrixRecord:
+    """Structural facts of one corpus matrix (Table 4 columns)."""
+
+    name: str
+    family: str
+    rows: int
+    cols: int
+    nnz_a: int
+    products: int
+    nnz_c: int
+    #: Longest output row (Fig. 12's x-axis).
+    max_c_row_nnz: int = 0
+
+    @property
+    def flops(self) -> int:
+        return 2 * self.products
+
+    @property
+    def compaction(self) -> float:
+        return self.products / max(1, self.nnz_c)
+
+
+@dataclass
+class EvalResult:
+    """All records of one corpus sweep."""
+
+    matrices: Dict[str, MatrixRecord] = field(default_factory=dict)
+    runs: List[RunRecord] = field(default_factory=list)
+
+    def methods(self) -> List[str]:
+        seen: List[str] = []
+        for r in self.runs:
+            if r.method not in seen:
+                seen.append(r.method)
+        return seen
+
+    def by_matrix(self, matrix: str) -> List[RunRecord]:
+        return [r for r in self.runs if r.matrix == matrix]
+
+    def by_method(self, method: str) -> List[RunRecord]:
+        return [r for r in self.runs if r.method == method]
+
+    def record(self, matrix: str, method: str) -> Optional[RunRecord]:
+        for r in self.runs:
+            if r.matrix == matrix and r.method == method:
+                return r
+        return None
+
+
+def evaluate_case(
+    case: MatrixCase,
+    algorithms: Sequence[SpGEMMAlgorithm],
+    *,
+    release: bool = True,
+) -> tuple[MatrixRecord, List[RunRecord]]:
+    """Run every algorithm on one corpus case."""
+    a, b = case.matrices()
+    ctx = MultiplyContext(a, b)
+    matrix_record = MatrixRecord(
+        name=case.name,
+        family=case.family,
+        rows=a.rows,
+        cols=b.cols,
+        nnz_a=a.nnz,
+        products=ctx.total_products,
+        nnz_c=ctx.c_nnz,
+        max_c_row_nnz=int(ctx.c_row_nnz.max()) if ctx.c_row_nnz.size else 0,
+    )
+    runs: List[RunRecord] = []
+    for algo in algorithms:
+        res: SpGEMMResult = algo.run(ctx)
+        runs.append(
+            RunRecord(
+                matrix=case.name,
+                method=res.method,
+                time_s=res.time_s,
+                peak_mem_bytes=res.peak_mem_bytes,
+                valid=res.valid,
+                sorted_output=res.sorted_output,
+                stage_times=res.stage_times,
+                decisions=res.decisions,
+            )
+        )
+    if release:
+        case.release()
+    return matrix_record, runs
+
+
+def run_suite(
+    cases: Iterable[MatrixCase],
+    algorithms: Optional[Sequence[SpGEMMAlgorithm]] = None,
+    device: DeviceSpec = TITAN_V,
+    *,
+    verbose: bool = False,
+) -> EvalResult:
+    """Sweep a corpus with a set of algorithms (the paper line-up by default)."""
+    algos = list(algorithms) if algorithms is not None else all_algorithms(device)
+    out = EvalResult()
+    for case in cases:
+        mrec, runs = evaluate_case(case, algos)
+        out.matrices[case.name] = mrec
+        out.runs.extend(runs)
+        if verbose:  # pragma: no cover - console convenience
+            best = min((r.time_s for r in runs if r.valid), default=float("inf"))
+            winner = next((r.method for r in runs if r.valid and r.time_s == best), "-")
+            print(
+                f"{case.name:24s} products={mrec.products:>10d} "
+                f"best={winner:10s} {best * 1e3:8.3f} ms"
+            )
+    return out

@@ -1,0 +1,155 @@
+"""Evaluation metrics mirroring Table 3 of the paper.
+
+All statistics are computed from an :class:`~repro.eval.harness.EvalResult`:
+
+* ``#best`` — matrices where the method is the fastest valid one;
+* ``#best*`` — the same restricted to >15k-product multiplications;
+* ``#inv`` — matrices the method failed to compute;
+* ``t_avg`` — mean time over the common completed set (matrices finished
+  by every GPU method except KokkosKernels — the paper's † convention);
+* ``m/m_b`` — mean peak memory relative to spECK over the † set;
+* ``t/t_b`` — mean time relative to the per-matrix best;
+* ``#5x`` — matrices where the method is more than 5× slower than best.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+import numpy as np
+
+from .harness import EvalResult
+
+__all__ = ["MethodStats", "compute_table3", "PRODUCT_CUTOFF", "best_times"]
+
+#: The paper's GPU-vs-CPU crossover: statistics marked * use only
+#: multiplications with more than this many intermediate products.
+PRODUCT_CUTOFF = 15_000
+
+#: Methods excluded from the † common-completed set (the paper excludes
+#: KokkosKernels because its 815 failures would shrink the set too far,
+#: and MKL because it is CPU-side).
+_DAGGER_EXCLUDED = ("Kokkos", "MKL")
+
+
+@dataclass
+class MethodStats:
+    """One column of Table 3."""
+
+    method: str
+    n_best: int = 0
+    n_best_star: int = 0
+    n_invalid: int = 0
+    t_avg_ms: float = float("nan")
+    mem_rel: float = float("nan")
+    mem_rel_star: float = float("nan")
+    t_rel: float = float("nan")
+    t_rel_star: float = float("nan")
+    n_5x: int = 0
+    n_5x_star: int = 0
+
+
+def best_times(result: EvalResult) -> Dict[str, float]:
+    """Fastest valid time per matrix."""
+    best: Dict[str, float] = {}
+    for r in result.runs:
+        if not r.valid:
+            continue
+        cur = best.get(r.matrix)
+        if cur is None or r.time_s < cur:
+            best[r.matrix] = r.time_s
+    return best
+
+
+def _dagger_set(result: EvalResult) -> List[str]:
+    """Matrices completed by every GPU method except the excluded ones."""
+    names: List[str] = []
+    for m in result.matrices:
+        ok = all(
+            r.valid
+            for r in result.by_matrix(m)
+            if r.method not in _DAGGER_EXCLUDED
+        )
+        if ok:
+            names.append(m)
+    return names
+
+
+def compute_table3(
+    result: EvalResult,
+    *,
+    baseline_method: str = "spECK",
+    cutoff: int = PRODUCT_CUTOFF,
+) -> Dict[str, MethodStats]:
+    """Compute every Table 3 statistic for every method."""
+    methods = result.methods()
+    stats = {m: MethodStats(method=m) for m in methods}
+    best = best_times(result)
+    big = {
+        name
+        for name, rec in result.matrices.items()
+        if rec.products > cutoff
+    }
+    dagger = set(_dagger_set(result))
+    dagger_star = dagger & big
+
+    # Winner counts and slowdown statistics.
+    for name in result.matrices:
+        runs = result.by_matrix(name)
+        b = best.get(name)
+        if b is None:
+            continue
+        for r in runs:
+            s = stats[r.method]
+            if not r.valid:
+                s.n_invalid += 1
+                continue
+            if r.time_s <= b * (1 + 1e-12):
+                s.n_best += 1
+                if name in big:
+                    s.n_best_star += 1
+            if r.time_s > 5.0 * b:
+                s.n_5x += 1
+                if name in big:
+                    s.n_5x_star += 1
+
+    # Averages over the † (common completed) sets.
+    base_mem: Dict[str, int] = {}
+    for name in dagger:
+        rec = result.record(name, baseline_method)
+        if rec is not None and rec.valid:
+            base_mem[name] = max(1, rec.peak_mem_bytes)
+
+    for m in methods:
+        runs = {r.matrix: r for r in result.by_method(m) if r.valid}
+        avg_set = [runs[n].time_s for n in dagger if n in runs]
+        if avg_set and m not in _DAGGER_EXCLUDED:
+            stats[m].t_avg_ms = float(np.mean(avg_set)) * 1e3
+        mem_set = [
+            runs[n].peak_mem_bytes / base_mem[n]
+            for n in dagger
+            if n in runs and n in base_mem and m != "MKL"
+        ]
+        if mem_set:
+            stats[m].mem_rel = float(np.mean(mem_set))
+        mem_set_star = [
+            runs[n].peak_mem_bytes / base_mem[n]
+            for n in dagger_star
+            if n in runs and n in base_mem and m != "MKL"
+        ]
+        if mem_set_star:
+            stats[m].mem_rel_star = float(np.mean(mem_set_star))
+        rel = [
+            runs[n].time_s / best[n]
+            for n in result.matrices
+            if n in runs and n in best
+        ]
+        if rel:
+            stats[m].t_rel = float(np.mean(rel))
+        rel_star = [
+            runs[n].time_s / best[n] for n in big if n in runs and n in best
+        ]
+        if rel_star:
+            stats[m].t_rel_star = float(np.mean(rel_star))
+    return stats

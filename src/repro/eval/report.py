@@ -1,0 +1,106 @@
+"""Text rendering of figure data (no plotting dependency).
+
+Every figure of the paper is reproduced as a fixed-width text table or
+ASCII chart — the benchmark harness prints these so the series can be
+compared against the paper by eye and by the assertions in
+``benchmarks/``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+from ..matrices.csr import CSR
+
+__all__ = [
+    "render_series_table",
+    "render_matrix_table",
+    "render_slowdown_profile",
+    "render_stage_shares",
+    "spy_text",
+]
+
+
+def render_series_table(
+    x_label: str,
+    x_values: Sequence[float],
+    series: Dict[str, Sequence[float]],
+    *,
+    fmt: str = "{:.2f}",
+) -> str:
+    """One row per x value, one column per series."""
+    methods = list(series)
+    lines = [f"{x_label:>12s}" + "".join(f"{m:>12s}" for m in methods)]
+    for i, x in enumerate(x_values):
+        cells = []
+        for m in methods:
+            v = series[m][i] if i < len(series[m]) else float("nan")
+            cells.append(fmt.format(v) if v == v else "-")
+        lines.append(f"{x:>12.3g}" + "".join(f"{c:>12s}" for c in cells))
+    return "\n".join(lines)
+
+
+def render_matrix_table(
+    data: Dict[str, Dict[str, float]],
+    *,
+    fmt: str = "{:.2f}",
+    row_order: Sequence[str] | None = None,
+) -> str:
+    """One row per matrix, one column per method (Figs. 9/10/15)."""
+    rows = list(row_order) if row_order is not None else list(data)
+    methods: List[str] = []
+    for r in rows:
+        for m in data.get(r, {}):
+            if m not in methods:
+                methods.append(m)
+    lines = [f"{'matrix':16s}" + "".join(f"{m:>11s}" for m in methods)]
+    for r in rows:
+        cells = []
+        for m in methods:
+            v = data.get(r, {}).get(m, float("nan"))
+            cells.append(fmt.format(v) if v == v else "-")
+        lines.append(f"{r:16s}" + "".join(f"{c:>11s}" for c in cells))
+    return "\n".join(lines)
+
+
+def render_slowdown_profile(
+    profiles: Dict[str, List[float]], n_points: int = 20
+) -> str:
+    """Sorted slowdown-to-fastest curves, resampled to ``n_points`` (Fig. 7)."""
+    lines = [f"{'percentile':>10s}" + "".join(f"{m:>11s}" for m in profiles)]
+    for q in np.linspace(0, 100, n_points):
+        cells = []
+        for m, vals in profiles.items():
+            if vals:
+                cells.append(f"{np.percentile(vals, q):11.2f}")
+            else:
+                cells.append(f"{'-':>11s}")
+        lines.append(f"{q:>9.0f}%" + "".join(cells))
+    return "\n".join(lines)
+
+
+def render_stage_shares(shares: Dict[str, Dict[str, float]]) -> str:
+    """spECK stage-time shares per matrix (Fig. 11)."""
+    stages = ["analysis", "symbolic_lb", "symbolic", "numeric_lb", "numeric", "sorting"]
+    lines = [f"{'matrix':16s}" + "".join(f"{s:>12s}" for s in stages)]
+    for name, d in shares.items():
+        lines.append(
+            f"{name:16s}"
+            + "".join(f"{d.get(s, 0.0) * 100:>11.1f}%" for s in stages)
+        )
+    return "\n".join(lines)
+
+
+def spy_text(mat: CSR, size: int = 32) -> str:
+    """ASCII spy plot of a matrix's non-zero pattern (Fig. 8)."""
+    rows, cols = mat.shape
+    grid = np.zeros((size, size), dtype=bool)
+    if mat.nnz:
+        r = (mat.row_ids() * size // max(rows, 1)).astype(int)
+        c = (mat.indices * size // max(cols, 1)).astype(int)
+        grid[np.clip(r, 0, size - 1), np.clip(c, 0, size - 1)] = True
+    return "\n".join(
+        "".join("#" if cell else "." for cell in row) for row in grid
+    )

@@ -1,0 +1,20 @@
+"""Extensions implementing the paper's §7 future-work directions:
+partial (memory-bounded) multiplication and multi-GPU row decomposition."""
+
+from .multigpu import MultiGpuResult, multigpu_multiply, partition_rows
+from .partitioned import (
+    PartitionedResult,
+    SlabPlan,
+    partitioned_multiply,
+    plan_slabs,
+)
+
+__all__ = [
+    "SlabPlan",
+    "plan_slabs",
+    "partitioned_multiply",
+    "PartitionedResult",
+    "partition_rows",
+    "multigpu_multiply",
+    "MultiGpuResult",
+]

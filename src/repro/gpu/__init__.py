@@ -1,0 +1,21 @@
+"""Simulated SIMT GPU substrate: device spec, cost model, scheduler, memory."""
+
+from .cost import BlockWork, block_cycles, coalescing_efficiency
+from .device import TITAN_V, XEON_I7, CpuSpec, DeviceSpec
+from .memory import DeviceOOM, MemoryLedger
+from .schedule import KernelLaunch, kernel_time_s, makespan_cycles
+
+__all__ = [
+    "DeviceSpec",
+    "CpuSpec",
+    "TITAN_V",
+    "XEON_I7",
+    "BlockWork",
+    "block_cycles",
+    "coalescing_efficiency",
+    "MemoryLedger",
+    "DeviceOOM",
+    "KernelLaunch",
+    "kernel_time_s",
+    "makespan_cycles",
+]

@@ -1,0 +1,97 @@
+"""Device-memory ledger: allocation tracking, peak usage and OOM failures.
+
+The paper reports peak temporary memory per method (Table 3 row ``m/m_b``,
+Fig. 10) and excludes matrices that no GPU method can multiply within 12 GB;
+several baselines *fail* on matrices whose temporary storage explodes
+(``#inv.`` row).  The ledger reproduces both: every simulated algorithm
+allocates its temporaries here, peak usage is recorded, and exceeding the
+device's memory raises :class:`DeviceOOM`, which the harness reports as an
+invalid run for that method.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from .device import DeviceSpec
+
+__all__ = ["MemoryLedger", "DeviceOOM"]
+
+
+class DeviceOOM(RuntimeError):
+    """Raised when a simulated allocation exceeds device memory."""
+
+    def __init__(self, requested: int, in_use: int, capacity: int, tag: str):
+        self.requested = int(requested)
+        self.in_use = int(in_use)
+        self.capacity = int(capacity)
+        self.tag = tag
+        super().__init__(
+            f"device OOM allocating {requested} B for {tag!r}: "
+            f"{in_use} B already in use of {capacity} B"
+        )
+
+
+class MemoryLedger:
+    """Tracks simulated device allocations for one SpGEMM invocation.
+
+    Parameters
+    ----------
+    device:
+        Supplies the capacity limit.
+    resident_bytes:
+        Memory already committed before the multiplication starts (the input
+        matrices A and B — the paper's stated limitation is that both inputs
+        and the output must stay resident).
+    """
+
+    def __init__(self, device: DeviceSpec, resident_bytes: int = 0) -> None:
+        self.capacity = int(device.global_mem_bytes)
+        self.resident = int(resident_bytes)
+        self._live: Dict[str, int] = {}
+        self._current = 0
+        self.peak = 0
+        self.alloc_count = 0
+        if self.resident > self.capacity:
+            raise DeviceOOM(self.resident, 0, self.capacity, "inputs")
+
+    @property
+    def current(self) -> int:
+        """Live temporary bytes (excluding resident inputs)."""
+        return self._current
+
+    @property
+    def peak_total(self) -> int:
+        """Peak of temporaries plus resident inputs."""
+        return self.peak + self.resident
+
+    def alloc(self, nbytes: int, tag: str) -> None:
+        """Allocate ``nbytes`` under ``tag``; raise :class:`DeviceOOM` if it
+        does not fit next to the resident inputs."""
+        nbytes = int(nbytes)
+        if nbytes < 0:
+            raise ValueError("allocation size must be non-negative")
+        if tag in self._live:
+            raise ValueError(f"tag {tag!r} already allocated")
+        if self.resident + self._current + nbytes > self.capacity:
+            raise DeviceOOM(nbytes, self.resident + self._current, self.capacity, tag)
+        self._live[tag] = nbytes
+        self._current += nbytes
+        self.peak = max(self.peak, self._current)
+        self.alloc_count += 1
+
+    def free(self, tag: str) -> None:
+        """Release the allocation registered under ``tag``."""
+        nbytes = self._live.pop(tag)
+        self._current -= nbytes
+
+    def free_all(self) -> None:
+        """Release every live allocation (end of the SpGEMM call)."""
+        self._live.clear()
+        self._current = 0
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"MemoryLedger(current={self._current}, peak={self.peak}, "
+            f"resident={self.resident})"
+        )

@@ -1,0 +1,64 @@
+"""Device presets beyond the paper's TITAN V.
+
+The simulator derives every cost from a :class:`~repro.gpu.device.DeviceSpec`,
+so modelling other GPUs is a matter of constants.  These presets cover the
+devices the compared methods were originally developed for (nsparse:
+Pascal; KokkosKernels: many; the paper: Volta) plus a newer part, enabling
+"would the conclusions hold elsewhere?" experiments like
+``examples/device_sensitivity.py``.
+
+Numbers are public datasheet values; scratchpad limits follow each
+architecture's per-block shared-memory rules.
+"""
+
+from __future__ import annotations
+
+from .device import DeviceSpec, TITAN_V
+
+__all__ = ["TITAN_V", "PASCAL_P100", "VOLTA_V100", "AMPERE_A100", "PRESETS"]
+
+#: Tesla P100 (Pascal, 2016) — nsparse's original evaluation device.
+PASCAL_P100 = DeviceSpec(
+    name="Tesla P100 (simulated)",
+    num_sms=56,
+    max_threads_per_sm=2048,
+    scratchpad_default=49152,
+    scratchpad_large=49152,  # no opt-in beyond 48 KB on Pascal
+    scratchpad_per_sm=65536,
+    clock_hz=1.329e9,
+    mem_bandwidth=7.32e11,
+    global_mem_bytes=16 * 1024**3,
+    flops_per_sm_per_cycle=32.0,
+)
+
+#: Tesla V100 (Volta, 2017) — the TITAN V's datacenter sibling.
+VOLTA_V100 = DeviceSpec(
+    name="Tesla V100 (simulated)",
+    num_sms=80,
+    scratchpad_default=49152,
+    scratchpad_large=98304,
+    scratchpad_per_sm=98304,
+    clock_hz=1.53e9,
+    mem_bandwidth=9.0e11,
+    global_mem_bytes=32 * 1024**3,
+)
+
+#: A100 (Ampere, 2020) — a generation past the paper.
+AMPERE_A100 = DeviceSpec(
+    name="A100 (simulated)",
+    num_sms=108,
+    scratchpad_default=49152,
+    scratchpad_large=166912,  # 163 KB opt-in
+    scratchpad_per_sm=166912,
+    clock_hz=1.41e9,
+    mem_bandwidth=1.555e12,
+    global_mem_bytes=40 * 1024**3,
+    flops_per_sm_per_cycle=32.0,
+)
+
+PRESETS = {
+    "titan-v": TITAN_V,
+    "p100": PASCAL_P100,
+    "v100": VOLTA_V100,
+    "a100": AMPERE_A100,
+}

@@ -1,0 +1,137 @@
+"""Execution tracing for the simulated device.
+
+The artifact's ``TrackIndividualTimes`` reports per-stage means; real
+performance work needs more — which kernel configuration ran, how many
+blocks, how long, in what order.  :class:`Trace` records structured events
+(stages and kernel launches) on a simulated timeline and can render them
+as a text Gantt chart or export Chrome-trace JSON (load ``chrome://tracing``
+or Perfetto to inspect a run visually).
+
+The spECK engine accepts a trace via ``SpeckEngine.multiply(..., trace=t)``;
+stages append their events as the pipeline advances.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+__all__ = ["TraceEvent", "Trace"]
+
+
+@dataclass
+class TraceEvent:
+    """One timed span on the simulated timeline."""
+
+    name: str
+    start_s: float
+    duration_s: float
+    category: str = "stage"
+    #: Free-form details (block counts, configuration, accumulator mix).
+    meta: Dict[str, object] = field(default_factory=dict)
+
+    @property
+    def end_s(self) -> float:
+        return self.start_s + self.duration_s
+
+
+class Trace:
+    """Ordered record of the events of one (or more) simulated calls."""
+
+    def __init__(self) -> None:
+        self.events: List[TraceEvent] = []
+        self._cursor = 0.0
+
+    # ------------------------------------------------------------------
+    # Recording
+    # ------------------------------------------------------------------
+    def record(
+        self,
+        name: str,
+        duration_s: float,
+        *,
+        category: str = "stage",
+        meta: Optional[Dict[str, object]] = None,
+    ) -> TraceEvent:
+        """Append an event at the current cursor and advance it."""
+        if duration_s < 0:
+            raise ValueError("duration must be non-negative")
+        ev = TraceEvent(
+            name=name,
+            start_s=self._cursor,
+            duration_s=duration_s,
+            category=category,
+            meta=dict(meta or {}),
+        )
+        self.events.append(ev)
+        self._cursor += duration_s
+        return ev
+
+    def mark(self, name: str, **meta) -> TraceEvent:
+        """A zero-length marker (decision points, allocations)."""
+        return self.record(name, 0.0, category="marker", meta=meta)
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    @property
+    def total_s(self) -> float:
+        return self._cursor
+
+    def by_category(self, category: str) -> List[TraceEvent]:
+        return [e for e in self.events if e.category == category]
+
+    def stage_totals(self) -> Dict[str, float]:
+        """Summed duration per event name."""
+        out: Dict[str, float] = {}
+        for e in self.events:
+            out[e.name] = out.get(e.name, 0.0) + e.duration_s
+        return out
+
+    # ------------------------------------------------------------------
+    # Rendering
+    # ------------------------------------------------------------------
+    def render_text(self, width: int = 60) -> str:
+        """ASCII Gantt chart of the recorded spans."""
+        spans = [e for e in self.events if e.duration_s > 0]
+        if not spans:
+            return "(empty trace)"
+        total = self.total_s or 1.0
+        lines = []
+        for e in spans:
+            lo = int(e.start_s / total * width)
+            ln = max(1, int(round(e.duration_s / total * width)))
+            bar = " " * lo + "#" * min(ln, width - lo)
+            lines.append(
+                f"{e.name[:20]:20s} |{bar:<{width}s}| {e.duration_s * 1e6:9.1f} us"
+            )
+        lines.append(f"{'total':20s} |{'':<{width}s}| {total * 1e6:9.1f} us")
+        return "\n".join(lines)
+
+    def to_chrome_json(self) -> str:
+        """Chrome-trace ("trace event format") JSON string."""
+        records = []
+        for e in self.events:
+            records.append(
+                {
+                    "name": e.name,
+                    "cat": e.category,
+                    "ph": "X",
+                    "ts": e.start_s * 1e6,  # microseconds
+                    "dur": e.duration_s * 1e6,
+                    "pid": 0,
+                    "tid": 0,
+                    "args": {
+                        k: (v if isinstance(v, (int, float, str, bool)) else str(v))
+                        for k, v in e.meta.items()
+                    },
+                }
+            )
+        return json.dumps({"traceEvents": records}, indent=1)
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Trace({len(self.events)} events, {self.total_s * 1e6:.1f} us)"

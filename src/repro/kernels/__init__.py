@@ -1,0 +1,19 @@
+"""Exact SpGEMM kernels shared by all simulated algorithms."""
+
+from .reference import (
+    count_flops,
+    esc_multiply,
+    expand_products,
+    gustavson_multiply,
+    row_products,
+    symbolic_row_nnz,
+)
+
+__all__ = [
+    "count_flops",
+    "esc_multiply",
+    "expand_products",
+    "gustavson_multiply",
+    "row_products",
+    "symbolic_row_nnz",
+]

@@ -1,0 +1,76 @@
+"""Coordinate (COO) sparse matrix container.
+
+COO is the interchange format: MatrixMarket files and most generators
+naturally produce triplets, which are then converted to :class:`~repro.matrices.csr.CSR`
+for computation.  The container is intentionally small — it exists so that
+triplet-producing code has a typed home with validation, rather than passing
+three loose arrays around.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from .csr import CSR, INDEX_DTYPE, VALUE_DTYPE
+
+__all__ = ["COO"]
+
+
+class COO:
+    """A sparse matrix as (row, col, value) triplets.
+
+    Duplicates are permitted until :meth:`to_csr`, which sums them.
+    """
+
+    __slots__ = ("row", "col", "val", "shape")
+
+    def __init__(
+        self,
+        row: np.ndarray,
+        col: np.ndarray,
+        val: np.ndarray,
+        shape: Tuple[int, int],
+        *,
+        check: bool = True,
+    ) -> None:
+        self.row = np.asarray(row, dtype=INDEX_DTYPE)
+        self.col = np.asarray(col, dtype=INDEX_DTYPE)
+        self.val = np.asarray(val, dtype=VALUE_DTYPE)
+        self.shape = (int(shape[0]), int(shape[1]))
+        if check:
+            self.validate()
+
+    def validate(self) -> None:
+        """Check triplet invariants; raise ``ValueError`` on violation."""
+        if not (self.row.shape == self.col.shape == self.val.shape):
+            raise ValueError("row, col, val must have identical shapes")
+        if self.row.ndim != 1:
+            raise ValueError("COO arrays must be one-dimensional")
+        if self.row.size:
+            if self.row.min() < 0 or self.row.max() >= self.shape[0]:
+                raise ValueError("row index out of range")
+            if self.col.min() < 0 or self.col.max() >= self.shape[1]:
+                raise ValueError("column index out of range")
+
+    @property
+    def nnz(self) -> int:
+        """Number of stored triplets (duplicates counted individually)."""
+        return int(self.row.size)
+
+    def to_csr(self) -> CSR:
+        """Convert to CSR, summing duplicate coordinates."""
+        return CSR.from_coo(self.row, self.col, self.val, self.shape)
+
+    @classmethod
+    def from_csr(cls, mat: CSR) -> "COO":
+        """Expand a CSR matrix back into triplets."""
+        return cls(mat.row_ids(), mat.indices.copy(), mat.data.copy(), mat.shape, check=False)
+
+    def transpose(self) -> "COO":
+        """Swap rows and columns (no copy of the value array ordering)."""
+        return COO(self.col, self.row, self.val, (self.shape[1], self.shape[0]), check=False)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"COO(shape={self.shape}, nnz={self.nnz})"

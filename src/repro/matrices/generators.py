@@ -1,0 +1,338 @@
+"""Synthetic sparse-matrix generators.
+
+The paper evaluates on the full SuiteSparse Matrix Collection.  We cannot
+ship 2672 proprietary-licence matrices, so this module generates synthetic
+matrices from the structural *families* the collection contains — the same
+families whose characteristics drive spECK's adaptive decisions:
+
+* ``banded`` / ``poisson2d`` / ``poisson3d`` — FEM and mesh discretisations:
+  near-uniform rows, diagonal locality, low compaction.
+* ``circuit`` — diagonal plus a few random couplings, many very short rows,
+  frequent single-entry rows (the direct-referencing path).
+* ``rmat`` — power-law graphs (social / web): heavily skewed row lengths,
+  the binning and global-hash-fallback paths.
+* ``random_uniform`` — Erdős–Rényi: uniform but unstructured columns, high
+  hash pressure, low output density.
+* ``rect_lp`` — rectangular LP constraint matrices (multiplied as A·Aᵀ):
+  medium rows in A, very short rows in the transposed factor — the case the
+  paper calls out for ``stat96v2`` where fixed g=32 wastes 91 % of threads.
+* ``dense_stripe`` — rows whose output spans a dense column interval, the
+  dense-accumulator sweet spot.
+* ``skew_single`` — mixes single-entry rows with a few long rows.
+
+All generators take an explicit ``seed`` and are deterministic.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from .coo import COO
+from .csr import CSR, INDEX_DTYPE, VALUE_DTYPE
+
+__all__ = [
+    "banded",
+    "poisson2d",
+    "poisson3d",
+    "circuit",
+    "rmat",
+    "random_uniform",
+    "rect_lp",
+    "dense_stripe",
+    "skew_single",
+    "diagonal",
+    "block_dense",
+]
+
+
+def _rng(seed: Optional[int]) -> np.random.Generator:
+    return np.random.default_rng(seed)
+
+
+def _values(rng: np.random.Generator, n: int) -> np.ndarray:
+    """Non-zero values drawn away from zero so products never cancel to 0."""
+    return (rng.uniform(0.5, 1.5, size=n) * rng.choice([-1.0, 1.0], size=n)).astype(
+        VALUE_DTYPE
+    )
+
+
+def diagonal(n: int, *, seed: Optional[int] = 0) -> CSR:
+    """A pure diagonal matrix — every row is a single-entry row."""
+    rng = _rng(seed)
+    return CSR(
+        np.arange(n + 1, dtype=INDEX_DTYPE),
+        np.arange(n, dtype=INDEX_DTYPE),
+        _values(rng, n),
+        (n, n),
+        check=False,
+    )
+
+
+def banded(
+    n: int,
+    bandwidth: int = 5,
+    fill: float = 1.0,
+    *,
+    seed: Optional[int] = 0,
+) -> CSR:
+    """Banded matrix: each row has up to ``2*bandwidth + 1`` entries around
+    the diagonal, each kept with probability ``fill``.
+
+    Models FEM stiffness matrices — near-uniform row lengths and strong
+    diagonal locality (the "no load balancing needed" case).
+    """
+    if bandwidth < 0:
+        raise ValueError("bandwidth must be non-negative")
+    rng = _rng(seed)
+    offsets = np.arange(-bandwidth, bandwidth + 1)
+    rows = np.repeat(np.arange(n, dtype=INDEX_DTYPE), offsets.size)
+    cols = rows + np.tile(offsets, n)
+    keep = (cols >= 0) & (cols < n)
+    if fill < 1.0:
+        keep &= (rng.random(rows.size) < fill) | (rows == cols)
+    rows, cols = rows[keep], cols[keep]
+    return COO(rows, cols, _values(rng, rows.size), (n, n)).to_csr()
+
+
+def poisson2d(nx: int, ny: Optional[int] = None, *, seed: Optional[int] = 0) -> CSR:
+    """5-point Laplacian stencil on an ``nx`` × ``ny`` grid.
+
+    The classic ``poisson3Da``-style test matrix: exactly uniform structure.
+    """
+    ny = nx if ny is None else ny
+    n = nx * ny
+    idx = np.arange(n, dtype=INDEX_DTYPE)
+    ix, iy = idx % nx, idx // nx
+    rows = [idx]
+    cols = [idx]
+    vals = [np.full(n, 4.0)]
+    for dx, dy in ((-1, 0), (1, 0), (0, -1), (0, 1)):
+        jx, jy = ix + dx, iy + dy
+        ok = (jx >= 0) & (jx < nx) & (jy >= 0) & (jy < ny)
+        rows.append(idx[ok])
+        cols.append((jy * nx + jx)[ok])
+        vals.append(np.full(int(ok.sum()), -1.0))
+    return COO(
+        np.concatenate(rows),
+        np.concatenate(cols),
+        np.concatenate(vals),
+        (n, n),
+    ).to_csr()
+
+
+def poisson3d(nx: int, *, seed: Optional[int] = 0) -> CSR:
+    """7-point Laplacian stencil on an ``nx``³ grid."""
+    n = nx * nx * nx
+    idx = np.arange(n, dtype=INDEX_DTYPE)
+    ix = idx % nx
+    iy = (idx // nx) % nx
+    iz = idx // (nx * nx)
+    rows = [idx]
+    cols = [idx]
+    vals = [np.full(n, 6.0)]
+    for dx, dy, dz in (
+        (-1, 0, 0), (1, 0, 0), (0, -1, 0), (0, 1, 0), (0, 0, -1), (0, 0, 1)
+    ):
+        jx, jy, jz = ix + dx, iy + dy, iz + dz
+        ok = (
+            (jx >= 0) & (jx < nx)
+            & (jy >= 0) & (jy < nx)
+            & (jz >= 0) & (jz < nx)
+        )
+        rows.append(idx[ok])
+        cols.append((jz * nx * nx + jy * nx + jx)[ok])
+        vals.append(np.full(int(ok.sum()), -1.0))
+    return COO(
+        np.concatenate(rows),
+        np.concatenate(cols),
+        np.concatenate(vals),
+        (n, n),
+    ).to_csr()
+
+
+def circuit(
+    n: int,
+    avg_offdiag: float = 2.0,
+    single_row_fraction: float = 0.3,
+    *,
+    seed: Optional[int] = 0,
+) -> CSR:
+    """Circuit-simulation-like matrix: diagonal plus sparse random couplings.
+
+    A configurable fraction of rows carries *only* the diagonal entry —
+    exercising spECK's direct-referencing path (1112 of the paper's 2672
+    matrices contain such rows).
+    """
+    rng = _rng(seed)
+    diag_rows = np.arange(n, dtype=INDEX_DTYPE)
+    has_offdiag = rng.random(n) >= single_row_fraction
+    counts = np.where(has_offdiag, rng.poisson(avg_offdiag, size=n), 0)
+    total = int(counts.sum())
+    off_rows = np.repeat(diag_rows, counts)
+    off_cols = rng.integers(0, n, size=total, dtype=INDEX_DTYPE)
+    rows = np.concatenate([diag_rows, off_rows])
+    cols = np.concatenate([diag_rows, off_cols])
+    return COO(rows, cols, _values(rng, rows.size), (n, n)).to_csr()
+
+
+def rmat(
+    scale: int,
+    edge_factor: int = 8,
+    a: float = 0.57,
+    b: float = 0.19,
+    c: float = 0.19,
+    *,
+    seed: Optional[int] = 0,
+) -> CSR:
+    """Recursive-MATrix power-law graph generator (Graph500 style).
+
+    ``2**scale`` vertices, ``edge_factor * 2**scale`` directed edges with a
+    heavy-tailed degree distribution — the email-Enron / webbase family where
+    binning and hash-map size adaptation matter most.
+    """
+    rng = _rng(seed)
+    n = 1 << scale
+    n_edges = edge_factor * n
+    d = 1.0 - (a + b + c)
+    if d < 0:
+        raise ValueError("a + b + c must be <= 1")
+    rows = np.zeros(n_edges, dtype=INDEX_DTYPE)
+    cols = np.zeros(n_edges, dtype=INDEX_DTYPE)
+    # Draw each bit level for all edges at once.
+    for level in range(scale):
+        r = rng.random(n_edges)
+        bit_row = (r >= a + b).astype(INDEX_DTYPE)
+        bit_col = ((r >= a) & (r < a + b) | (r >= a + b + c)).astype(INDEX_DTYPE)
+        rows = (rows << 1) | bit_row
+        cols = (cols << 1) | bit_col
+    return COO(rows, cols, _values(rng, n_edges), (n, n)).to_csr()
+
+
+def random_uniform(
+    rows: int,
+    cols: int,
+    nnz_per_row: float = 8.0,
+    *,
+    seed: Optional[int] = 0,
+) -> CSR:
+    """Erdős–Rényi matrix with Poisson-distributed row lengths."""
+    rng = _rng(seed)
+    counts = rng.poisson(nnz_per_row, size=rows)
+    np.minimum(counts, cols, out=counts)
+    total = int(counts.sum())
+    r = np.repeat(np.arange(rows, dtype=INDEX_DTYPE), counts)
+    c = rng.integers(0, cols, size=total, dtype=INDEX_DTYPE)
+    return COO(r, c, _values(rng, total), (rows, cols)).to_csr()
+
+
+def rect_lp(
+    rows: int,
+    cols: int,
+    row_len: int = 8,
+    *,
+    n_clusters: Optional[int] = None,
+    seed: Optional[int] = 0,
+) -> CSR:
+    """Rectangular LP-constraint-like matrix (``rows`` ≪ ``cols``).
+
+    Each row touches ``row_len`` clustered columns; multiplied as ``A·Aᵀ``
+    this yields the stat96v2 situation: medium rows in A, very short rows in
+    the second factor.  With ``n_clusters`` set, row windows snap to that
+    many distinct positions — constraint groups reusing the same variable
+    block, which drives the compaction factor up (real LP matrices like
+    stat96v2 reach ≈20×).
+    """
+    rng = _rng(seed)
+    if n_clusters is not None:
+        anchors = rng.integers(0, max(1, cols - row_len), size=max(1, n_clusters))
+        starts = anchors[rng.integers(0, anchors.size, size=rows)]
+    else:
+        starts = rng.integers(0, max(1, cols - row_len), size=rows)
+    offs = np.sort(
+        rng.integers(0, max(row_len * 4, 1), size=(rows, row_len)), axis=1
+    )
+    r = np.repeat(np.arange(rows, dtype=INDEX_DTYPE), row_len)
+    c = np.minimum(starts[:, None] + offs, cols - 1).ravel().astype(INDEX_DTYPE)
+    return COO(r, c, _values(rng, r.size), (rows, cols)).to_csr()
+
+
+def dense_stripe(
+    n: int,
+    stripe_width: int = 512,
+    nnz_per_row: int = 32,
+    *,
+    seed: Optional[int] = 0,
+) -> CSR:
+    """Rows whose entries concentrate inside one dense column stripe.
+
+    The product has long rows that are *densely populated* between their
+    first and last column — the dense accumulator's winning case (Fig. 12).
+    """
+    rng = _rng(seed)
+    stripe_width = min(stripe_width, n)
+    k = min(nnz_per_row, stripe_width)
+    starts = rng.integers(0, max(1, n - stripe_width), size=n)
+    cols = np.empty((n, k), dtype=INDEX_DTYPE)
+    for i in range(n):  # per-row unique sampling within the stripe
+        cols[i] = starts[i] + rng.choice(stripe_width, size=k, replace=False)
+    r = np.repeat(np.arange(n, dtype=INDEX_DTYPE), k)
+    return COO(r, cols.ravel(), _values(rng, n * k), (n, n)).to_csr()
+
+
+def skew_single(
+    n: int,
+    long_rows: int = 4,
+    long_len: int = 4096,
+    *,
+    seed: Optional[int] = 0,
+) -> CSR:
+    """Mostly single-entry rows plus a handful of very long rows.
+
+    Maximises the max/avg scratchpad-demand ratio — the global load
+    balancer's strongest case (Fig. 14).
+    """
+    rng = _rng(seed)
+    long_len = min(long_len, n)
+    diag_rows = np.arange(n, dtype=INDEX_DTYPE)
+    chosen = rng.choice(n, size=min(long_rows, n), replace=False)
+    extra_rows = np.repeat(chosen.astype(INDEX_DTYPE), long_len)
+    extra_cols = np.concatenate(
+        [rng.choice(n, size=long_len, replace=False).astype(INDEX_DTYPE) for _ in chosen]
+    ) if len(chosen) else np.empty(0, dtype=INDEX_DTYPE)
+    rows = np.concatenate([diag_rows, extra_rows])
+    cols = np.concatenate([diag_rows, extra_cols])
+    return COO(rows, cols, _values(rng, rows.size), (n, n)).to_csr()
+
+
+def block_dense(
+    n: int,
+    block: int = 64,
+    n_blocks: int = 8,
+    background: float = 1.0,
+    *,
+    seed: Optional[int] = 0,
+) -> CSR:
+    """Sparse background plus a few dense ``block``×``block`` diagonal blocks.
+
+    Models structural-mechanics matrices (bcsstk family): locally dense,
+    globally sparse — mixed accumulator choices within one matrix.
+    """
+    rng = _rng(seed)
+    bg = random_uniform(n, n, background, seed=None if seed is None else seed + 1)
+    rows = [bg.row_ids()]
+    cols = [bg.indices.copy()]
+    block = min(block, n)
+    starts = rng.integers(0, max(1, n - block), size=n_blocks)
+    for s in starts:
+        rr, cc = np.meshgrid(
+            np.arange(s, s + block, dtype=INDEX_DTYPE),
+            np.arange(s, s + block, dtype=INDEX_DTYPE),
+            indexing="ij",
+        )
+        rows.append(rr.ravel())
+        cols.append(cc.ravel())
+    r = np.concatenate(rows)
+    c = np.concatenate(cols)
+    return COO(r, c, _values(rng, r.size), (n, n)).to_csr()

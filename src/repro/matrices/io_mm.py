@@ -1,0 +1,123 @@
+"""MatrixMarket (``.mtx``) reader and writer.
+
+The spECK artifact ships an ``.mtx`` reader that converts SuiteSparse
+matrices for benchmarking; we provide the same capability so users can run
+the reproduction against real SuiteSparse downloads.  The implementation
+covers the coordinate format with ``real``, ``integer`` and ``pattern``
+fields and the ``general``, ``symmetric`` and ``skew-symmetric`` symmetry
+qualifiers — which is what the collection actually uses for SpGEMM-relevant
+matrices.
+"""
+
+from __future__ import annotations
+
+import gzip
+import io
+from pathlib import Path
+from typing import Union
+
+import numpy as np
+
+from .coo import COO
+from .csr import CSR, INDEX_DTYPE, VALUE_DTYPE
+
+__all__ = ["read_mtx", "write_mtx", "MatrixMarketError"]
+
+
+class MatrixMarketError(ValueError):
+    """Raised for malformed MatrixMarket input."""
+
+
+_SUPPORTED_FORMATS = {"coordinate"}
+_SUPPORTED_FIELDS = {"real", "integer", "pattern"}
+_SUPPORTED_SYMMETRY = {"general", "symmetric", "skew-symmetric"}
+
+
+def _open_text(path: Union[str, Path]):
+    path = Path(path)
+    if path.suffix == ".gz":
+        return io.TextIOWrapper(gzip.open(path, "rb"), encoding="ascii")
+    return open(path, "r", encoding="ascii")
+
+
+def read_mtx(path: Union[str, Path]) -> CSR:
+    """Read a MatrixMarket file into a CSR matrix.
+
+    Symmetric/skew-symmetric storage is expanded to the full matrix (the
+    multiplication kernels assume general storage, as does the paper's
+    evaluation).  Pattern matrices receive a value of 1.0 per entry.
+    """
+    with _open_text(path) as fh:
+        header = fh.readline()
+        if not header.startswith("%%MatrixMarket"):
+            raise MatrixMarketError("missing %%MatrixMarket header")
+        parts = header.strip().split()
+        if len(parts) < 5:
+            raise MatrixMarketError(f"malformed header: {header!r}")
+        _, obj, fmt, field, symmetry = parts[:5]
+        obj, fmt = obj.lower(), fmt.lower()
+        field, symmetry = field.lower(), symmetry.lower()
+        if obj != "matrix":
+            raise MatrixMarketError(f"unsupported object {obj!r}")
+        if fmt not in _SUPPORTED_FORMATS:
+            raise MatrixMarketError(f"unsupported format {fmt!r} (only coordinate)")
+        if field not in _SUPPORTED_FIELDS:
+            raise MatrixMarketError(f"unsupported field {field!r}")
+        if symmetry not in _SUPPORTED_SYMMETRY:
+            raise MatrixMarketError(f"unsupported symmetry {symmetry!r}")
+
+        # Skip comments, find the size line.
+        line = fh.readline()
+        while line and line.lstrip().startswith("%"):
+            line = fh.readline()
+        if not line:
+            raise MatrixMarketError("missing size line")
+        dims = line.split()
+        if len(dims) != 3:
+            raise MatrixMarketError(f"malformed size line: {line!r}")
+        n_rows, n_cols, nnz = (int(x) for x in dims)
+
+        body = np.loadtxt(fh, dtype=np.float64, ndmin=2) if nnz else np.empty((0, 3))
+    if body.shape[0] != nnz:
+        raise MatrixMarketError(
+            f"expected {nnz} entries, found {body.shape[0]}"
+        )
+    if nnz and field == "pattern":
+        if body.shape[1] < 2:
+            raise MatrixMarketError("pattern entries need 2 columns")
+        rows = body[:, 0].astype(INDEX_DTYPE) - 1
+        cols = body[:, 1].astype(INDEX_DTYPE) - 1
+        vals = np.ones(nnz, dtype=VALUE_DTYPE)
+    elif nnz:
+        if body.shape[1] < 3:
+            raise MatrixMarketError("real/integer entries need 3 columns")
+        rows = body[:, 0].astype(INDEX_DTYPE) - 1
+        cols = body[:, 1].astype(INDEX_DTYPE) - 1
+        vals = body[:, 2].astype(VALUE_DTYPE)
+    else:
+        rows = np.empty(0, dtype=INDEX_DTYPE)
+        cols = np.empty(0, dtype=INDEX_DTYPE)
+        vals = np.empty(0, dtype=VALUE_DTYPE)
+
+    if symmetry in ("symmetric", "skew-symmetric") and nnz:
+        off_diag = rows != cols
+        sign = -1.0 if symmetry == "skew-symmetric" else 1.0
+        rows = np.concatenate([rows, cols[off_diag]])
+        cols_full = np.concatenate([cols, rows[: nnz][off_diag]])
+        vals = np.concatenate([vals, sign * vals[off_diag]])
+        cols = cols_full
+
+    return COO(rows, cols, vals, (n_rows, n_cols)).to_csr()
+
+
+def write_mtx(path: Union[str, Path], mat: CSR, *, comment: str = "") -> None:
+    """Write a CSR matrix as a general real coordinate MatrixMarket file."""
+    path = Path(path)
+    coo = COO.from_csr(mat)
+    with open(path, "w", encoding="ascii") as fh:
+        fh.write("%%MatrixMarket matrix coordinate real general\n")
+        for line in comment.splitlines():
+            fh.write(f"% {line}\n")
+        fh.write(f"{mat.rows} {mat.cols} {mat.nnz}\n")
+        for r, c, v in zip(coo.row, coo.col, coo.val):
+            fh.write(f"{int(r) + 1} {int(c) + 1} {float(v)!r}\n")

@@ -1,0 +1,163 @@
+"""Element-wise sparse matrix operations.
+
+SpGEMM rarely lives alone: the applications the paper motivates (algebraic
+multigrid, graph algorithms, mesh processing) combine it with element-wise
+addition, Hadamard products, masking and filtering.  This module provides
+those companions on the CSR container, all vectorised.
+
+These also serve as independent building blocks for tests: e.g. masked
+SpGEMM identities (``mask(A·B, M) == hadamard(A·B, pattern(M))``) validate
+the multiply kernels from a different angle.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from .csr import CSR, INDEX_DTYPE, VALUE_DTYPE
+
+__all__ = [
+    "add",
+    "subtract",
+    "hadamard",
+    "mask",
+    "scale",
+    "prune",
+    "pattern",
+    "frobenius_norm",
+    "diag_vector",
+]
+
+
+def _merge_keys(a: CSR, b: CSR):
+    """Composite (row, col) keys of both matrices for set-style merging."""
+    cols = np.int64(max(a.cols, 1))
+    ka = a.row_ids() * cols + a.indices
+    kb = b.row_ids() * cols + b.indices
+    return ka, kb, cols
+
+
+def _check_same_shape(a: CSR, b: CSR) -> None:
+    if a.shape != b.shape:
+        raise ValueError(f"shape mismatch: {a.shape} vs {b.shape}")
+
+
+def add(a: CSR, b: CSR, alpha: float = 1.0, beta: float = 1.0) -> CSR:
+    """``alpha * A + beta * B`` with structural union.
+
+    Entries that cancel to exactly zero are kept structurally (consistent
+    with the SpGEMM kernels, which fix structure symbolically).
+    """
+    _check_same_shape(a, b)
+    ka, kb, _ = _merge_keys(a, b)
+    keys = np.concatenate([ka, kb])
+    vals = np.concatenate([alpha * a.data, beta * b.data])
+    order = np.argsort(keys, kind="stable")
+    keys, vals = keys[order], vals[order]
+    if keys.size == 0:
+        return CSR(
+            np.zeros(a.rows + 1, dtype=INDEX_DTYPE),
+            np.empty(0, dtype=INDEX_DTYPE),
+            np.empty(0, dtype=VALUE_DTYPE),
+            a.shape,
+            check=False,
+        )
+    new_run = np.empty(keys.size, dtype=bool)
+    new_run[0] = True
+    np.not_equal(keys[1:], keys[:-1], out=new_run[1:])
+    starts = np.flatnonzero(new_run)
+    out_vals = np.add.reduceat(vals, starts)
+    uniq = keys[starts]
+    rows = uniq // max(a.cols, 1)
+    cols = uniq % max(a.cols, 1)
+    indptr = np.zeros(a.rows + 1, dtype=INDEX_DTYPE)
+    indptr[1:] = np.bincount(rows, minlength=a.rows)
+    np.cumsum(indptr, out=indptr)
+    return CSR(indptr, cols, out_vals, a.shape, check=False)
+
+
+def subtract(a: CSR, b: CSR) -> CSR:
+    """``A - B`` (structural union)."""
+    return add(a, b, 1.0, -1.0)
+
+
+def hadamard(a: CSR, b: CSR) -> CSR:
+    """Element-wise product ``A ∘ B`` (structural intersection)."""
+    _check_same_shape(a, b)
+    ka, kb, _ = _merge_keys(a, b)
+    # intersect via sorted search: both key arrays are already sorted
+    # (CSR order is row-major/column-minor).
+    pos = np.searchsorted(kb, ka)
+    pos = np.minimum(pos, max(kb.size - 1, 0))
+    match = (kb.size > 0) & (ka.size > 0)
+    if not match:
+        hit = np.zeros(ka.size, dtype=bool)
+    else:
+        hit = kb[pos] == ka
+    rows_a = a.row_ids()[hit]
+    cols_a = a.indices[hit]
+    vals = a.data[hit] * b.data[pos[hit]]
+    indptr = np.zeros(a.rows + 1, dtype=INDEX_DTYPE)
+    if rows_a.size:
+        indptr[1:] = np.bincount(rows_a, minlength=a.rows)
+    np.cumsum(indptr, out=indptr)
+    return CSR(indptr, cols_a, vals, a.shape, check=False)
+
+
+def mask(a: CSR, m: CSR) -> CSR:
+    """Keep only the entries of ``A`` at positions present in ``M``.
+
+    The GraphBLAS-style output mask: ``C⟨M⟩ = A``.
+    """
+    return hadamard(a, pattern(m))
+
+
+def pattern(a: CSR) -> CSR:
+    """The 0/1 structure of ``A``."""
+    return CSR(
+        a.indptr.copy(),
+        a.indices.copy(),
+        np.ones(a.nnz, dtype=VALUE_DTYPE),
+        a.shape,
+        check=False,
+    )
+
+
+def scale(a: CSR, alpha: float) -> CSR:
+    """``alpha * A``."""
+    return CSR(a.indptr.copy(), a.indices.copy(), alpha * a.data, a.shape, check=False)
+
+
+def prune(a: CSR, predicate: Callable[[np.ndarray], np.ndarray] = None, *, tol: float = 0.0) -> CSR:
+    """Drop entries; by default those with ``|value| <= tol``.
+
+    ``predicate`` receives the value array and returns a keep-mask,
+    overriding the tolerance rule.
+    """
+    keep = predicate(a.data) if predicate is not None else (np.abs(a.data) > tol)
+    keep = np.asarray(keep, dtype=bool)
+    if keep.size != a.nnz:
+        raise ValueError("predicate must return one flag per entry")
+    rows = a.row_ids()[keep]
+    indptr = np.zeros(a.rows + 1, dtype=INDEX_DTYPE)
+    if rows.size:
+        indptr[1:] = np.bincount(rows, minlength=a.rows)
+    np.cumsum(indptr, out=indptr)
+    return CSR(indptr, a.indices[keep], a.data[keep], a.shape, check=False)
+
+
+def frobenius_norm(a: CSR) -> float:
+    """``||A||_F``."""
+    return float(np.sqrt(np.square(a.data).sum()))
+
+
+def diag_vector(a: CSR) -> np.ndarray:
+    """The main diagonal as a dense vector."""
+    n = min(a.rows, a.cols)
+    out = np.zeros(n, dtype=VALUE_DTYPE)
+    rows = a.row_ids()
+    on_diag = (rows == a.indices) & (a.indices < n)
+    out[a.indices[on_diag]] = a.data[on_diag]
+    return out

@@ -1,0 +1,70 @@
+"""Common result type for all simulated SpGEMM algorithms."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from .matrices.csr import CSR
+
+__all__ = ["SpGEMMResult"]
+
+
+@dataclass
+class SpGEMMResult:
+    """Outcome of one simulated SpGEMM invocation.
+
+    Attributes
+    ----------
+    method:
+        Algorithm name (``"spECK"``, ``"nsparse"``, ...).
+    c:
+        The output matrix, or ``None`` when the run failed or the harness
+        requested cost-only mode.
+    time_s:
+        Simulated wall time of the multiplication.
+    peak_mem_bytes:
+        Peak temporary device memory including the output matrix (the
+        paper's ``m`` in Table 3 / Fig. 10).
+    stage_times:
+        Seconds per pipeline stage (Fig. 11 for spECK; baselines report
+        their own stage names).
+    valid:
+        False when the method failed on this input (OOM or an algorithmic
+        limitation) — the paper's ``#inv.`` statistic.
+    failure:
+        Reason string when ``valid`` is false.
+    sorted_output:
+        Whether column indices are sorted per row (KokkosKernels returns
+        unsorted output, violating the CSR contract).
+    decisions:
+        Free-form algorithm diagnostics (bin counts, accumulator mix, ...).
+    """
+
+    method: str
+    c: Optional[CSR]
+    time_s: float
+    peak_mem_bytes: int
+    stage_times: Dict[str, float] = field(default_factory=dict)
+    valid: bool = True
+    failure: str = ""
+    sorted_output: bool = True
+    decisions: Dict[str, object] = field(default_factory=dict)
+
+    def gflops(self, flops: int) -> float:
+        """GFLOPS given the paper's FLOP count (2 × products)."""
+        if not self.valid or self.time_s <= 0:
+            return 0.0
+        return flops / self.time_s / 1e9
+
+    @classmethod
+    def failed(cls, method: str, reason: str) -> "SpGEMMResult":
+        """A run that could not complete (counted as invalid)."""
+        return cls(
+            method=method,
+            c=None,
+            time_s=float("inf"),
+            peak_mem_bytes=0,
+            valid=False,
+            failure=reason,
+        )

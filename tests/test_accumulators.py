@@ -1,0 +1,201 @@
+"""Tests for the executable accumulators and their cost models."""
+
+import numpy as np
+import pytest
+
+from repro.core.accumulators import (
+    dense_iterations,
+    hash_fill,
+    probe_cost_amortized,
+    probe_cost_insert,
+    probe_cost_lookup,
+)
+from repro.core.exec_accumulators import (
+    dense_accumulate_row,
+    direct_reference_row,
+    hash_accumulate_row,
+)
+from repro.core.result_assembly import assemble_rows
+from repro.kernels import esc_multiply
+from repro.matrices.csr import CSR, INDEX_DTYPE, VALUE_DTYPE
+
+from conftest import random_csr
+
+
+def oracle_row(a: CSR, b: CSR, i: int):
+    c = esc_multiply(a, b)
+    return c.row(i)
+
+
+class TestHashAccumulator:
+    def test_matches_oracle(self, rng):
+        a = random_csr(rng, 10, 20, 0.3)
+        b = random_csr(rng, 20, 15, 0.3)
+        for i in range(a.rows):
+            a_cols, a_vals = a.row(i)
+            cols, vals, _ = hash_accumulate_row(a_cols, a_vals, b, capacity=64)
+            ocols, ovals = oracle_row(a, b, i)
+            assert np.array_equal(cols, ocols)
+            assert np.allclose(vals, ovals)
+
+    def test_output_sorted_unique(self, rng):
+        a = random_csr(rng, 1, 30, 0.8)
+        b = random_csr(rng, 30, 30, 0.4)
+        a_cols, a_vals = a.row(0)
+        cols, _, _ = hash_accumulate_row(a_cols, a_vals, b, capacity=128)
+        assert np.all(np.diff(cols) > 0)
+
+    def test_stats_fill(self, rng):
+        a = random_csr(rng, 1, 10, 1.0)
+        b = random_csr(rng, 10, 40, 0.5)
+        a_cols, a_vals = a.row(0)
+        cols, _, stats = hash_accumulate_row(a_cols, a_vals, b, capacity=64)
+        assert stats.inserts == cols.size
+        assert stats.capacity == 64
+        assert stats.fill == pytest.approx(cols.size / 64)
+        assert stats.probes >= stats.inserts
+
+    def test_probe_count_grows_with_fill(self, rng):
+        b = random_csr(rng, 50, 400, 0.5)
+        a = random_csr(rng, 1, 50, 1.0)
+        a_cols, a_vals = a.row(0)
+        needed = cols_needed(a_cols, a_vals, b)
+        _, _, loose = hash_accumulate_row(a_cols, a_vals, b, capacity=4096)
+        _, _, tight = hash_accumulate_row(
+            a_cols, a_vals, b, capacity=int(needed * 1.05) + 1
+        )
+        assert tight.probes_per_op >= loose.probes_per_op
+
+    def test_rejects_bad_capacity(self):
+        with pytest.raises(ValueError):
+            hash_accumulate_row(
+                np.array([0]), np.array([1.0]), CSR.from_dense(np.eye(2)), 0
+            )
+
+    def test_raises_when_capacity_too_small(self):
+        b = CSR.from_dense(np.ones((2, 8)))
+        with pytest.raises(RuntimeError):
+            hash_accumulate_row(np.array([0]), np.array([1.0]), b, capacity=4)
+
+
+def cols_needed(a_cols, a_vals, b) -> int:
+    out = set()
+    for k in a_cols:
+        out.update(b.row(int(k))[0].tolist())
+    return max(1, len(out))
+
+
+class TestDenseAccumulator:
+    def test_matches_oracle_single_window(self, rng):
+        a = random_csr(rng, 8, 12, 0.4)
+        b = random_csr(rng, 12, 20, 0.4)
+        for i in range(a.rows):
+            a_cols, a_vals = a.row(i)
+            cols, vals, iters = dense_accumulate_row(a_cols, a_vals, b, 64, 0, 19)
+            ocols, ovals = oracle_row(a, b, i)
+            assert np.array_equal(cols, ocols)
+            assert np.allclose(vals, ovals)
+            assert iters <= 1 or a_cols.size == 0
+
+    def test_matches_oracle_multi_window(self, rng):
+        a = random_csr(rng, 6, 10, 0.5)
+        b = random_csr(rng, 10, 100, 0.3)
+        for i in range(a.rows):
+            a_cols, a_vals = a.row(i)
+            cols, vals, iters = dense_accumulate_row(a_cols, a_vals, b, 7, 0, 99)
+            ocols, ovals = oracle_row(a, b, i)
+            assert np.array_equal(cols, ocols)
+            assert np.allclose(vals, ovals)
+            if a_cols.size:
+                assert iters == int(np.ceil(100 / 7))
+
+    def test_window_narrowing_by_col_range(self, rng):
+        b = CSR.from_coo([0, 0, 0], [10, 11, 12], [1.0, 2.0, 3.0], (1, 50))
+        cols, vals, iters = dense_accumulate_row(
+            np.array([0]), np.array([2.0]), b, 16, 10, 12
+        )
+        assert list(cols) == [10, 11, 12]
+        assert list(vals) == [2.0, 4.0, 6.0]
+        assert iters == 1
+
+    def test_empty_range(self):
+        b = CSR.from_dense(np.zeros((2, 3)))
+        cols, vals, iters = dense_accumulate_row(
+            np.array([], dtype=int), np.array([]), b, 8, 0, -1
+        )
+        assert cols.size == 0 and iters == 0
+
+    def test_rejects_bad_window(self):
+        b = CSR.from_dense(np.eye(2))
+        with pytest.raises(ValueError):
+            dense_accumulate_row(np.array([0]), np.array([1.0]), b, 0, 0, 1)
+
+
+class TestDirectReference:
+    def test_scaled_copy(self):
+        b = CSR.from_coo([1, 1, 1], [0, 3, 5], [1.0, 2.0, 3.0], (2, 6))
+        cols, vals = direct_reference_row(1, 2.5, b)
+        assert list(cols) == [0, 3, 5]
+        assert list(vals) == [2.5, 5.0, 7.5]
+
+    def test_empty_referenced_row(self):
+        b = CSR.from_dense(np.zeros((3, 3)))
+        cols, vals = direct_reference_row(0, 1.0, b)
+        assert cols.size == 0
+
+    def test_independent_copy(self):
+        b = CSR.from_coo([0], [1], [4.0], (1, 2))
+        cols, vals = direct_reference_row(0, 1.0, b)
+        vals[0] = 99.0
+        assert b.data[0] == 4.0
+
+
+class TestCostModels:
+    def test_hash_fill_clamped(self):
+        assert hash_fill(np.array([100]), np.array([10]))[0] <= 0.98
+
+    def test_probe_costs_increase_with_fill(self):
+        fills = np.array([0.1, 0.5, 0.9])
+        for fn in (probe_cost_insert, probe_cost_lookup, probe_cost_amortized):
+            costs = fn(fills)
+            assert np.all(np.diff(costs) > 0)
+            assert np.all(costs >= 1.0)
+
+    def test_amortized_below_final_insert_cost(self):
+        f = np.array([0.66, 0.9])
+        assert np.all(probe_cost_amortized(f) < probe_cost_insert(f))
+
+    def test_amortized_matches_integral(self):
+        # numerically integrate the instantaneous insert cost
+        alpha = 0.66
+        xs = np.linspace(0, alpha, 10_000)
+        integral = np.trapezoid(probe_cost_insert(xs), xs) / alpha
+        assert probe_cost_amortized(np.array([alpha]))[0] == pytest.approx(
+            integral, rel=0.02
+        )
+
+    def test_dense_iterations(self):
+        assert dense_iterations(np.array([100]), 50)[0] == 2
+        assert dense_iterations(np.array([1]), 50)[0] == 1
+        assert dense_iterations(np.array([101]), 50)[0] == 3
+
+
+class TestAssembleRows:
+    def test_roundtrip(self, rng):
+        m = random_csr(rng, 9, 9, 0.3)
+        rows = [m.row(i) for i in range(9)]
+        rows = [(c.copy(), v.copy()) for c, v in rows]
+        again = assemble_rows(rows, m.shape)
+        assert again.allclose(m)
+
+    def test_empty_rows(self):
+        rows = [
+            (np.empty(0, dtype=INDEX_DTYPE), np.empty(0, dtype=VALUE_DTYPE))
+            for _ in range(3)
+        ]
+        m = assemble_rows(rows, (3, 5))
+        assert m.nnz == 0
+
+    def test_wrong_row_count(self):
+        with pytest.raises(ValueError):
+            assemble_rows([], (2, 2))

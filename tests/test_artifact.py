@@ -1,0 +1,128 @@
+"""Tests for the artifact-style runner (Appendix A interface)."""
+
+import numpy as np
+import pytest
+
+from repro.artifact import ArtifactConfig, parse_config, run_artifact
+from repro.matrices import write_mtx
+from repro.matrices.generators import banded, poisson2d, rect_lp
+
+from conftest import random_csr
+
+
+class TestParseConfig:
+    def test_defaults(self):
+        cfg = parse_config("")
+        assert cfg.track_complete_times
+        assert not cfg.track_individual_times
+        assert not cfg.compare_result
+        assert cfg.iterations_execution == 3
+
+    def test_full_file(self, tmp_path):
+        p = tmp_path / "config.ini"
+        p.write_text(
+            "TrackCompleteTimes=true\n"
+            "TrackIndividualTimes=1\n"
+            "CompareResult=yes\n"
+            "IterationsWarmUp=5\n"
+            "IterationsExecution=10\n"
+            "InputFile=/some/matrix.mtx\n"
+        )
+        cfg = parse_config(p)
+        assert cfg.track_individual_times and cfg.compare_result
+        assert cfg.iterations_warm_up == 5
+        assert cfg.iterations_execution == 10
+        assert cfg.input_file == "/some/matrix.mtx"
+
+    def test_comments_and_unknown_keys_ignored(self):
+        cfg = parse_config(
+            "# a comment\nBananas=42\nIterationsExecution=7  ; trailing\n"
+        )
+        assert cfg.iterations_execution == 7
+
+    def test_false_values(self):
+        cfg = parse_config("TrackCompleteTimes=false\nCompareResult=0\n")
+        assert not cfg.track_complete_times
+        assert not cfg.compare_result
+
+    def test_bad_int_ignored(self):
+        cfg = parse_config("IterationsExecution=many\n")
+        assert cfg.iterations_execution == 3
+
+    def test_minimums_enforced(self):
+        cfg = parse_config("IterationsWarmUp=-3\nIterationsExecution=0\n")
+        assert cfg.iterations_warm_up == 0
+        assert cfg.iterations_execution == 1
+
+
+class TestRunArtifact:
+    def test_in_memory_matrix(self):
+        a = banded(300, 4, seed=1)
+        run = run_artifact(a)
+        assert run.rows == 300
+        assert len(run.complete_times) == 3
+        assert run.mean_time_s > 0
+        assert run.gflops() > 0
+
+    def test_from_mtx_file(self, tmp_path, rng):
+        m = random_csr(rng, 40, 40, 0.1)
+        path = tmp_path / "m.mtx"
+        write_mtx(path, m)
+        run = run_artifact(path)
+        assert run.rows == 40
+        assert run.nnz_a == m.nnz
+
+    def test_input_file_override(self, tmp_path, rng):
+        m = random_csr(rng, 25, 25, 0.2)
+        path = tmp_path / "override.mtx"
+        write_mtx(path, m)
+        cfg = ArtifactConfig(input_file=str(path))
+        run = run_artifact("ignored-path.mtx", cfg)
+        assert run.rows == 25
+
+    def test_rectangular_uses_transpose(self):
+        a = rect_lp(30, 200, 5, seed=2)
+        run = run_artifact(a)
+        assert run.cols == 30  # C = A @ A^T is square over A's rows
+
+    def test_individual_times(self):
+        a = poisson2d(20)
+        cfg = ArtifactConfig(track_individual_times=True)
+        run = run_artifact(a, cfg)
+        assert "numeric" in run.stage_times
+        assert run.stage_times["numeric"] > 0
+
+    def test_timing_disabled(self):
+        a = banded(100, 2, seed=3)
+        cfg = ArtifactConfig(track_complete_times=False)
+        run = run_artifact(a, cfg)
+        assert run.complete_times == []
+        assert run.mean_time_s == 0.0
+
+    def test_compare_result_passes(self):
+        a = poisson2d(12)
+        cfg = ArtifactConfig(compare_result=True, iterations_execution=1)
+        run = run_artifact(a, cfg)
+        assert run.result_matches is True
+
+    def test_iteration_counts(self):
+        a = banded(80, 2, seed=4)
+        cfg = ArtifactConfig(iterations_warm_up=0, iterations_execution=5)
+        run = run_artifact(a, cfg)
+        assert len(run.complete_times) == 5
+        # the simulator is deterministic
+        assert np.allclose(run.complete_times, run.complete_times[0])
+
+    def test_summary_renders(self):
+        a = banded(150, 3, seed=5)
+        cfg = ArtifactConfig(
+            track_individual_times=True, compare_result=True,
+            iterations_execution=2,
+        )
+        text = run_artifact(a, cfg).summary()
+        assert "GFLOPS" in text and "result check: OK" in text
+
+    def test_config_text_accepted_directly(self):
+        a = banded(60, 2, seed=6)
+        run = run_artifact(a, "IterationsExecution=2\n")
+        assert len(run.complete_times) == 2

@@ -1,0 +1,173 @@
+"""Tests for the baseline algorithm implementations."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import (
+    PAPER_LINEUP,
+    AcSpgemm,
+    BhSparse,
+    CuspEsc,
+    CusparseLike,
+    KokkosLike,
+    MklCpu,
+    Nsparse,
+    RMerge,
+    Speck,
+    all_algorithms,
+    registry,
+)
+from repro.core import MultiplyContext
+from repro.gpu import DeviceSpec, TITAN_V
+from repro.matrices.generators import banded, diagonal, rmat, skew_single
+
+ALL_CLASSES = [
+    CusparseLike,
+    AcSpgemm,
+    Nsparse,
+    RMerge,
+    BhSparse,
+    Speck,
+    KokkosLike,
+    MklCpu,
+    CuspEsc,
+]
+
+
+@pytest.fixture(scope="module")
+def medium_ctx():
+    a = banded(2000, 6, seed=1)
+    return MultiplyContext(a, a)
+
+
+class TestRegistry:
+    def test_all_registered(self):
+        reg = registry()
+        for cls in ALL_CLASSES:
+            assert reg[cls.name] is cls
+
+    def test_paper_lineup_instantiates(self):
+        algos = all_algorithms()
+        assert [a.name for a in algos] == PAPER_LINEUP
+
+    def test_subset_selection(self):
+        algos = all_algorithms(names=["spECK", "MKL"])
+        assert [a.name for a in algos] == ["spECK", "MKL"]
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(KeyError):
+            all_algorithms(names=["nope"])
+
+
+class TestCommonBehaviour:
+    @pytest.mark.parametrize("cls", ALL_CLASSES, ids=lambda c: c.name)
+    def test_valid_result_with_exact_c(self, cls, medium_ctx):
+        res = cls(TITAN_V).run(medium_ctx)
+        assert res.valid, res.failure
+        assert res.time_s > 0
+        assert res.peak_mem_bytes > 0
+        assert res.c is medium_ctx.c  # shared exact engine
+
+    @pytest.mark.parametrize("cls", ALL_CLASSES, ids=lambda c: c.name)
+    def test_stage_times_sum_below_total(self, cls, medium_ctx):
+        res = cls(TITAN_V).run(medium_ctx)
+        assert sum(res.stage_times.values()) <= res.time_s + 1e-12
+
+    @pytest.mark.parametrize("cls", ALL_CLASSES, ids=lambda c: c.name)
+    def test_time_scales_with_size(self, cls):
+        small = MultiplyContext(banded(500, 4, seed=1), banded(500, 4, seed=1))
+        big = MultiplyContext(banded(40_000, 4, seed=1), banded(40_000, 4, seed=1))
+        algo = cls(TITAN_V)
+        assert algo.run(big).time_s > algo.run(small).time_s
+
+
+class TestMethodSpecific:
+    def test_esc_memory_exceeds_hash_memory(self, medium_ctx):
+        esc = CuspEsc(TITAN_V).run(medium_ctx)
+        hashed = Speck(TITAN_V).run(medium_ctx)
+        assert esc.peak_mem_bytes > 2 * hashed.peak_mem_bytes
+
+    def test_ac_overallocates(self, medium_ctx):
+        ac = AcSpgemm(TITAN_V).run(medium_ctx)
+        speck = Speck(TITAN_V).run(medium_ctx)
+        assert ac.peak_mem_bytes > 2 * speck.peak_mem_bytes
+
+    def test_kokkos_output_unsorted_flag(self, medium_ctx):
+        res = KokkosLike(TITAN_V).run(medium_ctx)
+        assert not res.sorted_output
+
+    def test_kokkos_fails_on_huge_rows(self):
+        a = skew_single(40_000, 4, 35_000, seed=1)
+        ctx = MultiplyContext(a, a)
+        res = KokkosLike(TITAN_V).run(ctx)
+        assert not res.valid
+        assert "budget" in res.failure
+
+    def test_esc_fails_on_oom(self):
+        # products so large that the triplet buffers exceed 12 GB
+        tiny_device = DeviceSpec(global_mem_bytes=10 * 1024 * 1024)
+        a = rmat(11, 8, seed=1)
+        ctx = MultiplyContext(a, a)
+        res = CuspEsc(tiny_device).run(ctx)
+        assert not res.valid and "OOM" in res.failure
+
+    def test_cusparse_survives_where_esc_dies(self):
+        tiny_device = DeviceSpec(global_mem_bytes=16 * 1024 * 1024)
+        a = rmat(11, 8, seed=1)
+        ctx = MultiplyContext(a, a)
+        assert not CuspEsc(tiny_device).run(ctx).valid
+        assert CusparseLike(tiny_device).run(ctx).valid
+
+    def test_mkl_beats_gpu_on_tiny_matrices(self):
+        a = banded(40, 2, seed=1)
+        ctx = MultiplyContext(a, a)
+        mkl = MklCpu(TITAN_V).run(ctx)
+        others = [cls(TITAN_V).run(ctx) for cls in (Speck, Nsparse, CusparseLike)]
+        assert all(mkl.time_s < o.time_s for o in others)
+
+    def test_gpu_beats_mkl_on_large_matrices(self):
+        a = banded(60_000, 8, seed=1)
+        ctx = MultiplyContext(a, a)
+        mkl = MklCpu(TITAN_V).run(ctx)
+        speck = Speck(TITAN_V).run(ctx)
+        assert speck.time_s < mkl.time_s
+
+    def test_nsparse_close_to_speck_on_mesh(self):
+        # nsparse is the strongest hash competitor on its home turf.
+        a = banded(20_000, 8, seed=1)
+        ctx = MultiplyContext(a, a)
+        n = Nsparse(TITAN_V).run(ctx)
+        s = Speck(TITAN_V).run(ctx)
+        assert n.time_s < 6 * s.time_s
+
+    def test_nsparse_collapses_on_skew(self):
+        a = skew_single(20_000, 8, 4000, seed=1)
+        ctx = MultiplyContext(a, a)
+        n = Nsparse(TITAN_V).run(ctx)
+        s = Speck(TITAN_V).run(ctx)
+        assert n.time_s > 3 * s.time_s
+
+    def test_rmerge_good_on_thin_rows(self):
+        a = diagonal(20_000, seed=1)
+        ctx = MultiplyContext(a, a)
+        r = RMerge(TITAN_V).run(ctx)
+        cu = CusparseLike(TITAN_V).run(ctx)
+        assert r.time_s < cu.time_s
+
+    def test_bhsparse_never_wins(self, medium_ctx):
+        bh = BhSparse(TITAN_V).run(medium_ctx)
+        s = Speck(TITAN_V).run(medium_ctx)
+        assert bh.time_s > s.time_s
+
+    def test_speck_lowest_memory(self):
+        a = rmat(10, 8, seed=2)
+        ctx = MultiplyContext(a, a)
+        speck_mem = Speck(TITAN_V).run(ctx).peak_mem_bytes
+        for cls in (AcSpgemm, Nsparse, RMerge, BhSparse, CuspEsc):
+            assert cls(TITAN_V).run(ctx).peak_mem_bytes >= speck_mem
+
+    def test_speck_variant_name(self, medium_ctx):
+        from repro.core import SpeckParams
+
+        v = Speck(TITAN_V, SpeckParams(enable_dense=False), name="hash-only")
+        assert v.run(medium_ctx).method == "hash-only"

@@ -1,0 +1,182 @@
+"""Tests for the compound-key block hash map and device sorting strategies."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.block_hash import (
+    MAX_COLS_32BIT,
+    MAX_LOCAL_ROWS,
+    BlockHashMap,
+    block_hash_accumulate,
+    compound_key,
+    split_key,
+)
+from repro.core.sorting import radix_passes, radix_sort_pairs, rank_sort
+from repro.kernels import esc_multiply
+from repro.matrices.csr import CSR
+
+from conftest import random_csr
+
+
+class TestCompoundKeys:
+    def test_pack_unpack_32bit(self):
+        key = compound_key(17, 12345, wide=False)
+        assert key < (1 << 32)
+        assert split_key(key, wide=False) == (17, 12345)
+
+    def test_pack_unpack_wide(self):
+        col = MAX_COLS_32BIT + 99
+        key = compound_key(31, col, wide=True)
+        assert split_key(key, wide=True) == (31, col)
+
+    def test_row_limit_enforced(self):
+        with pytest.raises(ValueError):
+            compound_key(MAX_LOCAL_ROWS, 0, wide=False)
+
+    def test_column_limit_enforced_32bit(self):
+        with pytest.raises(ValueError):
+            compound_key(0, MAX_COLS_32BIT, wide=False)
+
+    @given(
+        st.integers(min_value=0, max_value=MAX_LOCAL_ROWS - 1),
+        st.integers(min_value=0, max_value=MAX_COLS_32BIT - 1),
+    )
+    @settings(max_examples=60)
+    def test_roundtrip_property(self, row, col):
+        assert split_key(compound_key(row, col, wide=False), wide=False) == (row, col)
+
+    @given(
+        st.integers(min_value=0, max_value=MAX_LOCAL_ROWS - 1),
+        st.integers(min_value=0, max_value=MAX_COLS_32BIT - 1),
+        st.integers(min_value=0, max_value=MAX_LOCAL_ROWS - 1),
+        st.integers(min_value=0, max_value=MAX_COLS_32BIT - 1),
+    )
+    @settings(max_examples=60)
+    def test_keys_injective(self, r1, c1, r2, c2):
+        k1 = compound_key(r1, c1, wide=False)
+        k2 = compound_key(r2, c2, wide=False)
+        assert (k1 == k2) == ((r1, c1) == (r2, c2))
+
+
+class TestBlockHashMap:
+    def test_accumulates_duplicates(self):
+        m = BlockHashMap(16)
+        m.accumulate(0, 3, 1.5)
+        m.accumulate(0, 3, 2.5)
+        rows = m.extract_rows(1)
+        cols, vals = rows[0]
+        assert list(cols) == [3] and vals[0] == 4.0
+        assert m.stats.inserts == 1
+
+    def test_rows_kept_separate(self):
+        m = BlockHashMap(16)
+        m.accumulate(0, 5, 1.0)
+        m.accumulate(1, 5, 2.0)
+        rows = m.extract_rows(2)
+        assert rows[0][1][0] == 1.0
+        assert rows[1][1][0] == 2.0
+
+    def test_full_map_raises(self):
+        m = BlockHashMap(2)
+        m.accumulate(0, 0, 1.0)
+        m.accumulate(0, 1, 1.0)
+        with pytest.raises(RuntimeError):
+            m.accumulate(0, 2, 1.0)
+
+    def test_bad_capacity(self):
+        with pytest.raises(ValueError):
+            BlockHashMap(0)
+
+    def test_extraction_sorted(self, rng):
+        m = BlockHashMap(128)
+        cols = rng.choice(1000, size=40, replace=False)
+        for c in cols:
+            m.accumulate(0, int(c), 1.0)
+        out_cols, _ = m.extract_rows(1)[0]
+        assert np.all(np.diff(out_cols) > 0)
+
+
+class TestBlockAccumulate:
+    def test_matches_oracle(self, rng):
+        a = random_csr(rng, 12, 20, 0.3)
+        b = random_csr(rng, 20, 30, 0.3)
+        oracle = esc_multiply(a, b)
+        rows, stats = block_hash_accumulate(a, b, range(12), capacity=512)
+        for i, (cols, vals) in enumerate(rows):
+            ocols, ovals = oracle.row(i)
+            assert np.array_equal(cols, ocols)
+            assert np.allclose(vals, ovals)
+        assert stats.inserts == oracle.nnz
+        assert not stats.wide_keys
+
+    def test_wide_keys_for_huge_column_space(self):
+        cols = MAX_COLS_32BIT + 10
+        a = CSR.from_coo([0], [0], [2.0], (1, 1))
+        b = CSR.from_coo([0, 0], [5, MAX_COLS_32BIT + 1], [1.0, 3.0], (1, cols))
+        rows, stats = block_hash_accumulate(a, b, [0], capacity=16)
+        assert stats.wide_keys
+        assert list(rows[0][0]) == [5, MAX_COLS_32BIT + 1]
+        assert list(rows[0][1]) == [2.0, 6.0]
+
+    def test_too_many_rows_rejected(self, rng):
+        a = random_csr(rng, 40, 40, 0.1)
+        with pytest.raises(ValueError):
+            block_hash_accumulate(a, a, range(33), capacity=4096)
+
+
+class TestRankSort:
+    def test_sorts(self, rng):
+        cols = rng.choice(500, size=30, replace=False)
+        vals = rng.random(30)
+        sc, sv, ops = rank_sort(cols, vals)
+        order = np.argsort(cols)
+        assert np.array_equal(sc, cols[order])
+        assert np.array_equal(sv, vals[order])
+        assert ops == 900
+
+    def test_empty(self):
+        sc, sv, ops = rank_sort(np.array([]), np.array([]))
+        assert sc.size == 0 and ops == 0
+
+
+class TestRadixSort:
+    def test_sorts_pairs(self, rng):
+        keys = rng.integers(0, 1 << 20, size=200)
+        vals = rng.random(200)
+        sk, sv, passes = radix_sort_pairs(keys, vals)
+        order = np.argsort(keys, kind="stable")
+        assert np.array_equal(sk, keys[order])
+        assert np.array_equal(sv, vals[order])
+        assert passes == radix_passes(int(keys.max()))
+
+    def test_pass_count(self):
+        assert radix_passes(255) == 1
+        assert radix_passes(256) == 2
+        assert radix_passes(1 << 31) == 4
+        assert radix_passes(0) == 1
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            radix_sort_pairs(np.array([-1]), np.array([0.0]))
+
+    def test_empty(self):
+        sk, sv, passes = radix_sort_pairs(np.array([], dtype=int), np.array([]))
+        assert passes == 0
+
+    @given(st.lists(st.integers(min_value=0, max_value=1 << 30), max_size=60))
+    @settings(max_examples=40)
+    def test_matches_numpy_property(self, keys):
+        keys = np.array(keys, dtype=np.int64)
+        vals = keys.astype(float) * 0.5
+        sk, sv, _ = radix_sort_pairs(keys, vals)
+        assert np.array_equal(sk, np.sort(keys))
+
+    def test_agrees_with_rank_sort(self, rng):
+        cols = rng.choice(10_000, size=64, replace=False)
+        vals = rng.random(64)
+        r_cols, r_vals, _ = rank_sort(cols, vals)
+        x_cols, x_vals, _ = radix_sort_pairs(cols, vals)
+        assert np.array_equal(r_cols, x_cols)
+        assert np.allclose(r_vals, x_vals)

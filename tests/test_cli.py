@@ -1,0 +1,118 @@
+"""Tests for the command-line interface."""
+
+import numpy as np
+import pytest
+
+from repro.cli import build_parser, main
+from repro.matrices import write_mtx
+
+from conftest import random_csr
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_rejects_unknown_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["frobnicate"])
+
+    @pytest.mark.parametrize("cmd", ["multiply", "bench", "tune", "spy", "info"])
+    def test_known_commands_parse(self, cmd):
+        args = build_parser().parse_args([cmd])
+        assert args.command == cmd
+
+
+class TestMultiply:
+    def test_generator_default(self, capsys):
+        assert main(["multiply", "--family", "banded", "--size", "300"]) == 0
+        out = capsys.readouterr().out
+        assert "spECK" in out and "products" in out
+
+    def test_all_methods(self, capsys):
+        assert main(["multiply", "--family", "circuit", "--size", "200",
+                     "--methods", "all"]) == 0
+        out = capsys.readouterr().out
+        for name in ("spECK", "nsparse", "MKL", "cuSPARSE"):
+            assert name in out
+
+    def test_subset_methods(self, capsys):
+        assert main(["multiply", "--family", "mesh", "--size", "100",
+                     "--methods", "spECK,MKL"]) == 0
+        out = capsys.readouterr().out
+        assert "MKL" in out and "nsparse" not in out
+
+    def test_execute_mode(self, capsys):
+        assert main(["multiply", "--family", "diagonal", "--size", "100",
+                     "--execute"]) == 0
+        assert "executed" in capsys.readouterr().out
+
+    def test_from_mtx_file(self, tmp_path, rng, capsys):
+        m = random_csr(rng, 30, 30, 0.1)
+        path = tmp_path / "m.mtx"
+        write_mtx(path, m)
+        assert main(["multiply", "--mtx", str(path)]) == 0
+        assert "30 x 30" in capsys.readouterr().out
+
+    def test_rectangular_mtx_uses_transpose(self, tmp_path, rng, capsys):
+        m = random_csr(rng, 10, 40, 0.2)
+        path = tmp_path / "r.mtx"
+        write_mtx(path, m)
+        assert main(["multiply", "--mtx", str(path)]) == 0
+        assert "10 x 40" in capsys.readouterr().out
+
+
+class TestOtherCommands:
+    def test_bench_small(self, capsys):
+        assert main(["bench", "--small"]) == 0
+        out = capsys.readouterr().out
+        assert "#best" in out and "t/t_b" in out
+
+    def test_tune_small(self, capsys):
+        assert main(["tune", "--small"]) == 0
+        out = capsys.readouterr().out
+        assert "ratio" in out and "accuracy" in out
+
+    def test_spy(self, capsys):
+        assert main(["spy", "--family", "banded", "--size", "200",
+                     "--grid", "12"]) == 0
+        out = capsys.readouterr().out
+        assert "#" in out
+
+    def test_info(self, capsys):
+        assert main(["info", "--family", "skew", "--size", "500"]) == 0
+        out = capsys.readouterr().out
+        assert "compaction" in out and "single-entry rows" in out
+
+    def test_info_counts_match(self, capsys):
+        assert main(["info", "--family", "diagonal", "--size", "64"]) == 0
+        out = capsys.readouterr().out
+        assert "single-entry rows of A: 64" in out
+
+
+class TestDeviceOption:
+    def test_device_preset_accepted(self, capsys):
+        assert main(["multiply", "--family", "banded", "--size", "300",
+                     "--device", "a100"]) == 0
+        assert "spECK" in capsys.readouterr().out
+
+    def test_unknown_device_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["multiply", "--device", "gtx480"])
+
+    def test_faster_device_reports_lower_time(self, capsys):
+        main(["multiply", "--family", "banded", "--size", "20000",
+              "--device", "titan-v"])
+        out_titan = capsys.readouterr().out
+        main(["multiply", "--family", "banded", "--size", "20000",
+              "--device", "a100"])
+        out_a100 = capsys.readouterr().out
+
+        def speck_ms(text):
+            for line in text.splitlines():
+                if line.startswith("spECK"):
+                    return float(line.split()[1])
+            raise AssertionError("no spECK line")
+
+        assert speck_ms(out_a100) < speck_ms(out_titan)

@@ -1,0 +1,80 @@
+"""Tests for the sweep comparison / regression-detection tool."""
+
+import copy
+
+import pytest
+
+from repro.eval import run_suite, small_corpus
+from repro.eval.compare import compare_results
+from repro.eval.export import result_from_json, result_to_json
+
+
+@pytest.fixture(scope="module")
+def result():
+    return run_suite(small_corpus())
+
+
+def clone(result):
+    return result_from_json(result_to_json(result))
+
+
+class TestCompare:
+    def test_identical_sweeps_no_deltas(self, result):
+        report = compare_results(result, clone(result))
+        assert not report.regressions
+        assert not report.improvements
+        assert not report.new_failures
+        for r in report.method_ratios.values():
+            assert r == pytest.approx(1.0)
+
+    def test_slowdown_detected(self, result):
+        worse = clone(result)
+        for run in worse.runs:
+            if run.method == "spECK":
+                run.time_s *= 2.0
+        report = compare_results(result, worse)
+        assert report.method_ratios["spECK"] == pytest.approx(2.0)
+        assert any(d.method == "spECK" for d in report.regressions)
+        # other methods untouched
+        assert report.method_ratios["nsparse"] == pytest.approx(1.0)
+
+    def test_improvement_detected(self, result):
+        better = clone(result)
+        for run in better.runs:
+            if run.method == "nsparse":
+                run.time_s *= 0.5
+        report = compare_results(result, better)
+        assert any(d.method == "nsparse" for d in report.improvements)
+
+    def test_threshold_respected(self, result):
+        slightly = clone(result)
+        for run in slightly.runs:
+            run.time_s *= 1.05
+        report = compare_results(result, slightly, threshold=1.10)
+        assert not report.regressions
+        report2 = compare_results(result, slightly, threshold=1.01)
+        assert report2.regressions
+
+    def test_new_failure_flagged(self, result):
+        broken = clone(result)
+        broken.runs[0].valid = False
+        report = compare_results(result, broken)
+        assert len(report.new_failures) == 1
+
+    def test_fixed_failure_flagged(self, result):
+        was_broken = clone(result)
+        was_broken.runs[0].valid = False
+        report = compare_results(was_broken, result)
+        assert len(report.fixed_failures) == 1
+
+    def test_family_ratios_present(self, result):
+        report = compare_results(result, clone(result))
+        assert "spECK" in report.family_ratios
+        assert "banded" in report.family_ratios["spECK"]
+
+    def test_render(self, result):
+        worse = clone(result)
+        for run in worse.runs:
+            run.time_s *= 1.5
+        text = compare_results(result, worse).render()
+        assert "regressions" in text and "REG" in text

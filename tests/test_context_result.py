@@ -1,0 +1,88 @@
+"""Tests for MultiplyContext and SpGEMMResult."""
+
+import numpy as np
+import pytest
+
+from repro.core import MultiplyContext, device_csr_bytes
+from repro.matrices.csr import csr_zeros
+from repro.matrices.generators import banded, rect_lp
+from repro.result import SpGEMMResult
+
+from conftest import random_csr
+
+
+class TestMultiplyContext:
+    def test_lazy_caching(self, rng):
+        a = random_csr(rng, 40, 40, 0.1)
+        ctx = MultiplyContext(a, a)
+        assert ctx._c is None
+        c1 = ctx.c
+        assert ctx.c is c1  # cached
+
+    def test_c_row_nnz_matches_c(self, rng):
+        a = random_csr(rng, 30, 30, 0.15)
+        ctx = MultiplyContext(a, a)
+        assert np.array_equal(ctx.c_row_nnz, ctx.c.row_nnz())
+        assert ctx.c_nnz == ctx.c.nnz
+
+    def test_flops_definition(self, rng):
+        a = random_csr(rng, 20, 20, 0.2)
+        ctx = MultiplyContext(a, a)
+        assert ctx.flops == 2 * ctx.total_products
+
+    def test_compaction_at_least_one(self, rng):
+        a = random_csr(rng, 25, 25, 0.2)
+        ctx = MultiplyContext(a, a)
+        if ctx.c_nnz:
+            assert ctx.compaction >= 1.0
+
+    def test_rectangular(self):
+        a = rect_lp(20, 100, 4, seed=1)
+        b = a.transpose()
+        ctx = MultiplyContext(a, b)
+        assert ctx.c.shape == (20, 20)
+
+    def test_shape_mismatch_rejected(self, rng):
+        a = random_csr(rng, 4, 5, 0.5)
+        b = random_csr(rng, 4, 5, 0.5)
+        with pytest.raises(ValueError):
+            MultiplyContext(a, b)
+
+    def test_byte_accounting(self):
+        a = banded(100, 2, seed=1)
+        ctx = MultiplyContext(a, a)
+        assert ctx.input_bytes == 2 * device_csr_bytes(a.rows, a.nnz)
+        assert ctx.output_bytes == device_csr_bytes(a.rows, ctx.c_nnz)
+
+    def test_empty_matrix_context(self):
+        z = csr_zeros((6, 6))
+        ctx = MultiplyContext(z, z)
+        assert ctx.total_products == 0
+        assert ctx.c_nnz == 0
+        assert ctx.compaction == 0.0
+
+    def test_device_csr_bytes_formula(self):
+        # 32-bit offsets + (32-bit index + 64-bit value) per entry
+        assert device_csr_bytes(10, 100) == 4 * 11 + 12 * 100
+
+
+class TestSpGEMMResult:
+    def test_gflops(self):
+        r = SpGEMMResult(method="x", c=None, time_s=1e-3, peak_mem_bytes=1)
+        assert r.gflops(2_000_000) == pytest.approx(2.0)
+
+    def test_gflops_invalid_is_zero(self):
+        r = SpGEMMResult.failed("x", "boom")
+        assert r.gflops(10**9) == 0.0
+
+    def test_failed_constructor(self):
+        r = SpGEMMResult.failed("m", "out of memory")
+        assert not r.valid
+        assert r.failure == "out of memory"
+        assert r.time_s == float("inf")
+        assert r.c is None
+
+    def test_default_flags(self):
+        r = SpGEMMResult(method="x", c=None, time_s=1.0, peak_mem_bytes=0)
+        assert r.valid and r.sorted_output
+        assert r.stage_times == {} and r.decisions == {}

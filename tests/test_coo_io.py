@@ -1,0 +1,151 @@
+"""Tests for the COO container and MatrixMarket I/O."""
+
+import gzip
+
+import numpy as np
+import pytest
+
+from repro.matrices import COO, CSR, MatrixMarketError, read_mtx, write_mtx
+
+from conftest import random_csr
+
+
+class TestCOO:
+    def test_roundtrip_csr(self, rng):
+        m = random_csr(rng, 10, 8, 0.3)
+        again = COO.from_csr(m).to_csr()
+        assert again.allclose(m)
+
+    def test_duplicates_summed_on_conversion(self):
+        coo = COO(
+            np.array([0, 0]), np.array([1, 1]), np.array([2.0, 3.0]), (1, 2)
+        )
+        m = coo.to_csr()
+        assert m.nnz == 1 and m.data[0] == 5.0
+
+    def test_validation_rejects_bad_rows(self):
+        with pytest.raises(ValueError):
+            COO(np.array([4]), np.array([0]), np.array([1.0]), (2, 2))
+
+    def test_validation_rejects_bad_cols(self):
+        with pytest.raises(ValueError):
+            COO(np.array([0]), np.array([4]), np.array([1.0]), (2, 2))
+
+    def test_validation_rejects_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            COO(np.array([0, 1]), np.array([0]), np.array([1.0]), (2, 2))
+
+    def test_validation_rejects_2d(self):
+        with pytest.raises(ValueError):
+            COO(np.zeros((2, 2), dtype=int), np.zeros((2, 2), dtype=int),
+                np.zeros((2, 2)), (2, 2))
+
+    def test_transpose(self, rng):
+        m = random_csr(rng, 6, 9, 0.3)
+        t = COO.from_csr(m).transpose().to_csr()
+        assert np.array_equal(t.to_dense(), m.to_dense().T)
+
+    def test_nnz_counts_duplicates(self):
+        coo = COO(np.array([0, 0]), np.array([0, 0]), np.ones(2), (1, 1))
+        assert coo.nnz == 2
+
+
+class TestMatrixMarket:
+    def test_roundtrip(self, tmp_path, rng):
+        m = random_csr(rng, 12, 9, 0.25)
+        path = tmp_path / "m.mtx"
+        write_mtx(path, m, comment="roundtrip test")
+        again = read_mtx(path)
+        assert again.shape == m.shape
+        assert np.allclose(again.to_dense(), m.to_dense())
+
+    def test_roundtrip_empty(self, tmp_path):
+        from repro.matrices.csr import csr_zeros
+
+        path = tmp_path / "e.mtx"
+        write_mtx(path, csr_zeros((3, 4)))
+        again = read_mtx(path)
+        assert again.shape == (3, 4) and again.nnz == 0
+
+    def test_pattern_matrix(self, tmp_path):
+        path = tmp_path / "p.mtx"
+        path.write_text(
+            "%%MatrixMarket matrix coordinate pattern general\n"
+            "2 2 2\n1 1\n2 2\n"
+        )
+        m = read_mtx(path)
+        assert np.array_equal(m.to_dense(), np.eye(2))
+
+    def test_symmetric_expansion(self, tmp_path):
+        path = tmp_path / "s.mtx"
+        path.write_text(
+            "%%MatrixMarket matrix coordinate real symmetric\n"
+            "3 3 3\n1 1 5.0\n2 1 2.0\n3 2 4.0\n"
+        )
+        m = read_mtx(path)
+        d = m.to_dense()
+        assert d[0, 1] == 2.0 and d[1, 0] == 2.0
+        assert d[1, 2] == 4.0 and d[2, 1] == 4.0
+        assert m.nnz == 5
+
+    def test_skew_symmetric_expansion(self, tmp_path):
+        path = tmp_path / "k.mtx"
+        path.write_text(
+            "%%MatrixMarket matrix coordinate real skew-symmetric\n"
+            "2 2 1\n2 1 3.0\n"
+        )
+        d = read_mtx(path).to_dense()
+        assert d[1, 0] == 3.0 and d[0, 1] == -3.0
+
+    def test_comments_skipped(self, tmp_path):
+        path = tmp_path / "c.mtx"
+        path.write_text(
+            "%%MatrixMarket matrix coordinate real general\n"
+            "% a comment\n% another\n"
+            "1 1 1\n1 1 9.5\n"
+        )
+        m = read_mtx(path)
+        assert m.data[0] == 9.5
+
+    def test_gzip_supported(self, tmp_path, rng):
+        m = random_csr(rng, 5, 5, 0.4)
+        plain = tmp_path / "g.mtx"
+        write_mtx(plain, m)
+        gz = tmp_path / "g.mtx.gz"
+        gz.write_bytes(gzip.compress(plain.read_bytes()))
+        again = read_mtx(gz)
+        assert np.allclose(again.to_dense(), m.to_dense())
+
+    def test_rejects_missing_header(self, tmp_path):
+        path = tmp_path / "bad.mtx"
+        path.write_text("1 1 1\n1 1 1.0\n")
+        with pytest.raises(MatrixMarketError):
+            read_mtx(path)
+
+    def test_rejects_array_format(self, tmp_path):
+        path = tmp_path / "bad.mtx"
+        path.write_text("%%MatrixMarket matrix array real general\n2 2\n1\n2\n3\n4\n")
+        with pytest.raises(MatrixMarketError):
+            read_mtx(path)
+
+    def test_rejects_complex_field(self, tmp_path):
+        path = tmp_path / "bad.mtx"
+        path.write_text(
+            "%%MatrixMarket matrix coordinate complex general\n1 1 1\n1 1 1.0 0.0\n"
+        )
+        with pytest.raises(MatrixMarketError):
+            read_mtx(path)
+
+    def test_rejects_truncated_body(self, tmp_path):
+        path = tmp_path / "bad.mtx"
+        path.write_text(
+            "%%MatrixMarket matrix coordinate real general\n2 2 3\n1 1 1.0\n"
+        )
+        with pytest.raises(MatrixMarketError):
+            read_mtx(path)
+
+    def test_rejects_malformed_size_line(self, tmp_path):
+        path = tmp_path / "bad.mtx"
+        path.write_text("%%MatrixMarket matrix coordinate real general\n2 2\n")
+        with pytest.raises(MatrixMarketError):
+            read_mtx(path)

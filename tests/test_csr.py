@@ -1,0 +1,260 @@
+"""Tests for the CSR container: construction, invariants, operations."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.matrices.csr import (
+    CSR,
+    csr_identity,
+    csr_zeros,
+    expand_ranges,
+)
+
+from conftest import csr_matrices, random_csr
+
+
+class TestConstruction:
+    def test_from_coo_basic(self):
+        m = CSR.from_coo([0, 1, 2], [2, 0, 1], [1.0, 2.0, 3.0], (3, 3))
+        assert m.nnz == 3
+        assert m.shape == (3, 3)
+        assert m.to_dense()[0, 2] == 1.0
+
+    def test_from_coo_sums_duplicates(self):
+        m = CSR.from_coo([0, 0, 0], [1, 1, 1], [1.0, 2.0, 3.0], (1, 2))
+        assert m.nnz == 1
+        assert m.data[0] == 6.0
+
+    def test_from_coo_keeps_duplicates_when_disabled(self):
+        m = CSR.from_coo(
+            [0, 0], [1, 1], [1.0, 2.0], (1, 2), sum_duplicates=False
+        )
+        assert m.nnz == 2
+
+    def test_from_coo_sorts_within_rows(self):
+        m = CSR.from_coo([0, 0, 0], [5, 1, 3], [1.0, 2.0, 3.0], (1, 6))
+        assert list(m.indices) == [1, 3, 5]
+
+    def test_from_coo_rejects_out_of_range_rows(self):
+        with pytest.raises(ValueError):
+            CSR.from_coo([5], [0], [1.0], (3, 3))
+
+    def test_from_coo_rejects_out_of_range_cols(self):
+        with pytest.raises(ValueError):
+            CSR.from_coo([0], [9], [1.0], (3, 3))
+
+    def test_from_coo_rejects_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            CSR.from_coo([0, 1], [0], [1.0], (3, 3))
+
+    def test_from_dense_roundtrip(self, rng):
+        d = rng.random((7, 5))
+        d[d < 0.5] = 0.0
+        m = CSR.from_dense(d)
+        assert np.array_equal(m.to_dense(), d)
+
+    def test_from_dense_rejects_1d(self):
+        with pytest.raises(ValueError):
+            CSR.from_dense(np.ones(4))
+
+    def test_empty_matrix(self):
+        m = csr_zeros((4, 6))
+        assert m.nnz == 0
+        assert m.to_dense().shape == (4, 6)
+        m.validate()
+
+    def test_identity(self):
+        m = csr_identity(5, value=2.0)
+        assert np.array_equal(m.to_dense(), 2.0 * np.eye(5))
+
+
+class TestValidation:
+    def test_validate_rejects_bad_indptr_start(self):
+        with pytest.raises(ValueError):
+            CSR(np.array([1, 1]), np.array([], dtype=int), np.array([]), (1, 1))
+
+    def test_validate_rejects_bad_indptr_end(self):
+        with pytest.raises(ValueError):
+            CSR(np.array([0, 2]), np.array([0]), np.array([1.0]), (1, 1))
+
+    def test_validate_rejects_decreasing_indptr(self):
+        with pytest.raises(ValueError):
+            CSR(
+                np.array([0, 2, 1, 3]),
+                np.array([0, 1, 0]),
+                np.ones(3),
+                (3, 2),
+            )
+
+    def test_validate_rejects_column_out_of_range(self):
+        with pytest.raises(ValueError):
+            CSR(np.array([0, 1]), np.array([5]), np.array([1.0]), (1, 3))
+
+    def test_validate_rejects_unsorted_columns(self):
+        with pytest.raises(ValueError):
+            CSR(
+                np.array([0, 2]),
+                np.array([3, 1]),
+                np.array([1.0, 2.0]),
+                (1, 4),
+            )
+
+    def test_validate_rejects_duplicate_columns(self):
+        with pytest.raises(ValueError):
+            CSR(
+                np.array([0, 2]),
+                np.array([1, 1]),
+                np.array([1.0, 2.0]),
+                (1, 4),
+            )
+
+    def test_validate_rejects_length_mismatch(self):
+        with pytest.raises(ValueError):
+            CSR(np.array([0, 1]), np.array([0]), np.array([1.0, 2.0]), (1, 1))
+
+    def test_validate_accepts_trailing_empty_rows(self):
+        m = CSR(
+            np.array([0, 1, 1, 1]),
+            np.array([0]),
+            np.array([1.0]),
+            (3, 1),
+        )
+        m.validate()
+
+
+class TestOperations:
+    def test_transpose_dense_equivalence(self, rng):
+        m = random_csr(rng, 9, 13, 0.2)
+        assert np.array_equal(m.transpose().to_dense(), m.to_dense().T)
+
+    def test_transpose_involution(self, rng):
+        m = random_csr(rng, 8, 8, 0.3)
+        assert m.transpose().transpose().allclose(m)
+
+    def test_transpose_output_sorted(self, rng):
+        m = random_csr(rng, 10, 10, 0.4)
+        m.transpose().validate()
+
+    def test_row_access(self):
+        m = CSR.from_coo([0, 0, 1], [1, 3, 0], [5.0, 6.0, 7.0], (2, 4))
+        cols, vals = m.row(0)
+        assert list(cols) == [1, 3]
+        assert list(vals) == [5.0, 6.0]
+        cols1, _ = m.row(1)
+        assert list(cols1) == [0]
+
+    def test_row_nnz(self):
+        m = CSR.from_coo([0, 0, 2], [0, 1, 2], np.ones(3), (3, 3))
+        assert list(m.row_nnz()) == [2, 0, 1]
+
+    def test_row_ids(self):
+        m = CSR.from_coo([0, 0, 2], [0, 1, 2], np.ones(3), (3, 3))
+        assert list(m.row_ids()) == [0, 0, 2]
+
+    def test_select_rows(self, rng):
+        m = random_csr(rng, 12, 7, 0.3)
+        sub = m.select_rows([3, 0, 7])
+        d = m.to_dense()
+        assert np.array_equal(sub.to_dense(), d[[3, 0, 7]])
+
+    def test_select_rows_empty_selection(self, rng):
+        m = random_csr(rng, 5, 5, 0.3)
+        sub = m.select_rows([])
+        assert sub.shape == (0, 5)
+        assert sub.nnz == 0
+
+    def test_copy_is_independent(self, rng):
+        m = random_csr(rng, 5, 5, 0.5)
+        c = m.copy()
+        c.data[:] = 0.0
+        assert not np.array_equal(c.data, m.data) or m.nnz == 0
+
+    def test_sort_rows_repairs_unsorted(self):
+        m = CSR(
+            np.array([0, 3]),
+            np.array([4, 0, 2]),
+            np.array([1.0, 2.0, 3.0]),
+            (1, 5),
+            check=False,
+        )
+        s = m.sort_rows()
+        s.validate()
+        assert list(s.indices) == [0, 2, 4]
+        assert list(s.data) == [2.0, 3.0, 1.0]
+
+    def test_memory_bytes_positive(self, rng):
+        m = random_csr(rng, 6, 6, 0.2)
+        assert m.memory_bytes() >= m.indptr.nbytes
+
+    def test_allclose_detects_value_difference(self, rng):
+        m = random_csr(rng, 6, 6, 0.4)
+        c = m.copy()
+        if c.nnz:
+            c.data[0] += 1.0
+            assert not m.allclose(c)
+
+    def test_allclose_different_shapes(self):
+        assert not csr_zeros((2, 2)).allclose(csr_zeros((2, 3)))
+
+
+class TestExpandRanges:
+    def test_simple(self):
+        out = expand_ranges(np.array([10, 20]), np.array([3, 2]))
+        assert list(out) == [10, 11, 12, 20, 21]
+
+    def test_empty_counts(self):
+        out = expand_ranges(np.array([5, 7, 9]), np.array([0, 2, 0]))
+        assert list(out) == [7, 8]
+
+    def test_all_empty(self):
+        out = expand_ranges(np.array([1, 2]), np.array([0, 0]))
+        assert out.size == 0
+
+    def test_no_ranges(self):
+        out = expand_ranges(np.array([], dtype=int), np.array([], dtype=int))
+        assert out.size == 0
+
+    @given(
+        st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=100),
+                st.integers(min_value=0, max_value=10),
+            ),
+            max_size=30,
+        )
+    )
+    def test_matches_naive(self, ranges):
+        starts = np.array([s for s, _ in ranges], dtype=np.int64)
+        counts = np.array([c for _, c in ranges], dtype=np.int64)
+        expected = np.concatenate(
+            [np.arange(s, s + c) for s, c in ranges] or [np.array([], dtype=np.int64)]
+        )
+        assert np.array_equal(expand_ranges(starts, counts), expected)
+
+
+class TestPropertyBased:
+    @given(csr_matrices())
+    @settings(max_examples=60)
+    def test_from_coo_always_valid(self, m):
+        m.validate()
+
+    @given(csr_matrices())
+    @settings(max_examples=60)
+    def test_dense_roundtrip(self, m):
+        again = CSR.from_dense(m.to_dense())
+        # Round trip may drop entries that summed to exactly zero.
+        assert np.allclose(again.to_dense(), m.to_dense())
+
+    @given(csr_matrices())
+    @settings(max_examples=60)
+    def test_transpose_involution_property(self, m):
+        t = m.transpose()
+        t.validate()
+        assert np.array_equal(t.transpose().to_dense(), m.to_dense())
+
+    @given(csr_matrices())
+    @settings(max_examples=40)
+    def test_row_nnz_sums_to_nnz(self, m):
+        assert int(m.row_nnz().sum()) == m.nnz

@@ -1,0 +1,222 @@
+"""Tests for the evaluation harness, metrics, tables, figures and reports."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import PAPER_LINEUP, all_algorithms
+from repro.eval import (
+    PRODUCT_CUTOFF,
+    best_times,
+    common_matrices,
+    compute_table3,
+    evaluate_case,
+    figure6_gflops_trend,
+    figure7_slowdown,
+    figure9_common_gflops,
+    figure10_common_memory,
+    figure11_stage_shares,
+    figure12_accumulator_ablation,
+    figure13_local_lb_ablation,
+    figure14_global_lb_ablation,
+    figure15_per_matrix_gflops,
+    full_corpus,
+    render_table3,
+    render_table4,
+    run_suite,
+    small_corpus,
+    table4,
+)
+from repro.eval.report import (
+    render_matrix_table,
+    render_series_table,
+    render_slowdown_profile,
+    render_stage_shares,
+    spy_text,
+)
+from repro.eval.suite import MatrixCase
+from repro.matrices.generators import banded
+
+
+@pytest.fixture(scope="module")
+def small_result():
+    return run_suite(small_corpus())
+
+
+class TestSuiteDefinitions:
+    def test_full_corpus_has_many_cases(self):
+        cases = full_corpus()
+        assert len(cases) >= 80
+        assert len({c.name for c in cases}) == len(cases)
+
+    def test_families_covered(self):
+        fams = {c.family for c in full_corpus()}
+        assert {"banded", "mesh", "circuit", "powerlaw", "uniform", "lp",
+                "stripe", "skew", "diagonal", "blocks"} <= fams
+
+    def test_common_matrices_are_eleven(self):
+        cases = common_matrices()
+        assert len(cases) == 11
+        assert {c.name for c in cases} >= {"webbase", "stat96v2", "TSC_OPF", "QCD"}
+
+    def test_case_caching_and_release(self):
+        case = small_corpus()[0]
+        a1, _ = case.matrices()
+        a2, _ = case.matrices()
+        assert a1 is a2
+        case.release()
+        a3, _ = case.matrices()
+        assert a3 is not a1
+
+    def test_rectangular_case_builds_transpose(self):
+        case = next(c for c in small_corpus() if c.rectangular)
+        a, b = case.matrices()
+        assert a.shape == (b.shape[1], b.shape[0])
+
+
+class TestHarness:
+    def test_evaluate_case_records(self):
+        case = small_corpus()[0]
+        mrec, runs = evaluate_case(case, all_algorithms())
+        assert mrec.products > 0
+        assert len(runs) == len(PAPER_LINEUP)
+        assert {r.method for r in runs} == set(PAPER_LINEUP)
+
+    def test_run_suite_structure(self, small_result):
+        assert len(small_result.matrices) == len(small_corpus())
+        assert small_result.methods() == PAPER_LINEUP
+        for m in small_result.matrices:
+            assert len(small_result.by_matrix(m)) == len(PAPER_LINEUP)
+
+    def test_record_lookup(self, small_result):
+        name = next(iter(small_result.matrices))
+        rec = small_result.record(name, "spECK")
+        assert rec is not None and rec.method == "spECK"
+        assert small_result.record(name, "nope") is None
+
+    def test_matrix_record_derived_fields(self, small_result):
+        rec = next(iter(small_result.matrices.values()))
+        assert rec.flops == 2 * rec.products
+        assert rec.compaction >= 1.0
+
+
+class TestMetrics:
+    def test_best_times_positive(self, small_result):
+        bt = best_times(small_result)
+        assert len(bt) == len(small_result.matrices)
+        assert all(v > 0 for v in bt.values())
+
+    def test_every_matrix_has_a_winner(self, small_result):
+        stats = compute_table3(small_result)
+        assert sum(s.n_best for s in stats.values()) >= len(small_result.matrices)
+
+    def test_speck_never_invalid(self, small_result):
+        assert compute_table3(small_result)["spECK"].n_invalid == 0
+
+    def test_speck_memory_is_baseline(self, small_result):
+        stats = compute_table3(small_result)
+        assert stats["spECK"].mem_rel == pytest.approx(1.0)
+
+    def test_relative_times_at_least_one(self, small_result):
+        for s in compute_table3(small_result).values():
+            if s.t_rel == s.t_rel:  # not NaN
+                assert s.t_rel >= 1.0
+
+    def test_star_counts_bounded_by_full_counts(self, small_result):
+        for s in compute_table3(small_result).values():
+            assert s.n_best_star <= s.n_best
+            assert s.n_5x_star <= s.n_5x
+
+    def test_render_table3(self, small_result):
+        text = render_table3(compute_table3(small_result), PAPER_LINEUP)
+        assert "spECK" in text and "#best" in text and "t/t_b" in text
+
+    def test_render_table4(self, small_result):
+        text = render_table4(table4(small_result))
+        assert "Rows(k)" in text
+
+
+class TestFigures:
+    def test_figure6(self, small_result):
+        data = figure6_gflops_trend(small_result, n_buckets=5)
+        assert len(data["products"]) >= 2
+        for m, series in data["gflops"].items():
+            assert len(series) == len(data["products"])
+            assert all(v >= 0 for v in series)
+
+    def test_figure7(self, small_result):
+        prof = figure7_slowdown(small_result, cutoff=1000)
+        assert all(all(v >= 1.0 - 1e-9 for v in vals) for vals in prof.values())
+        assert all(vals == sorted(vals) for vals in prof.values())
+
+    def test_figure9_10(self, small_result):
+        g = figure9_common_gflops(small_result)
+        m = figure10_common_memory(small_result)
+        assert set(g) == set(small_result.matrices)
+        assert set(m) == set(small_result.matrices)
+
+    def test_figure11(self, small_result):
+        shares = figure11_stage_shares(small_result)
+        for d in shares.values():
+            assert sum(d.values()) == pytest.approx(1.0)
+
+    def test_figure15(self, small_result):
+        data = figure15_per_matrix_gflops(small_result)
+        assert all("spECK" in d for d in data.values())
+
+
+class TestAblationFigures:
+    @pytest.fixture(scope="class")
+    def ablation_cases(self):
+        return [
+            MatrixCase("uniform", "t", lambda: banded(3000, 6, seed=1)),
+            MatrixCase(
+                "skewed",
+                "t",
+                lambda: __import__(
+                    "repro.matrices.generators", fromlist=["skew_single"]
+                ).skew_single(8000, 4, 3000, seed=2),
+            ),
+        ]
+
+    def test_figure12(self, ablation_cases):
+        data = figure12_accumulator_ablation(ablation_cases)
+        assert data["variants"] == ["Hash", "Hash + Dense", "Hash + Dense + Direct"]
+        assert len(data["rows"]) == 2
+        for row in data["rows"]:
+            assert min(row["slowdown"].values()) == pytest.approx(1.0)
+
+    def test_figure13(self, ablation_cases):
+        data = figure13_local_lb_ablation(ablation_cases)
+        assert len(data["rows"]) == 2
+        xs = [r["avg_nnz_row_c"] for r in data["rows"]]
+        assert xs == sorted(xs)
+
+    def test_figure14(self, ablation_cases):
+        data = figure14_global_lb_ablation(ablation_cases)
+        for row in data["rows"]:
+            assert set(row["slowdown"]) == {"always off", "always on", "automatic"}
+
+
+class TestReportRendering:
+    def test_series_table(self):
+        text = render_series_table("x", [1.0, 2.0], {"a": [0.5, 0.7], "b": [1.0]})
+        assert "a" in text and "-" in text  # missing point rendered as '-'
+
+    def test_matrix_table(self):
+        text = render_matrix_table({"m1": {"x": 1.0}, "m2": {"x": float("nan")}})
+        assert "m1" in text and "-" in text
+
+    def test_slowdown_profile(self):
+        text = render_slowdown_profile({"a": [1.0, 2.0, 3.0], "b": []}, n_points=5)
+        assert "100%" in text.replace(" ", "")
+
+    def test_stage_shares_render(self):
+        text = render_stage_shares({"m": {"analysis": 0.5, "numeric": 0.5}})
+        assert "%" in text
+
+    def test_spy_text(self):
+        art = spy_text(banded(64, 2, seed=0), size=16)
+        lines = art.splitlines()
+        assert len(lines) == 16
+        # banded matrix: diagonal marked
+        assert lines[0][0] == "#" and lines[15][15] == "#"

@@ -1,0 +1,84 @@
+"""Tests for evaluation result export/import."""
+
+import csv
+import json
+
+import pytest
+
+from repro.eval import compute_table3, run_suite, small_corpus
+from repro.eval.export import result_from_json, result_to_json, runs_to_csv
+
+
+@pytest.fixture(scope="module")
+def result():
+    return run_suite(small_corpus())
+
+
+class TestCsv:
+    def test_row_count(self, result, tmp_path):
+        path = tmp_path / "runs.csv"
+        n = runs_to_csv(result, path)
+        assert n == len(result.runs)
+        with open(path) as fh:
+            rows = list(csv.DictReader(fh))
+        assert len(rows) == n
+
+    def test_fields_present(self, result, tmp_path):
+        path = tmp_path / "runs.csv"
+        runs_to_csv(result, path)
+        with open(path) as fh:
+            row = next(csv.DictReader(fh))
+        for key in ("matrix", "method", "time_s", "gflops", "products"):
+            assert key in row
+
+    def test_gflops_consistent(self, result, tmp_path):
+        path = tmp_path / "runs.csv"
+        runs_to_csv(result, path)
+        with open(path) as fh:
+            for row in csv.DictReader(fh):
+                if row["valid"] == "True" and row["time_s"]:
+                    expected = 2 * int(row["products"]) / float(row["time_s"]) / 1e9
+                    assert float(row["gflops"]) == pytest.approx(expected, rel=1e-9)
+                    break
+
+
+class TestJsonRoundtrip:
+    def test_roundtrip_preserves_records(self, result, tmp_path):
+        path = tmp_path / "result.json"
+        result_to_json(result, path)
+        again = result_from_json(path)
+        assert set(again.matrices) == set(result.matrices)
+        assert len(again.runs) == len(result.runs)
+        r0, a0 = result.runs[0], again.runs[0]
+        assert (r0.matrix, r0.method, r0.time_s) == (a0.matrix, a0.method, a0.time_s)
+
+    def test_roundtrip_preserves_metrics(self, result):
+        text = result_to_json(result)
+        again = result_from_json(text)
+        s1 = compute_table3(result)
+        s2 = compute_table3(again)
+        for m in s1:
+            assert s1[m].n_best == s2[m].n_best
+            assert s1[m].t_rel == pytest.approx(s2[m].t_rel, nan_ok=True)
+
+    def test_json_is_valid(self, result):
+        payload = json.loads(result_to_json(result))
+        assert "matrices" in payload and "runs" in payload
+
+    def test_invalid_runs_survive(self, result):
+        # inject a failed run and round-trip it
+        from repro.eval.harness import RunRecord
+
+        result_copy = result_from_json(result_to_json(result))
+        result_copy.runs.append(
+            RunRecord(
+                matrix=next(iter(result_copy.matrices)),
+                method="broken",
+                time_s=float("inf"),
+                peak_mem_bytes=0,
+                valid=False,
+                sorted_output=True,
+            )
+        )
+        again = result_from_json(result_to_json(result_copy))
+        assert any(not r.valid for r in again.runs)

@@ -1,0 +1,168 @@
+"""Tests for the synthetic matrix generators: structure and determinism."""
+
+import numpy as np
+import pytest
+
+from repro.matrices import generators as gen
+
+
+class TestDeterminism:
+    @pytest.mark.parametrize(
+        "fn,args",
+        [
+            (gen.banded, (100, 3)),
+            (gen.poisson2d, (9,)),
+            (gen.poisson3d, (4,)),
+            (gen.circuit, (150,)),
+            (gen.rmat, (7, 4)),
+            (gen.random_uniform, (60, 40, 3.0)),
+            (gen.rect_lp, (30, 200, 5)),
+            (gen.dense_stripe, (60, 20, 6)),
+            (gen.skew_single, (80, 2, 30)),
+            (gen.diagonal, (50,)),
+            (gen.block_dense, (70, 8, 2)),
+        ],
+    )
+    def test_same_seed_same_matrix(self, fn, args):
+        a = fn(*args, seed=7) if "seed" in fn.__code__.co_varnames else fn(*args)
+        b = fn(*args, seed=7) if "seed" in fn.__code__.co_varnames else fn(*args)
+        assert a.allclose(b)
+
+    def test_different_seed_differs(self):
+        a = gen.random_uniform(100, 100, 5.0, seed=1)
+        b = gen.random_uniform(100, 100, 5.0, seed=2)
+        assert not np.array_equal(a.indices, b.indices) or a.nnz != b.nnz
+
+
+class TestValidity:
+    @pytest.mark.parametrize(
+        "fn,args",
+        [
+            (gen.banded, (200, 5)),
+            (gen.poisson2d, (11,)),
+            (gen.poisson3d, (5,)),
+            (gen.circuit, (300,)),
+            (gen.rmat, (8, 8)),
+            (gen.random_uniform, (100, 60, 4.0)),
+            (gen.rect_lp, (40, 320, 6)),
+            (gen.dense_stripe, (90, 30, 10)),
+            (gen.skew_single, (120, 3, 50)),
+            (gen.diagonal, (64,)),
+            (gen.block_dense, (100, 12, 3)),
+        ],
+    )
+    def test_generates_valid_csr(self, fn, args):
+        m = fn(*args, seed=3)
+        m.validate()
+        assert m.nnz > 0
+
+
+class TestBanded:
+    def test_band_respected(self):
+        m = gen.banded(50, 3, seed=0)
+        rows = m.row_ids()
+        assert np.all(np.abs(m.indices - rows) <= 3)
+
+    def test_full_fill_row_lengths(self):
+        m = gen.banded(100, 2, fill=1.0, seed=0)
+        inner = m.row_nnz()[2:-2]
+        assert np.all(inner == 5)
+
+    def test_partial_fill_keeps_diagonal(self):
+        m = gen.banded(80, 4, fill=0.3, seed=1)
+        d = m.to_dense()
+        assert np.all(np.diag(d) != 0)
+
+    def test_rejects_negative_bandwidth(self):
+        with pytest.raises(ValueError):
+            gen.banded(10, -1)
+
+
+class TestPoisson:
+    def test_poisson2d_shape_and_stencil(self):
+        m = gen.poisson2d(5, 4)
+        assert m.shape == (20, 20)
+        d = m.to_dense()
+        assert np.all(np.diag(d) == 4.0)
+        # Interior point has exactly 5 entries.
+        interior = 1 + 1 * 5  # (1,1) in a 5-wide grid
+        assert m.row_nnz()[interior] == 5
+
+    def test_poisson2d_symmetric(self):
+        d = gen.poisson2d(6).to_dense()
+        assert np.array_equal(d, d.T)
+
+    def test_poisson3d_interior_row(self):
+        m = gen.poisson3d(4)
+        assert m.shape == (64, 64)
+        center = 1 + 4 + 16  # (1,1,1)
+        assert m.row_nnz()[center] == 7
+
+    def test_poisson3d_symmetric(self):
+        d = gen.poisson3d(3).to_dense()
+        assert np.array_equal(d, d.T)
+
+
+class TestCircuit:
+    def test_single_entry_rows_exist(self):
+        m = gen.circuit(500, single_row_fraction=0.5, seed=1)
+        assert int((m.row_nnz() == 1).sum()) > 100
+
+    def test_diagonal_always_present(self):
+        m = gen.circuit(200, seed=2)
+        d = m.to_dense()
+        assert np.all(np.diag(d) != 0)
+
+
+class TestRmat:
+    def test_size(self):
+        m = gen.rmat(8, 4, seed=0)
+        assert m.shape == (256, 256)
+
+    def test_degree_skew(self):
+        m = gen.rmat(10, 8, seed=0)
+        deg = m.row_nnz()
+        assert deg.max() > 5 * max(1.0, deg.mean())
+
+    def test_rejects_bad_probabilities(self):
+        with pytest.raises(ValueError):
+            gen.rmat(5, 4, a=0.5, b=0.4, c=0.3)
+
+
+class TestOtherFamilies:
+    def test_random_uniform_row_lengths(self):
+        m = gen.random_uniform(2000, 2000, 8.0, seed=0)
+        assert abs(m.row_nnz().mean() - 8.0) < 1.0
+
+    def test_rect_lp_is_rectangular(self):
+        m = gen.rect_lp(30, 500, 7, seed=0)
+        assert m.shape == (30, 500)
+        assert np.all(m.row_nnz() <= 7)
+
+    def test_dense_stripe_column_locality(self):
+        m = gen.dense_stripe(100, 24, 8, seed=0)
+        for i in range(0, 100, 17):
+            cols, _ = m.row(i)
+            assert cols.max() - cols.min() < 24
+
+    def test_skew_single_structure(self):
+        m = gen.skew_single(300, 2, 100, seed=0)
+        nnz = m.row_nnz()
+        assert int((nnz == 1).sum()) >= 290
+        assert nnz.max() >= 100
+
+    def test_diagonal_all_single(self):
+        m = gen.diagonal(40, seed=0)
+        assert np.all(m.row_nnz() == 1)
+
+    def test_block_dense_contains_dense_block(self):
+        m = gen.block_dense(200, 16, 4, background=0.5, seed=0)
+        assert m.row_nnz().max() >= 16
+
+    def test_values_never_zero(self):
+        for m in (
+            gen.banded(50, 2, seed=1),
+            gen.rmat(6, 4, seed=1),
+            gen.circuit(50, seed=1),
+        ):
+            assert np.all(m.data != 0.0)

@@ -1,0 +1,200 @@
+"""Tests for the symbolic/numeric pass cost engine."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import MultiplyContext, SpeckParams, build_configs
+from repro.core.global_lb import balanced_plan, uniform_plan
+from repro.core.passes import (
+    radix_sort_time_s,
+    run_pass,
+    seg_max,
+    seg_min,
+    seg_sum,
+)
+from repro.gpu import TITAN_V
+from repro.matrices.generators import (
+    banded,
+    circuit,
+    diagonal,
+    rmat,
+    skew_single,
+)
+
+
+@pytest.fixture(scope="module")
+def mesh_ctx():
+    a = banded(3000, 6, seed=1)
+    return MultiplyContext(a, a)
+
+
+def _run(ctx, stage, plan=None, params=None):
+    configs = build_configs(TITAN_V)
+    params = params or SpeckParams()
+    if plan is None:
+        entries = (
+            ctx.analysis.products
+            if stage == "symbolic"
+            else np.ceil(ctx.c_row_nnz / 0.66).astype(np.int64)
+        )
+        plan = balanced_plan(entries, configs, stage)
+    return run_pass(
+        stage, ctx.analysis, plan, ctx.c_row_nnz, configs, params, TITAN_V
+    )
+
+
+class TestSegmentHelpers:
+    @given(
+        st.lists(st.floats(min_value=0, max_value=100), min_size=0, max_size=50),
+        st.data(),
+    )
+    @settings(max_examples=40)
+    def test_seg_sum_matches_numpy(self, values, data):
+        values = np.array(values)
+        n_seg = data.draw(st.integers(min_value=1, max_value=8))
+        cuts = sorted(
+            data.draw(
+                st.lists(
+                    st.integers(min_value=0, max_value=values.size),
+                    min_size=n_seg - 1,
+                    max_size=n_seg - 1,
+                )
+            )
+        )
+        ptr = np.array([0] + cuts + [values.size], dtype=np.int64)
+        out = seg_sum(values, ptr)
+        expected = [values[ptr[i]:ptr[i + 1]].sum() for i in range(n_seg)]
+        assert np.allclose(out, expected)
+
+    def test_seg_max_min_empty_segments(self):
+        values = np.array([3.0, 7.0])
+        ptr = np.array([0, 0, 2, 2])
+        assert list(seg_max(values, ptr)) == [0.0, 7.0, 0.0]
+        assert list(seg_min(values, ptr)) == [0.0, 3.0, 0.0]
+
+
+class TestRunPass:
+    def test_symbolic_and_numeric_positive(self, mesh_ctx):
+        for stage in ("symbolic", "numeric"):
+            res = _run(mesh_ctx, stage)
+            assert res.time_s > 0
+            assert sum(res.accum_blocks.values()) > 0
+
+    def test_invalid_stage_rejected(self, mesh_ctx):
+        with pytest.raises(ValueError):
+            _run(mesh_ctx, "quantum")
+
+    def test_accumulator_counts_cover_all_blocks(self, mesh_ctx):
+        configs = build_configs(TITAN_V)
+        plan = balanced_plan(mesh_ctx.analysis.products, configs, "symbolic")
+        res = _run(mesh_ctx, "symbolic", plan=plan)
+        assert sum(res.accum_blocks.values()) == plan.n_blocks
+
+    def test_direct_blocks_for_diagonal(self):
+        a = diagonal(500, seed=1)
+        ctx = MultiplyContext(a, a)
+        res = _run(ctx, "numeric")
+        assert res.accum_blocks["direct"] > 0
+        assert res.accum_blocks["hash"] == 0
+
+    def test_dense_blocks_for_long_rows(self):
+        a = skew_single(10_000, 4, 4000, seed=2)
+        ctx = MultiplyContext(a, a)
+        res = _run(ctx, "numeric")
+        assert res.accum_blocks["dense"] > 0
+
+    def test_hash_disabled_features(self):
+        a = skew_single(10_000, 4, 4000, seed=2)
+        ctx = MultiplyContext(a, a)
+        params = SpeckParams(enable_dense=False, enable_direct=False)
+        res = _run(ctx, "numeric", params=params)
+        assert res.accum_blocks["dense"] == 0
+        assert res.accum_blocks["direct"] == 0
+        assert res.accum_blocks["hash"] > 0
+
+    def test_spill_to_global_hash_when_dense_disabled(self):
+        # a row far beyond the largest numeric map, with hashing forced
+        a = skew_single(40_000, 4, 20_000, seed=3)
+        ctx = MultiplyContext(a, a)
+        params = SpeckParams(enable_dense=False, enable_direct=False)
+        res = _run(ctx, "numeric", params=params)
+        assert res.global_hash_blocks > 0
+        assert res.global_hash_max_entries > 0
+
+    def test_no_spill_with_dense_enabled(self):
+        a = skew_single(40_000, 4, 20_000, seed=3)
+        ctx = MultiplyContext(a, a)
+        res = _run(ctx, "numeric")
+        assert res.global_hash_blocks == 0
+
+    def test_radix_entries_only_in_numeric(self, mesh_ctx):
+        sym = _run(mesh_ctx, "symbolic")
+        assert sym.radix_entries == 0
+
+    def test_group_sizes_are_powers_of_two(self):
+        a = rmat(10, 8, seed=4)
+        ctx = MultiplyContext(a, a)
+        res = _run(ctx, "numeric")
+        g = res.group_sizes
+        assert np.all(g >= 1)
+        assert np.all(np.log2(g) % 1 == 0)
+
+    def test_fixed_group_size_respected(self, mesh_ctx):
+        res = _run(mesh_ctx, "numeric", params=SpeckParams(fixed_group_size=16))
+        assert np.all(res.group_sizes == 16)
+
+    def test_empty_plan(self):
+        from repro.matrices.csr import csr_zeros
+
+        z = csr_zeros((5, 5))
+        ctx = MultiplyContext(z, z)
+        configs = build_configs(TITAN_V)
+        plan = balanced_plan(np.zeros(0, dtype=np.int64), configs, "numeric")
+        res = run_pass(
+            "numeric", ctx.analysis, plan, ctx.c_row_nnz, configs,
+            SpeckParams(), TITAN_V,
+        )
+        assert res.time_s >= 0
+
+    def test_uniform_vs_balanced_same_accumulator_totals(self, mesh_ctx):
+        # the plan changes grouping, not the amount of real work
+        configs = build_configs(TITAN_V)
+        ent = np.ceil(mesh_ctx.c_row_nnz / 0.66).astype(np.int64)
+        balanced = _run(mesh_ctx, "numeric", plan=balanced_plan(ent, configs, "numeric"))
+        uniform = _run(mesh_ctx, "numeric", plan=uniform_plan(ent, configs, "numeric"))
+        assert balanced.time_s > 0 and uniform.time_s > 0
+
+
+class TestRadixSortCost:
+    def test_zero_entries_free(self):
+        assert radix_sort_time_s(0, TITAN_V) == 0.0
+
+    def test_scales_linearly(self):
+        t1 = radix_sort_time_s(1_000_000, TITAN_V)
+        t2 = radix_sort_time_s(2_000_000, TITAN_V)
+        fixed = 4 * TITAN_V.kernel_launch_s
+        assert (t2 - fixed) == pytest.approx(2 * (t1 - fixed), rel=1e-6)
+
+    def test_includes_launches(self):
+        assert radix_sort_time_s(1, TITAN_V) > 4 * TITAN_V.kernel_launch_s
+
+
+class TestCostMonotonicity:
+    """Qualitative invariants of the pass cost model."""
+
+    def test_more_products_cost_more(self):
+        small = MultiplyContext(banded(2000, 4, seed=5), banded(2000, 4, seed=5))
+        large = MultiplyContext(banded(2000, 16, seed=5), banded(2000, 16, seed=5))
+        assert _run(large, "numeric").time_s > _run(small, "numeric").time_s
+
+    def test_scattered_costs_more_than_banded(self):
+        # same nnz scale, worse locality
+        b = banded(4000, 8, seed=6)
+        from repro.matrices.generators import random_uniform
+
+        r = random_uniform(4000, 4000, 17.0, seed=6)
+        t_b = _run(MultiplyContext(b, b), "numeric").time_s
+        t_r = _run(MultiplyContext(r, r), "numeric").time_s
+        assert t_r > t_b

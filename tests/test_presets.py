@@ -1,0 +1,64 @@
+"""Tests for the device presets and cross-device behaviour."""
+
+import numpy as np
+import pytest
+
+from repro.core import MultiplyContext, SpeckEngine, build_configs
+from repro.gpu.presets import AMPERE_A100, PASCAL_P100, PRESETS, TITAN_V, VOLTA_V100
+from repro.matrices.generators import banded, rmat, skew_single
+
+
+class TestPresetConsistency:
+    @pytest.mark.parametrize("name,dev", sorted(PRESETS.items()))
+    def test_derived_quantities_sane(self, name, dev):
+        assert dev.bytes_per_cycle > 0
+        assert dev.blocks_per_sm(dev.max_threads_per_block, dev.scratchpad_default) >= 1
+        assert dev.concurrency(64, 3072) >= dev.num_sms
+
+    @pytest.mark.parametrize("name,dev", sorted(PRESETS.items()))
+    def test_config_ladder_builds(self, name, dev):
+        cfgs = build_configs(dev)
+        assert len(cfgs) == 6
+        assert cfgs[-1].scratch_bytes == dev.scratchpad_large
+
+    def test_pascal_has_no_optin(self):
+        cfgs = build_configs(PASCAL_P100)
+        # opt-in ceiling equals the default: the top two configs coincide
+        assert cfgs[-1].scratch_bytes == cfgs[-2].scratch_bytes == 49152
+
+    def test_a100_larger_maps(self):
+        big = build_configs(AMPERE_A100)[-1].hash_entries("numeric")
+        ref = build_configs(TITAN_V)[-1].hash_entries("numeric")
+        assert big > ref
+
+
+class TestCrossDevice:
+    @pytest.mark.parametrize("name,dev", sorted(PRESETS.items()))
+    def test_pipeline_runs_everywhere(self, name, dev):
+        a = rmat(9, 6, seed=1)
+        res = SpeckEngine(dev).multiply(a, a)
+        assert res.valid and res.time_s > 0
+
+    def test_newer_devices_faster_on_bandwidth_bound(self):
+        a = banded(40_000, 8, seed=2)
+        ctx = MultiplyContext(a, a)
+        times = {
+            name: SpeckEngine(dev).multiply(a, a, ctx=ctx).time_s
+            for name, dev in PRESETS.items()
+        }
+        assert times["a100"] < times["titan-v"]
+        assert times["v100"] < times["p100"]
+
+    def test_pascal_spills_where_volta_does_not(self):
+        # a row needing >48 KB symbolic hashing but <96 KB
+        a = skew_single(40_000, 4, 14_000, seed=3)
+        ctx = MultiplyContext(a, a)
+        from repro.core import SpeckParams
+
+        params = SpeckParams(enable_dense=False, enable_direct=False)
+        pascal = SpeckEngine(PASCAL_P100, params).multiply(a, a, ctx=ctx)
+        volta = SpeckEngine(VOLTA_V100, params).multiply(a, a, ctx=ctx)
+        assert (
+            pascal.decisions["global_hash_blocks"]
+            >= volta.decisions["global_hash_blocks"]
+        )

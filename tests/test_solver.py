@@ -1,0 +1,118 @@
+"""Tests for the AMG-preconditioned solver layer."""
+
+import numpy as np
+import pytest
+
+from repro.apps import amg_pcg, build_hierarchy, jacobi, spmv, v_cycle
+from repro.matrices.csr import CSR
+from repro.matrices.generators import poisson2d, poisson3d
+
+from conftest import random_csr
+
+
+class TestSpmv:
+    def test_matches_dense(self, rng):
+        a = random_csr(rng, 20, 15, 0.3)
+        x = rng.random(15)
+        assert np.allclose(spmv(a, x), a.to_dense() @ x)
+
+    def test_empty_rows(self):
+        a = CSR.from_coo([0], [2], [3.0], (3, 3))
+        y = spmv(a, np.array([1.0, 1.0, 2.0]))
+        assert list(y) == [6.0, 0.0, 0.0]
+
+    def test_dimension_check(self, rng):
+        a = random_csr(rng, 4, 5, 0.5)
+        with pytest.raises(ValueError):
+            spmv(a, np.ones(4))
+
+
+class TestJacobi:
+    def test_reduces_residual(self, rng):
+        a = poisson2d(10)
+        x_true = rng.random(a.rows)
+        b = spmv(a, x_true)
+        x0 = np.zeros(a.rows)
+        r0 = np.linalg.norm(b - spmv(a, x0))
+        x1 = jacobi(a, b, x0, sweeps=5)
+        r1 = np.linalg.norm(b - spmv(a, x1))
+        assert r1 < r0
+
+    def test_exact_solution_is_fixed_point(self, rng):
+        a = poisson2d(8)
+        x_true = rng.random(a.rows)
+        b = spmv(a, x_true)
+        x = jacobi(a, b, x_true.copy(), sweeps=3)
+        assert np.allclose(x, x_true)
+
+
+class TestVCycle:
+    def test_better_than_jacobi(self, rng):
+        a = poisson2d(20)
+        h = build_hierarchy(a, min_coarse=16)
+        x_true = rng.random(a.rows)
+        b = spmv(a, x_true)
+        x_mg = v_cycle(h, b)
+        x_j = jacobi(a, b, np.zeros(a.rows), sweeps=4)  # same smoothing work
+        r_mg = np.linalg.norm(b - spmv(a, x_mg))
+        r_j = np.linalg.norm(b - spmv(a, x_j))
+        assert r_mg < r_j
+
+    def test_single_level_is_direct_solve(self, rng):
+        a = poisson2d(5)
+        h = build_hierarchy(a, max_levels=1)
+        x_true = rng.random(a.rows)
+        b = spmv(a, x_true)
+        x = v_cycle(h, b)
+        assert np.allclose(x, x_true, atol=1e-6)
+
+
+class TestAmgPcg:
+    def test_solves_poisson2d(self, rng):
+        a = poisson2d(24)
+        h = build_hierarchy(a, min_coarse=16)
+        x_true = rng.random(a.rows)
+        b = spmv(a, x_true)
+        res = amg_pcg(h, b, tol=1e-9)
+        assert res.converged
+        assert np.allclose(res.x, x_true, atol=1e-6)
+
+    def test_solves_poisson3d(self, rng):
+        a = poisson3d(7)
+        h = build_hierarchy(a, min_coarse=16)
+        x_true = rng.random(a.rows)
+        b = spmv(a, x_true)
+        res = amg_pcg(h, b, tol=1e-8)
+        assert res.converged
+
+    def test_iteration_count_scales_mildly(self, rng):
+        """AMG's promise: iterations grow slowly with problem size."""
+        counts = []
+        for nx in (12, 24, 48):
+            a = poisson2d(nx)
+            h = build_hierarchy(a, min_coarse=16)
+            x_true = rng.random(a.rows)
+            res = amg_pcg(h, spmv(a, x_true), tol=1e-8)
+            assert res.converged
+            counts.append(res.iterations)
+        # 16x more unknowns -> far less than 4x the iterations
+        assert counts[-1] < 2.5 * counts[0]
+
+    def test_residual_history_monotone_overall(self, rng):
+        a = poisson2d(16)
+        h = build_hierarchy(a, min_coarse=16)
+        res = amg_pcg(h, spmv(a, rng.random(a.rows)), tol=1e-8)
+        hist = res.residual_history
+        assert hist[-1] < hist[0] * 1e-6
+
+    def test_zero_rhs_immediate(self):
+        a = poisson2d(10)
+        h = build_hierarchy(a, min_coarse=16)
+        res = amg_pcg(h, np.zeros(a.rows))
+        assert res.converged and res.iterations == 0
+
+    def test_max_iterations_respected(self, rng):
+        a = poisson2d(16)
+        h = build_hierarchy(a, min_coarse=16)
+        res = amg_pcg(h, spmv(a, rng.random(a.rows)), tol=1e-16, max_iterations=2)
+        assert res.iterations <= 2

@@ -1,0 +1,123 @@
+"""Tests for the execution trace subsystem."""
+
+import json
+
+import pytest
+
+from repro.core import SpeckEngine, SpeckParams
+from repro.gpu.trace import Trace, TraceEvent
+from repro.matrices.generators import banded, rmat, skew_single
+
+
+class TestTraceBasics:
+    def test_record_advances_cursor(self):
+        t = Trace()
+        t.record("a", 1.0)
+        t.record("b", 2.0)
+        assert t.total_s == 3.0
+        assert t.events[1].start_s == 1.0
+        assert t.events[1].end_s == 3.0
+
+    def test_negative_duration_rejected(self):
+        with pytest.raises(ValueError):
+            Trace().record("x", -1.0)
+
+    def test_mark_is_zero_length(self):
+        t = Trace()
+        t.record("a", 1.0)
+        m = t.mark("decision", chose="hash")
+        assert m.duration_s == 0.0
+        assert t.total_s == 1.0
+        assert m.meta["chose"] == "hash"
+
+    def test_by_category(self):
+        t = Trace()
+        t.record("k", 1.0, category="kernel")
+        t.record("s", 1.0, category="stage")
+        assert len(t.by_category("kernel")) == 1
+
+    def test_stage_totals_accumulate(self):
+        t = Trace()
+        t.record("x", 1.0)
+        t.record("x", 2.5)
+        assert t.stage_totals()["x"] == pytest.approx(3.5)
+
+    def test_len(self):
+        t = Trace()
+        assert len(t) == 0
+        t.record("a", 0.5)
+        assert len(t) == 1
+
+
+class TestRendering:
+    def test_empty(self):
+        assert "empty" in Trace().render_text()
+
+    def test_text_gantt(self):
+        t = Trace()
+        t.record("first", 1.0)
+        t.record("second", 3.0)
+        art = t.render_text(width=40)
+        assert "first" in art and "second" in art and "total" in art
+        # the longer event has a longer bar
+        bars = [line.count("#") for line in art.splitlines()[:2]]
+        assert bars[1] > bars[0]
+
+    def test_chrome_json_schema(self):
+        t = Trace()
+        t.record("k0", 1e-5, category="kernel", meta={"threads": 64})
+        data = json.loads(t.to_chrome_json())
+        ev = data["traceEvents"][0]
+        assert ev["ph"] == "X"
+        assert ev["dur"] == pytest.approx(10.0)  # microseconds
+        assert ev["args"]["threads"] == 64
+
+    def test_chrome_json_stringifies_exotic_meta(self):
+        t = Trace()
+        t.mark("m", blob={"nested": 1})
+        data = json.loads(t.to_chrome_json())
+        assert isinstance(data["traceEvents"][0]["args"]["blob"], str)
+
+
+class TestEngineIntegration:
+    def test_trace_total_matches_result(self):
+        a = rmat(9, 6, seed=1)
+        t = Trace()
+        res = SpeckEngine().multiply(a, a, trace=t)
+        assert t.total_s == pytest.approx(res.time_s, rel=1e-12)
+
+    def test_kernel_events_carry_config(self):
+        a = banded(2000, 6, seed=2)
+        t = Trace()
+        SpeckEngine().multiply(a, a, trace=t)
+        kernels = t.by_category("kernel")
+        assert kernels
+        assert all("threads" in k.meta for k in kernels)
+
+    def test_lb_events_present_when_used(self):
+        a = skew_single(30_000, 8, 4000, seed=3)
+        t = Trace()
+        res = SpeckEngine().multiply(a, a, trace=t)
+        names = [e.name for e in t.events]
+        if res.decisions["used_lb_symbolic"]:
+            assert "symbolic LB" in names
+
+    def test_decision_marker(self):
+        a = banded(500, 4, seed=4)
+        t = Trace()
+        SpeckEngine().multiply(a, a, trace=t)
+        markers = t.by_category("marker")
+        assert any("lb_symbolic" in m.meta for m in markers)
+
+    def test_trace_optional(self):
+        a = banded(200, 2, seed=5)
+        res = SpeckEngine().multiply(a, a)  # no trace: no error
+        assert res.valid
+
+    def test_two_calls_accumulate_in_one_trace(self):
+        a = banded(300, 3, seed=6)
+        t = Trace()
+        eng = SpeckEngine()
+        r1 = eng.multiply(a, a, trace=t)
+        r2 = eng.multiply(a, a, trace=t)
+        assert t.total_s == pytest.approx(r1.time_s + r2.time_s, rel=1e-12)
