@@ -23,6 +23,17 @@ from .core import (
     SpeckParams,
     speck_multiply,
 )
+from .faults import (
+    AccumulatorOverflow,
+    FailureInfo,
+    FaultPlan,
+    FaultRule,
+    FaultSpecError,
+    KernelLaunchError,
+    SimulatedFault,
+    SpGEMMError,
+    parse_fault_spec,
+)
 from .gpu import TITAN_V, DeviceSpec
 from .kernels import esc_multiply, gustavson_multiply
 from .matrices import COO, CSR, read_mtx, write_mtx
@@ -45,5 +56,14 @@ __all__ = [
     "TITAN_V",
     "esc_multiply",
     "gustavson_multiply",
+    "FailureInfo",
+    "SpGEMMError",
+    "SimulatedFault",
+    "KernelLaunchError",
+    "AccumulatorOverflow",
+    "FaultPlan",
+    "FaultRule",
+    "FaultSpecError",
+    "parse_fault_spec",
     "__version__",
 ]

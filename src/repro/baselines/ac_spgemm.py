@@ -23,7 +23,8 @@ from __future__ import annotations
 import numpy as np
 
 from ..core.context import MultiplyContext
-from ..gpu import BlockWork, DeviceOOM, MemoryLedger, block_cycles, kernel_time_s
+from ..faults import SpGEMMError
+from ..gpu import BlockWork, MemoryLedger, block_cycles, kernel_time_s
 from ..result import SpGEMMResult
 from .base import SpGEMMAlgorithm, register, stream_time_s
 
@@ -45,7 +46,8 @@ class AcSpgemm(SpGEMMAlgorithm):
 
     def run(self, ctx: MultiplyContext) -> SpGEMMResult:
         device = self.device
-        ledger = MemoryLedger(device, resident_bytes=ctx.input_bytes)
+        scope = self.fault_scope(ctx)
+        ledger = MemoryLedger(device, resident_bytes=ctx.input_bytes, faults=scope)
         products = ctx.total_products
         prods = ctx.row_prods.astype(np.float64)
         stage: dict[str, float] = {}
@@ -53,6 +55,8 @@ class AcSpgemm(SpGEMMAlgorithm):
             ledger.alloc(int(_OVERALLOC * products * 12) + 4096, "chunk pool")
 
             # Chunk assignment: prefix sum over row products.
+            scope.enter_stage("analysis")
+            scope.on_launch("analysis")
             stage["analysis"] = stream_time_s(ctx.a.rows * 8.0, device)
 
             n_chunks = max(1, int(np.ceil(products / _CHUNK)))
@@ -71,19 +75,23 @@ class AcSpgemm(SpGEMMAlgorithm):
                 scratch_ops=per_chunk * log_c * 3.0,
                 utilization=0.9,
             )
+            scope.enter_stage("local ESC")
+            scope.on_launch("local ESC")
             cycles = block_cycles(device, _THREADS, 24576, work)
             stage["local ESC"] = kernel_time_s(cycles, _THREADS, 24576, device)
 
             # Chunk-boundary merging: rows spanning k chunks are merged in
             # ceil(log2(k)) passes over their partial results.
+            scope.enter_stage("merge")
+            scope.on_launch("chunk merge")
             spans = np.maximum(np.ceil(prods / _CHUNK), 1.0)
             merge_elems = float((prods * (spans > 1) * np.log2(np.maximum(spans, 2))).sum())
             stage["merge"] = stream_time_s(merge_elems * 24.0, device, launches=2)
 
             ledger.alloc(ctx.output_bytes, "C")
             stage["write"] = stream_time_s(ctx.c_nnz * 12.0, device)
-        except DeviceOOM as oom:
-            return SpGEMMResult.failed(self.name, f"OOM: {oom}")
+        except SpGEMMError as err:
+            return SpGEMMResult.failed(self.name, err)
 
         # Initial chunk allocation excluded from time (paper methodology).
         time_s = device.call_overhead_s + device.malloc_s + sum(stage.values())

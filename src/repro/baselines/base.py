@@ -21,15 +21,23 @@ Cost-model conventions shared by the baselines:
 from __future__ import annotations
 
 import abc
-from typing import Dict, Type
+from typing import Callable, Dict, Type
 
 import numpy as np
 
 from ..core.context import MultiplyContext
+from ..faults import FaultScope, SpGEMMError
 from ..gpu import DeviceSpec, TITAN_V
 from ..result import SpGEMMResult
 
-__all__ = ["SpGEMMAlgorithm", "register", "registry", "stream_time_s", "row_blocks"]
+__all__ = [
+    "SpGEMMAlgorithm",
+    "register",
+    "registry",
+    "stream_time_s",
+    "row_blocks",
+    "run_with_retries",
+]
 
 _REGISTRY: Dict[str, Type["SpGEMMAlgorithm"]] = {}
 
@@ -58,8 +66,57 @@ class SpGEMMAlgorithm(abc.ABC):
     def run(self, ctx: MultiplyContext) -> SpGEMMResult:
         """Multiply ``ctx.a @ ctx.b``, returning the simulated outcome."""
 
+    def fault_scope(self, ctx: MultiplyContext) -> FaultScope:
+        """Per-invocation fault-injection handle for this algorithm.
+
+        Always returns a scope; when the context carries no
+        :class:`~repro.faults.FaultPlan` the scope is inert, so algorithm
+        code can consult it unconditionally.
+        """
+        plan = getattr(ctx, "faults", None)
+        if plan is None:
+            return FaultScope(None, self.name)
+        return plan.scope(self.name, getattr(ctx, "case_name", ""))
+
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"{type(self).__name__}(device={self.device.name!r})"
+
+
+def run_with_retries(
+    algo: "SpGEMMAlgorithm",
+    scope: FaultScope,
+    attempt_fn: Callable[[int], SpGEMMResult],
+    *,
+    max_retries: int = 1,
+) -> SpGEMMResult:
+    """Shared retry/fallback driver for resilient algorithms.
+
+    ``attempt_fn(attempt)`` runs one full pipeline attempt (0-based) and
+    either returns a result or raises an :class:`~repro.faults.SpGEMMError`
+    whose ``partial_time_s`` holds the simulated time already spent.  Each
+    failed-but-retryable attempt is charged to the model: its wasted time
+    plus one re-allocation (``malloc_s``) land in the final result's
+    ``stage_times["retry"]`` and total time — the paper's baselines pay
+    exactly this on hardware when their re-allocation loops fire.
+    """
+    wasted = 0.0
+    for attempt in range(max_retries + 1):
+        if attempt:
+            scope.new_attempt()
+        try:
+            res = attempt_fn(attempt)
+        except SpGEMMError as err:
+            wasted += err.partial_time_s + algo.device.malloc_s
+            if not err.retryable or attempt == max_retries:
+                return SpGEMMResult.failed(algo.name, err, retries=attempt)
+            continue
+        if attempt:
+            res.stage_times["retry"] = res.stage_times.get("retry", 0.0) + wasted
+            res.time_s += wasted
+            res.retries = attempt
+            res.decisions["retries"] = attempt
+        return res
+    raise AssertionError("unreachable")  # pragma: no cover
 
 
 def stream_time_s(

@@ -18,7 +18,8 @@ Cost structure reproduced here:
 from __future__ import annotations
 
 from ..core.context import MultiplyContext
-from ..gpu import DeviceOOM, MemoryLedger
+from ..faults import SpGEMMError
+from ..gpu import MemoryLedger
 from ..result import SpGEMMResult
 from .base import SpGEMMAlgorithm, register, stream_time_s
 
@@ -38,7 +39,8 @@ class CuspEsc(SpGEMMAlgorithm):
 
     def run(self, ctx: MultiplyContext) -> SpGEMMResult:
         device = self.device
-        ledger = MemoryLedger(device, resident_bytes=ctx.input_bytes)
+        scope = self.fault_scope(ctx)
+        ledger = MemoryLedger(device, resident_bytes=ctx.input_bytes, faults=scope)
         products = ctx.total_products
         stage: dict[str, float] = {}
         try:
@@ -47,6 +49,8 @@ class CuspEsc(SpGEMMAlgorithm):
             ledger.alloc(int(products * _TRIPLET_BYTES), "triplets B")
 
             # Expand: read A and B rows, write every product triplet.
+            scope.enter_stage("expand")
+            scope.on_launch("expand")
             read_bytes = ctx.a.nnz * 12.0 + products * 12.0
             stage["expand"] = stream_time_s(
                 read_bytes + products * _TRIPLET_BYTES, device, launches=2
@@ -54,16 +58,20 @@ class CuspEsc(SpGEMMAlgorithm):
 
             # Sort: radix passes, each streaming the full triplet array
             # in and out (key scatter is not perfectly coalesced).
+            scope.enter_stage("sort")
+            scope.on_launch("radix sort")
             sort_bytes = _RADIX_PASSES * 2.0 * products * _TRIPLET_BYTES
             stage["sort"] = stream_time_s(sort_bytes * 1.3, device, launches=_RADIX_PASSES)
 
             # Compress: segmented reduction into C.
+            scope.enter_stage("compress")
+            scope.on_launch("compress")
             ledger.alloc(ctx.output_bytes, "C")
             stage["compress"] = stream_time_s(
                 products * _TRIPLET_BYTES + ctx.c_nnz * 12.0, device, launches=2
             )
-        except DeviceOOM as oom:
-            return SpGEMMResult.failed(self.name, f"OOM: {oom}")
+        except SpGEMMError as err:
+            return SpGEMMResult.failed(self.name, err)
 
         time_s = device.call_overhead_s + 2 * device.malloc_s + sum(stage.values())
         return SpGEMMResult(

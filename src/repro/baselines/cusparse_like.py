@@ -13,7 +13,8 @@ from __future__ import annotations
 import numpy as np
 
 from ..core.context import MultiplyContext
-from ..gpu import BlockWork, DeviceOOM, MemoryLedger, block_cycles, kernel_time_s
+from ..faults import SpGEMMError
+from ..gpu import BlockWork, MemoryLedger, block_cycles, kernel_time_s
 from ..result import SpGEMMResult
 from .base import SpGEMMAlgorithm, register, row_blocks, stream_time_s
 
@@ -31,7 +32,8 @@ class CusparseLike(SpGEMMAlgorithm):
 
     def run(self, ctx: MultiplyContext) -> SpGEMMResult:
         device = self.device
-        ledger = MemoryLedger(device, resident_bytes=ctx.input_bytes)
+        scope = self.fault_scope(ctx)
+        ledger = MemoryLedger(device, resident_bytes=ctx.input_bytes, faults=scope)
         prods = ctx.row_prods.astype(np.float64)
         out = ctx.c_row_nnz.astype(np.float64)
         nnz_a = ctx.analysis.a_row_nnz.astype(np.float64)
@@ -50,6 +52,8 @@ class CusparseLike(SpGEMMAlgorithm):
             util = np.clip(avg_len / 32.0, 1.0 / 8.0, 1.0)
 
             for phase in ("symbolic", "numeric"):
+                scope.enter_stage(phase)
+                scope.on_launch(phase)
                 work = BlockWork(
                     mem_bytes=blk_nnz_a * 12.0 + blk_prods * 12.0,
                     coalescing=1.0,
@@ -69,8 +73,8 @@ class CusparseLike(SpGEMMAlgorithm):
             stage["sort"] = stream_time_s(
                 4 * 2.0 * ctx.c_nnz * 12.0, device, launches=4
             )
-        except DeviceOOM as oom:  # pragma: no cover - never hit at eval sizes
-            return SpGEMMResult.failed(self.name, f"OOM: {oom}")
+        except SpGEMMError as err:
+            return SpGEMMResult.failed(self.name, err)
 
         time_s = device.call_overhead_s + 2 * device.malloc_s + sum(stage.values())
         return SpGEMMResult(

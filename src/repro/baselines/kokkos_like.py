@@ -21,7 +21,8 @@ from __future__ import annotations
 import numpy as np
 
 from ..core.context import MultiplyContext
-from ..gpu import BlockWork, DeviceOOM, MemoryLedger, block_cycles, kernel_time_s
+from ..faults import AccumulatorOverflow, SpGEMMError
+from ..gpu import BlockWork, MemoryLedger, block_cycles, kernel_time_s
 from ..result import SpGEMMResult
 from .base import SpGEMMAlgorithm, register, row_blocks, stream_time_s
 
@@ -41,14 +42,19 @@ class KokkosLike(SpGEMMAlgorithm):
 
     def run(self, ctx: MultiplyContext) -> SpGEMMResult:
         device = self.device
+        scope = self.fault_scope(ctx)
         analysis = ctx.analysis
         if analysis.prod_max > _ROW_PRODUCT_LIMIT:
             return SpGEMMResult.failed(
                 self.name,
-                f"row with {analysis.prod_max} products exceeds the "
-                f"{_ROW_PRODUCT_LIMIT} per-row budget",
+                AccumulatorOverflow(
+                    f"row with {analysis.prod_max} products exceeds the "
+                    f"{_ROW_PRODUCT_LIMIT} per-row budget",
+                    stage="symbolic",
+                    tag="two-level hash",
+                ),
             )
-        ledger = MemoryLedger(device, resident_bytes=ctx.input_bytes)
+        ledger = MemoryLedger(device, resident_bytes=ctx.input_bytes, faults=scope)
         prods = ctx.row_prods.astype(np.float64)
         out = ctx.c_row_nnz.astype(np.float64)
         stage: dict[str, float] = {}
@@ -62,6 +68,8 @@ class KokkosLike(SpGEMMAlgorithm):
             blk_out = row_blocks(out, 8)
             for phase in ("symbolic", "numeric"):
                 numeric = phase == "numeric"
+                scope.enter_stage(phase)
+                scope.on_launch(phase)
                 work = BlockWork(
                     mem_bytes=blk_prods * 12.0 + (blk_out * 12.0 if numeric else 0.0),
                     coalescing=0.5,           # generic team-level gathers
@@ -79,8 +87,8 @@ class KokkosLike(SpGEMMAlgorithm):
             ledger.alloc(ctx.output_bytes, "C")
             stage["write"] = stream_time_s(ctx.c_nnz * 12.0, device)
             # No sorting stage: the output stays unsorted.
-        except DeviceOOM as oom:
-            return SpGEMMResult.failed(self.name, f"OOM: {oom}")
+        except SpGEMMError as err:
+            return SpGEMMResult.failed(self.name, err)
 
         time_s = device.call_overhead_s + 2 * device.malloc_s + sum(stage.values())
         return SpGEMMResult(

@@ -23,9 +23,10 @@ import numpy as np
 from ..core.accumulators import hash_fill, probe_cost_amortized
 from ..core.config import build_configs
 from ..core.context import MultiplyContext
-from ..gpu import BlockWork, DeviceOOM, MemoryLedger, block_cycles, kernel_time_s
+from ..faults import FaultScope, SpGEMMError
+from ..gpu import BlockWork, MemoryLedger, block_cycles, kernel_time_s
 from ..result import SpGEMMResult
-from .base import SpGEMMAlgorithm, register, stream_time_s
+from .base import SpGEMMAlgorithm, register, run_with_retries, stream_time_s
 
 __all__ = ["Nsparse"]
 
@@ -40,11 +41,19 @@ class Nsparse(SpGEMMAlgorithm):
     name = "nsparse"
 
     def run(self, ctx: MultiplyContext) -> SpGEMMResult:
+        # nsparse re-runs its allocation loop once when table allocation
+        # fails (re-allocation on hardware); the wasted attempt is charged.
+        scope = self.fault_scope(ctx)
+        return run_with_retries(
+            self, scope, lambda attempt: self._attempt(ctx, scope)
+        )
+
+    def _attempt(self, ctx: MultiplyContext, scope: FaultScope) -> SpGEMMResult:
         device = self.device
         # nsparse predates the 96 KB opt-in configuration: use the five
         # default configurations only.
         configs = build_configs(device)[:-1]
-        ledger = MemoryLedger(device, resident_bytes=ctx.input_bytes)
+        ledger = MemoryLedger(device, resident_bytes=ctx.input_bytes, faults=scope)
         analysis = ctx.analysis
         prods = analysis.products.astype(np.float64)
         out = ctx.c_row_nnz.astype(np.float64)
@@ -52,6 +61,8 @@ class Nsparse(SpGEMMAlgorithm):
         stage: dict[str, float] = {}
         try:
             # ---- product counting + binning (always, atomic per row) ----
+            scope.enter_stage("analysis")
+            scope.on_launch("analysis")
             stage["analysis"] = stream_time_s(ctx.a.nnz * 12.0 + rows * 8.0, device)
             bin_work = BlockWork(
                 mem_bytes=np.full(max(1, rows // 1024 + 1), 1024 * 8.0),
@@ -77,6 +88,8 @@ class Nsparse(SpGEMMAlgorithm):
             # hosts T/32 rows, idle when a bin has fewer rows.
             for phase, caps in (("symbolic", caps_sym), ("numeric", caps_num)):
                 numeric = phase == "numeric"
+                scope.enter_stage(phase)
+                scope.on_launch(phase)
                 bin_idx = np.searchsorted(caps, prods, side="left")
                 spill = bin_idx >= len(configs)  # global hash rows
                 bin_idx = np.minimum(bin_idx, len(configs) - 1)
@@ -145,8 +158,9 @@ class Nsparse(SpGEMMAlgorithm):
                     )
 
             ledger.alloc(ctx.output_bytes, "C")
-        except DeviceOOM as oom:
-            return SpGEMMResult.failed(self.name, f"OOM: {oom}")
+        except SpGEMMError as err:
+            err.partial_time_s = device.call_overhead_s + sum(stage.values())
+            raise
 
         time_s = device.call_overhead_s + 3 * device.malloc_s + sum(stage.values())
         return SpGEMMResult(

@@ -22,7 +22,8 @@ from __future__ import annotations
 import numpy as np
 
 from ..core.context import MultiplyContext
-from ..gpu import DeviceOOM, MemoryLedger
+from ..faults import SpGEMMError
+from ..gpu import MemoryLedger
 from ..result import SpGEMMResult
 from .base import SpGEMMAlgorithm, register, stream_time_s
 
@@ -40,7 +41,8 @@ class RMerge(SpGEMMAlgorithm):
 
     def run(self, ctx: MultiplyContext) -> SpGEMMResult:
         device = self.device
-        ledger = MemoryLedger(device, resident_bytes=ctx.input_bytes)
+        scope = self.fault_scope(ctx)
+        ledger = MemoryLedger(device, resident_bytes=ctx.input_bytes, faults=scope)
         analysis = ctx.analysis
         nnz_a = analysis.a_row_nnz.astype(np.float64)
         prods = analysis.products.astype(np.float64)
@@ -56,6 +58,8 @@ class RMerge(SpGEMMAlgorithm):
             ledger.alloc(buf, "merge buffer B")
 
             # Decomposition pass.
+            scope.enter_stage("decompose")
+            scope.on_launch("decompose")
             stage["decompose"] = stream_time_s(ctx.a.nnz * 16.0, device, launches=2)
 
             generations = int(
@@ -76,8 +80,8 @@ class RMerge(SpGEMMAlgorithm):
 
             ledger.alloc(ctx.output_bytes, "C")
             stage["write"] = stream_time_s(ctx.c_nnz * 12.0, device)
-        except DeviceOOM as oom:
-            return SpGEMMResult.failed(self.name, f"OOM: {oom}")
+        except SpGEMMError as err:
+            return SpGEMMResult.failed(self.name, err)
 
         time_s = device.call_overhead_s + 3 * device.malloc_s + sum(stage.values())
         return SpGEMMResult(

@@ -19,10 +19,12 @@ from typing import Optional, Sequence
 
 from .baselines import PAPER_LINEUP, all_algorithms
 from .core import MultiplyContext
+from .faults import FaultPlan, FaultSpecError, SpGEMMError, parse_fault_spec
 from .gpu.presets import PRESETS
 from .matrices import generators as gen
 from .matrices import read_mtx
 from .matrices.csr import CSR
+from .matrices.io_mm import MatrixMarketError
 
 __all__ = ["main", "build_parser"]
 
@@ -66,10 +68,24 @@ def build_parser() -> argparse.ArgumentParser:
         "--execute", action="store_true",
         help="compute C through spECK's executable accumulators",
     )
+    mult.add_argument(
+        "--faults", metavar="SPEC",
+        help="fault-injection plan, e.g. 'alloc@spECK:n=2:transient' "
+             "(see docs/ROBUSTNESS.md)",
+    )
 
     bench = sub.add_parser("bench", help="corpus sweep + Table 3")
     bench.add_argument("--small", action="store_true",
                        help="use the fast 9-matrix test corpus")
+    bench.add_argument(
+        "--faults", metavar="SPEC",
+        help="fault-injection plan applied to every (matrix, method) run",
+    )
+    bench.add_argument(
+        "--checkpoint", metavar="PATH",
+        help="append each finished case to this JSONL file; re-running "
+             "with the same path resumes the sweep",
+    )
 
     tune = sub.add_parser("tune", help="auto-tune thresholds (Table 2)")
     tune.add_argument("--small", action="store_true")
@@ -89,11 +105,18 @@ def _load_matrix(args) -> CSR:
     return _FAMILIES[args.family](args.size, args.seed)
 
 
+def _fault_plan(args) -> Optional[FaultPlan]:
+    spec = getattr(args, "faults", None)
+    return parse_fault_spec(spec) if spec else None
+
+
 def _cmd_multiply(args) -> int:
     a = _load_matrix(args)
     b = a if a.rows == a.cols else a.transpose()
     device = PRESETS[getattr(args, "device", "titan-v")]
     ctx = MultiplyContext(a, b)
+    ctx.faults = _fault_plan(args)
+    ctx.case_name = args.mtx or f"{args.family}-{args.size}"
     print(f"A: {a.rows} x {a.cols}, nnz {a.nnz}; products {ctx.total_products}")
     names = (
         PAPER_LINEUP if args.methods == "all" else [m.strip() for m in args.methods.split(",")]
@@ -112,7 +135,8 @@ def _cmd_multiply(args) -> int:
     for algo in all_algorithms(device=device, names=names):
         r = algo.run(ctx)
         if not r.valid:
-            print(f"{algo.name:10s}    FAILED  ({r.failure[:40]})")
+            kind = f"{r.failure_info.kind}: " if r.failure_info else ""
+            print(f"{algo.name:10s}    FAILED  ({kind}{r.failure[:48]})")
             continue
         print(
             f"{algo.name:10s} {r.time_s * 1e3:>9.3f} "
@@ -125,7 +149,12 @@ def _cmd_bench(args) -> int:
     from .eval import compute_table3, full_corpus, render_table3, run_suite, small_corpus
 
     cases = small_corpus() if args.small else full_corpus()
-    result = run_suite(cases, verbose=True)
+    result = run_suite(
+        cases,
+        verbose=True,
+        faults=_fault_plan(args),
+        checkpoint=getattr(args, "checkpoint", None),
+    )
     print()
     print(render_table3(compute_table3(result), PAPER_LINEUP))
     return 0
@@ -186,9 +215,24 @@ _COMMANDS = {
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
-    """Entry point for ``python -m repro``."""
+    """Entry point for ``python -m repro``.
+
+    User errors — malformed matrices, bad fault specs, missing files,
+    structured simulation failures — exit with code 2 and a one-line
+    message on stderr instead of a traceback.
+    """
     args = build_parser().parse_args(argv)
-    return _COMMANDS[args.command](args)
+    try:
+        return _COMMANDS[args.command](args)
+    except FaultSpecError as exc:
+        print(f"error: invalid --faults spec: {exc}", file=sys.stderr)
+    except MatrixMarketError as exc:
+        print(f"error: bad MatrixMarket input: {exc}", file=sys.stderr)
+    except SpGEMMError as exc:
+        print(f"error: {exc.kind} failure: {exc}", file=sys.stderr)
+    except OSError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+    return 2
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -39,6 +39,11 @@ class MultiplyContext:
             raise ValueError(f"dimension mismatch: A is {a.shape}, B is {b.shape}")
         self.a = a
         self.b = b
+        #: Optional :class:`~repro.faults.FaultPlan` shared by every
+        #: algorithm run on this multiplication (set by the harness).
+        self.faults = None
+        #: Corpus case name, used by fault rules' ``matrix`` filter.
+        self.case_name = ""
         self._analysis: Optional[RowAnalysis] = None
         self._c_row_nnz: Optional[np.ndarray] = None
         self._c: Optional[CSR] = None

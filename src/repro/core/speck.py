@@ -23,7 +23,8 @@ from typing import Optional
 
 import numpy as np
 
-from ..gpu import DeviceOOM, DeviceSpec, MemoryLedger, TITAN_V
+from ..faults import FaultScope, SpGEMMError
+from ..gpu import DeviceSpec, MemoryLedger, TITAN_V
 from ..gpu.trace import Trace
 from ..matrices.csr import CSR, INDEX_DTYPE, VALUE_DTYPE
 from ..result import SpGEMMResult
@@ -93,22 +94,91 @@ class SpeckEngine:
 
         Pass a :class:`~repro.gpu.trace.Trace` to record a structured
         timeline of stages and per-configuration kernel launches.
+
+        Resilience policy: a retryable failure (device OOM, injected
+        transient fault) triggers one fallback attempt with global load
+        balancing forced on in both stages and the opt-in 96 KB scratchpad
+        configuration disabled.  The wasted first attempt plus one
+        re-allocation is charged to the model — it appears in the result's
+        ``stage_times["retry"]``, total time, and the trace.
         """
         if mode not in ("model", "execute"):
             raise ValueError(f"unknown mode {mode!r}")
         ctx = ctx or MultiplyContext(a, b)
-        device, params, configs = self.device, self.params, self.configs
+        plan = getattr(ctx, "faults", None)
+        scope = (
+            plan.scope(self.name, getattr(ctx, "case_name", ""))
+            if plan is not None
+            else FaultScope(None, self.name)
+        )
+        try:
+            return self._attempt(
+                ctx, mode, trace, self.params, self.configs, scope, retry_s=0.0
+            )
+        except SpGEMMError as err:
+            wasted = err.partial_time_s + self.device.malloc_s
+            if not err.retryable:
+                return SpGEMMResult.failed(self.name, err)
+            # Fallback attempt: forced global LB, reduced per-block scratch.
+            scope.new_attempt()
+            retry_params = self.params.with_overrides(
+                force_lb_symbolic=True, force_lb_numeric=True
+            )
+            retry_configs = (
+                self.configs[:-1] if len(self.configs) > 1 else self.configs
+            )
+            if trace is not None:
+                trace.record(
+                    "retry (fallback)", wasted, category="stage",
+                    meta={
+                        "cause": err.kind,
+                        "forced_global_lb": True,
+                        "reduced_scratch": True,
+                    },
+                )
+            try:
+                res = self._attempt(
+                    ctx, mode, trace, retry_params, retry_configs, scope,
+                    retry_s=wasted,
+                )
+            except SpGEMMError as err2:
+                return SpGEMMResult.failed(self.name, err2, retries=1)
+            res.retries = 1
+            res.decisions["retried"] = True
+            res.decisions["retry_cause"] = err.kind
+            return res
+
+    # ------------------------------------------------------------------
+    def _attempt(
+        self,
+        ctx: MultiplyContext,
+        mode: str,
+        trace: Optional[Trace],
+        params: SpeckParams,
+        configs: list[KernelConfig],
+        scope: FaultScope,
+        retry_s: float,
+    ) -> SpGEMMResult:
+        """One full pipeline attempt; raises :class:`SpGEMMError` on
+        failure with the simulated time already spent attached."""
+        a = ctx.a
+        device = self.device
         n_cfg = len(configs)
         analysis = ctx.analysis
-        ledger = MemoryLedger(device, resident_bytes=ctx.input_bytes)
         stage_times: dict[str, float] = {}
         decisions: dict[str, object] = {}
 
         try:
+            ledger = MemoryLedger(
+                device, resident_bytes=ctx.input_bytes, faults=scope
+            )
             # ---- 1. row analysis -------------------------------------
+            scope.enter_stage("analysis")
+            scope.on_launch("analysis")
             stage_times["analysis"] = analysis_time_s(a, device)
 
             # ---- 2. symbolic load balancing ---------------------------
+            scope.enter_stage("symbolic_lb")
             sym_entries = analysis.products
             mean_prod = max(analysis.mean_products(), 1e-9)
             ratio_sym = analysis.prod_max / mean_prod
@@ -121,6 +191,7 @@ class SpeckEngine:
                 "symbolic", params, ratio_sym, a.rows, largest_cfg_sym, n_cfg
             )
             if use_lb_sym:
+                scope.on_launch("symbolic_lb")
                 plan_sym = balanced_plan(
                     sym_entries,
                     configs,
@@ -136,10 +207,20 @@ class SpeckEngine:
                 stage_times["symbolic_lb"] = 0.0
 
             # ---- 3. symbolic SpGEMM -----------------------------------
+            scope.enter_stage("symbolic")
+            scope.on_launch("symbolic")
             c_row_nnz = ctx.c_row_nnz
             sym = run_pass(
                 "symbolic", analysis, plan_sym, c_row_nnz, configs, params, device
             )
+            if scope.force_spill("symbolic") and not sym.global_hash_blocks:
+                # Injected scratchpad overflow: at least one block's hash map
+                # outgrew its scratch capacity and continues in global memory.
+                sym.global_hash_blocks = 1
+                sym.global_hash_max_entries = max(
+                    int(c_row_nnz.max()) if c_row_nnz.size else 1, 1
+                )
+                decisions["forced_spill_symbolic"] = True
             if sym.global_hash_blocks:
                 pool = min(
                     device.concurrency(
@@ -157,6 +238,7 @@ class SpeckEngine:
             ledger.alloc(ctx.output_bytes, "C")
 
             # ---- 4. numeric load balancing ----------------------------
+            scope.enter_stage("numeric_lb")
             num_entries = np.ceil(
                 c_row_nnz / max(params.numeric_max_fill, 1e-9)
             ).astype(np.int64)
@@ -174,6 +256,7 @@ class SpeckEngine:
                 "numeric", params, ratio_num, a.rows, largest_cfg_num, n_cfg
             )
             if use_lb_num:
+                scope.on_launch("numeric_lb")
                 plan_num = balanced_plan(
                     num_entries,
                     configs,
@@ -189,9 +272,17 @@ class SpeckEngine:
                 stage_times["numeric_lb"] = 0.0
 
             # ---- 5. numeric SpGEMM ------------------------------------
+            scope.enter_stage("numeric")
+            scope.on_launch("numeric")
             num = run_pass(
                 "numeric", analysis, plan_num, c_row_nnz, configs, params, device
             )
+            if scope.force_spill("numeric") and not num.global_hash_blocks:
+                num.global_hash_blocks = 1
+                num.global_hash_max_entries = max(
+                    int(c_row_nnz.max()) if c_row_nnz.size else 1, 1
+                )
+                decisions["forced_spill_numeric"] = True
             if num.global_hash_blocks:
                 pool = min(
                     device.concurrency(
@@ -205,12 +296,16 @@ class SpeckEngine:
             stage_times["numeric"] = num.time_s
 
             # ---- 6. sorting -------------------------------------------
+            scope.enter_stage("sorting")
             if num.radix_entries:
+                scope.on_launch("sorting")
                 ledger.alloc(num.radix_entries * 8, "radix key buffers")
             stage_times["sorting"] = radix_sort_time_s(num.radix_entries, device)
 
-        except DeviceOOM as oom:
-            return SpGEMMResult.failed(self.name, f"OOM: {oom}")
+        except SpGEMMError as err:
+            # Charge the partial attempt so retry policies can account it.
+            err.partial_time_s = device.call_overhead_s + sum(stage_times.values())
+            raise
 
         if trace is not None:
             trace.record("call overhead", device.call_overhead_s, category="host")
@@ -253,6 +348,8 @@ class SpeckEngine:
                 accumulators=str(num.accum_blocks),
             )
 
+        if retry_s > 0.0:
+            stage_times["retry"] = retry_s
         total = device.call_overhead_s + sum(stage_times.values())
         decisions.update(
             used_lb_symbolic=use_lb_sym,
@@ -269,7 +366,7 @@ class SpeckEngine:
         )
 
         if mode == "execute":
-            c = self._execute(a, b, ctx)
+            c = self._execute(a, ctx.b, ctx)
         else:
             c = ctx.c
         return SpGEMMResult(

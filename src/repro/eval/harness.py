@@ -6,20 +6,49 @@ harness computes the exact structural facts of each matrix once (via the
 shared :class:`~repro.core.context.MultiplyContext`) and hands them to
 every algorithm, so a full corpus sweep is dominated by one exact multiply
 per matrix rather than one per (matrix × algorithm).
+
+Robustness (see ``docs/ROBUSTNESS.md``): the harness is crash-proof — a
+failing algorithm produces an invalid :class:`RunRecord` carrying a
+structured :class:`~repro.faults.FailureInfo` rather than killing the
+sweep — and :func:`run_suite` can checkpoint each finished case to a JSONL
+file and resume an interrupted sweep from it.
 """
 
 from __future__ import annotations
 
+import json
+import os
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Sequence
 
 from ..baselines import SpGEMMAlgorithm, all_algorithms
 from ..core.context import MultiplyContext
+from ..faults import FailureInfo, FaultPlan
 from ..gpu import DeviceSpec, TITAN_V
 from ..result import SpGEMMResult
 from .suite import MatrixCase
 
 __all__ = ["RunRecord", "MatrixRecord", "EvalResult", "run_suite", "evaluate_case"]
+
+
+def _jsonable(obj: object) -> object:
+    """Coerce numpy scalars/arrays (as found in decision dicts) to JSON."""
+    if isinstance(obj, dict):
+        return {str(k): _jsonable(v) for k, v in obj.items()}
+    if isinstance(obj, (list, tuple)):
+        return [_jsonable(v) for v in obj]
+    if isinstance(obj, (str, int, float, bool)) or obj is None:
+        return obj
+    item = getattr(obj, "item", None)
+    if callable(item):
+        try:
+            return _jsonable(item())
+        except (TypeError, ValueError):
+            pass
+    tolist = getattr(obj, "tolist", None)
+    if callable(tolist):
+        return _jsonable(tolist())
+    return str(obj)
 
 
 @dataclass
@@ -34,11 +63,52 @@ class RunRecord:
     sorted_output: bool
     stage_times: Dict[str, float] = field(default_factory=dict)
     decisions: Dict[str, object] = field(default_factory=dict)
+    #: Human-readable failure reason (empty for valid runs).
+    failure: str = ""
+    #: Structured failure classification (``None`` for valid runs).
+    failure_info: Optional[FailureInfo] = None
+    #: Retry attempts consumed before this outcome.
+    retries: int = 0
 
     def gflops(self, flops: int) -> float:
         if not self.valid or self.time_s <= 0:
             return 0.0
         return flops / self.time_s / 1e9
+
+    def as_dict(self) -> Dict[str, object]:
+        """Plain-dict form for JSONL checkpoints."""
+        return {
+            "matrix": self.matrix,
+            "method": self.method,
+            "time_s": self.time_s,
+            "peak_mem_bytes": int(self.peak_mem_bytes),
+            "valid": bool(self.valid),
+            "sorted_output": bool(self.sorted_output),
+            "stage_times": _jsonable(self.stage_times),
+            "decisions": _jsonable(self.decisions),
+            "failure": self.failure,
+            "failure_info": (
+                self.failure_info.as_dict() if self.failure_info else None
+            ),
+            "retries": int(self.retries),
+        }
+
+    @classmethod
+    def from_dict(cls, d: Dict[str, object]) -> "RunRecord":
+        info = d.get("failure_info")
+        return cls(
+            matrix=str(d["matrix"]),
+            method=str(d["method"]),
+            time_s=float(d["time_s"]),
+            peak_mem_bytes=int(d["peak_mem_bytes"]),
+            valid=bool(d["valid"]),
+            sorted_output=bool(d.get("sorted_output", True)),
+            stage_times=dict(d.get("stage_times") or {}),
+            decisions=dict(d.get("decisions") or {}),
+            failure=str(d.get("failure", "")),
+            failure_info=FailureInfo.from_dict(info) if info else None,
+            retries=int(d.get("retries", 0)),
+        )
 
 
 @dataclass
@@ -62,6 +132,31 @@ class MatrixRecord:
     @property
     def compaction(self) -> float:
         return self.products / max(1, self.nnz_c)
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "name": self.name,
+            "family": self.family,
+            "rows": int(self.rows),
+            "cols": int(self.cols),
+            "nnz_a": int(self.nnz_a),
+            "products": int(self.products),
+            "nnz_c": int(self.nnz_c),
+            "max_c_row_nnz": int(self.max_c_row_nnz),
+        }
+
+    @classmethod
+    def from_dict(cls, d: Dict[str, object]) -> "MatrixRecord":
+        return cls(
+            name=str(d["name"]),
+            family=str(d.get("family", "")),
+            rows=int(d["rows"]),
+            cols=int(d["cols"]),
+            nnz_a=int(d["nnz_a"]),
+            products=int(d["products"]),
+            nnz_c=int(d["nnz_c"]),
+            max_c_row_nnz=int(d.get("max_c_row_nnz", 0)),
+        )
 
 
 @dataclass
@@ -96,10 +191,20 @@ def evaluate_case(
     algorithms: Sequence[SpGEMMAlgorithm],
     *,
     release: bool = True,
+    faults: Optional[FaultPlan] = None,
 ) -> tuple[MatrixRecord, List[RunRecord]]:
-    """Run every algorithm on one corpus case."""
+    """Run every algorithm on one corpus case.
+
+    Crash-proof: an exception escaping ``algo.run`` — a structured
+    :class:`~repro.faults.SpGEMMError` or any unexpected crash — is
+    converted into an invalid :class:`RunRecord` with a
+    :class:`~repro.faults.FailureInfo`, so one bad (matrix, method) pair
+    can never kill a sweep.
+    """
     a, b = case.matrices()
     ctx = MultiplyContext(a, b)
+    ctx.faults = faults
+    ctx.case_name = case.name
     matrix_record = MatrixRecord(
         name=case.name,
         family=case.family,
@@ -112,7 +217,10 @@ def evaluate_case(
     )
     runs: List[RunRecord] = []
     for algo in algorithms:
-        res: SpGEMMResult = algo.run(ctx)
+        try:
+            res: SpGEMMResult = algo.run(ctx)
+        except Exception as exc:  # noqa: BLE001 - sweep must survive anything
+            res = SpGEMMResult.failed(algo.name, FailureInfo.from_exception(exc))
         runs.append(
             RunRecord(
                 matrix=case.name,
@@ -123,11 +231,34 @@ def evaluate_case(
                 sorted_output=res.sorted_output,
                 stage_times=res.stage_times,
                 decisions=res.decisions,
+                failure=res.failure,
+                failure_info=res.failure_info,
+                retries=res.retries,
             )
         )
     if release:
         case.release()
     return matrix_record, runs
+
+
+def _load_checkpoint(path: str) -> EvalResult:
+    """Read finished cases from a JSONL checkpoint (missing file is empty)."""
+    out = EvalResult()
+    if not os.path.exists(path):
+        return out
+    with open(path, "r", encoding="utf-8") as fh:
+        for line in fh:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                entry = json.loads(line)
+            except json.JSONDecodeError:
+                continue  # torn tail write from an interrupted sweep
+            mrec = MatrixRecord.from_dict(entry["matrix"])
+            out.matrices[mrec.name] = mrec
+            out.runs.extend(RunRecord.from_dict(r) for r in entry["runs"])
+    return out
 
 
 def run_suite(
@@ -136,19 +267,52 @@ def run_suite(
     device: DeviceSpec = TITAN_V,
     *,
     verbose: bool = False,
+    faults: Optional[FaultPlan] = None,
+    checkpoint: Optional[str] = None,
 ) -> EvalResult:
-    """Sweep a corpus with a set of algorithms (the paper line-up by default)."""
+    """Sweep a corpus with a set of algorithms (the paper line-up by default).
+
+    With ``checkpoint`` set, each finished case is appended to the JSONL
+    file as ``{"matrix": ..., "runs": [...]}``; re-running with the same
+    path resumes the sweep, skipping cases already on disk.
+    """
     algos = list(algorithms) if algorithms is not None else all_algorithms(device)
-    out = EvalResult()
+    out = _load_checkpoint(checkpoint) if checkpoint else EvalResult()
+    done = set(out.matrices)
+    if checkpoint and os.path.exists(checkpoint):
+        # A sweep killed mid-write leaves a torn line without a trailing
+        # newline; terminate it so the next append starts a fresh line
+        # instead of gluing a good record onto the garbage.
+        with open(checkpoint, "rb+") as fh:
+            fh.seek(0, os.SEEK_END)
+            if fh.tell() > 0:
+                fh.seek(-1, os.SEEK_END)
+                if fh.read(1) != b"\n":
+                    fh.write(b"\n")
     for case in cases:
-        mrec, runs = evaluate_case(case, algos)
+        if case.name in done:
+            if verbose:  # pragma: no cover - console convenience
+                print(f"{case.name:24s} (checkpointed, skipped)")
+            continue
+        mrec, runs = evaluate_case(case, algos, faults=faults)
         out.matrices[case.name] = mrec
         out.runs.extend(runs)
+        if checkpoint:
+            entry = {
+                "matrix": mrec.as_dict(),
+                "runs": [r.as_dict() for r in runs],
+            }
+            with open(checkpoint, "a", encoding="utf-8") as fh:
+                fh.write(json.dumps(entry) + "\n")
         if verbose:  # pragma: no cover - console convenience
-            best = min((r.time_s for r in runs if r.valid), default=float("inf"))
-            winner = next((r.method for r in runs if r.valid and r.time_s == best), "-")
+            valid = [r for r in runs if r.valid]
+            if valid:
+                best = min(valid, key=lambda r: r.time_s)
+                winner, best_t = best.method, best.time_s
+            else:
+                winner, best_t = "-", float("inf")
             print(
                 f"{case.name:24s} products={mrec.products:>10d} "
-                f"best={winner:10s} {best * 1e3:8.3f} ms"
+                f"best={winner:10s} {best_t * 1e3:8.3f} ms"
             )
     return out

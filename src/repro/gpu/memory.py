@@ -11,24 +11,34 @@ invalid run for that method.
 
 from __future__ import annotations
 
-from typing import Dict
+from typing import Dict, Optional
 
+from ..faults import FaultScope, SpGEMMError
 from .device import DeviceSpec
 
 __all__ = ["MemoryLedger", "DeviceOOM"]
 
 
-class DeviceOOM(RuntimeError):
-    """Raised when a simulated allocation exceeds device memory."""
+class DeviceOOM(SpGEMMError):
+    """Raised when a simulated allocation exceeds device memory.
+
+    Part of the structured failure taxonomy (kind ``"oom"``); marked
+    retryable because several methods re-run with a fallback configuration
+    (spECK forces global load balancing and smaller per-block scratch,
+    nsparse/bhSPARSE repeat their re-allocation loop) before giving up.
+    """
+
+    kind = "oom"
 
     def __init__(self, requested: int, in_use: int, capacity: int, tag: str):
         self.requested = int(requested)
         self.in_use = int(in_use)
         self.capacity = int(capacity)
-        self.tag = tag
         super().__init__(
             f"device OOM allocating {requested} B for {tag!r}: "
-            f"{in_use} B already in use of {capacity} B"
+            f"{in_use} B already in use of {capacity} B",
+            tag=tag,
+            retryable=True,
         )
 
 
@@ -43,11 +53,21 @@ class MemoryLedger:
         Memory already committed before the multiplication starts (the input
         matrices A and B — the paper's stated limitation is that both inputs
         and the output must stay resident).
+    faults:
+        Optional :class:`~repro.faults.FaultScope`; consulted before every
+        allocation so a fault plan can inject failures at chosen points.
     """
 
-    def __init__(self, device: DeviceSpec, resident_bytes: int = 0) -> None:
+    def __init__(
+        self,
+        device: DeviceSpec,
+        resident_bytes: int = 0,
+        *,
+        faults: Optional[FaultScope] = None,
+    ) -> None:
         self.capacity = int(device.global_mem_bytes)
         self.resident = int(resident_bytes)
+        self.faults = faults
         self._live: Dict[str, int] = {}
         self._current = 0
         self.peak = 0
@@ -73,6 +93,8 @@ class MemoryLedger:
             raise ValueError("allocation size must be non-negative")
         if tag in self._live:
             raise ValueError(f"tag {tag!r} already allocated")
+        if self.faults is not None:
+            self.faults.on_alloc(nbytes, tag)
         if self.resident + self._current + nbytes > self.capacity:
             raise DeviceOOM(nbytes, self.resident + self._current, self.capacity, tag)
         self._live[tag] = nbytes

@@ -158,6 +158,10 @@ class CSR:
             raise ValueError("indptr must be non-decreasing")
         if self.indices.size != self.data.size:
             raise ValueError("indices and data must have equal length")
+        if self.data.size and not np.all(np.isfinite(self.data)):
+            raise ValueError(
+                "data contains NaN or Inf values (use sanitize() to repair)"
+            )
         if self.indices.size:
             if self.indices.min() < 0 or self.indices.max() >= n_cols:
                 raise ValueError("column index out of range")
@@ -170,6 +174,22 @@ class CSR:
             bad = (np.diff(self.indices) <= 0) & inside_row[1:]
             if bad.any():
                 raise ValueError("column indices must be strictly increasing per row")
+
+    def sanitize(self) -> "CSR":
+        """Return a repaired copy satisfying every invariant.
+
+        Repairs, in order: drop entries with NaN/Inf values, drop explicit
+        zeros, drop out-of-range column indices, then rebuild through
+        :meth:`from_coo` — which sorts columns within each row and sums
+        duplicate ``(row, col)`` pairs.  The result always passes
+        :meth:`validate`.
+        """
+        rows = self.row_ids()
+        keep = np.isfinite(self.data) & (self.data != 0.0)
+        keep &= (self.indices >= 0) & (self.indices < self.cols)
+        return CSR.from_coo(
+            rows[keep], self.indices[keep], self.data[keep], self.shape
+        )
 
     # ------------------------------------------------------------------
     # Basic properties

@@ -77,7 +77,16 @@ def read_mtx(path: Union[str, Path]) -> CSR:
             raise MatrixMarketError(f"malformed size line: {line!r}")
         n_rows, n_cols, nnz = (int(x) for x in dims)
 
-        body = np.loadtxt(fh, dtype=np.float64, ndmin=2) if nnz else np.empty((0, 3))
+        try:
+            body = (
+                np.loadtxt(fh, dtype=np.float64, ndmin=2)
+                if nnz
+                else np.empty((0, 3))
+            )
+        except (ValueError, IndexError) as exc:
+            # np.loadtxt raises bare ValueError on truncated or ragged
+            # entry lines; surface a structured, file-format error instead.
+            raise MatrixMarketError(f"malformed entry line: {exc}") from exc
     if body.shape[0] != nnz:
         raise MatrixMarketError(
             f"expected {nnz} entries, found {body.shape[0]}"
@@ -99,6 +108,22 @@ def read_mtx(path: Union[str, Path]) -> CSR:
         cols = np.empty(0, dtype=INDEX_DTYPE)
         vals = np.empty(0, dtype=VALUE_DTYPE)
 
+    if nnz:
+        # MatrixMarket indices are 1-based; after the -1 shift every index
+        # must land inside the declared shape.
+        if rows.min() < 0 or rows.max() >= n_rows:
+            raise MatrixMarketError(
+                f"row index out of range: entries span "
+                f"[{int(rows.min()) + 1}, {int(rows.max()) + 1}] "
+                f"but the size line declares {n_rows} rows"
+            )
+        if cols.min() < 0 or cols.max() >= n_cols:
+            raise MatrixMarketError(
+                f"column index out of range: entries span "
+                f"[{int(cols.min()) + 1}, {int(cols.max()) + 1}] "
+                f"but the size line declares {n_cols} columns"
+            )
+
     if symmetry in ("symmetric", "skew-symmetric") and nnz:
         off_diag = rows != cols
         sign = -1.0 if symmetry == "skew-symmetric" else 1.0
@@ -107,7 +132,15 @@ def read_mtx(path: Union[str, Path]) -> CSR:
         vals = np.concatenate([vals, sign * vals[off_diag]])
         cols = cols_full
 
-    return COO(rows, cols, vals, (n_rows, n_cols)).to_csr()
+    # Repair what real-world files get wrong — duplicate coordinates,
+    # unsorted columns, explicit zeros, non-finite values — so the returned
+    # matrix always satisfies the CSR invariants.
+    csr = COO(rows, cols, vals, (n_rows, n_cols)).to_csr()
+    if csr.nnz and not (
+        np.all(np.isfinite(csr.data)) and np.all(csr.data != 0.0)
+    ):
+        csr = csr.sanitize()
+    return csr
 
 
 def write_mtx(path: Union[str, Path], mat: CSR, *, comment: str = "") -> None:

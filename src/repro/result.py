@@ -3,8 +3,9 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Optional
+from typing import Dict, Optional, Union
 
+from .faults import FailureInfo, SpGEMMError
 from .matrices.csr import CSR
 
 __all__ = ["SpGEMMResult"]
@@ -33,7 +34,13 @@ class SpGEMMResult:
         False when the method failed on this input (OOM or an algorithmic
         limitation) — the paper's ``#inv.`` statistic.
     failure:
-        Reason string when ``valid`` is false.
+        Human-readable reason string when ``valid`` is false.
+    failure_info:
+        Machine-readable classification of the failure (kind, stage, tag,
+        retryable) — see :class:`repro.faults.FailureInfo`.
+    retries:
+        How many retry/fallback attempts the method's resilience policy
+        made (0 when the first attempt settled the run either way).
     sorted_output:
         Whether column indices are sorted per row (KokkosKernels returns
         unsorted output, violating the CSR contract).
@@ -48,6 +55,8 @@ class SpGEMMResult:
     stage_times: Dict[str, float] = field(default_factory=dict)
     valid: bool = True
     failure: str = ""
+    failure_info: Optional[FailureInfo] = None
+    retries: int = 0
     sorted_output: bool = True
     decisions: Dict[str, object] = field(default_factory=dict)
 
@@ -58,13 +67,33 @@ class SpGEMMResult:
         return flops / self.time_s / 1e9
 
     @classmethod
-    def failed(cls, method: str, reason: str) -> "SpGEMMResult":
-        """A run that could not complete (counted as invalid)."""
+    def failed(
+        cls,
+        method: str,
+        reason: Union[str, SpGEMMError, FailureInfo],
+        *,
+        retries: int = 0,
+    ) -> "SpGEMMResult":
+        """A run that could not complete (counted as invalid).
+
+        ``reason`` may be a plain string (kept for compatibility, recorded
+        with kind ``"limitation"``), an :class:`~repro.faults.SpGEMMError`
+        or a ready-made :class:`~repro.faults.FailureInfo`; the structured
+        and human-readable forms are both always populated.
+        """
+        if isinstance(reason, SpGEMMError):
+            info = reason.info
+        elif isinstance(reason, FailureInfo):
+            info = reason
+        else:
+            info = FailureInfo(kind="limitation", message=str(reason))
         return cls(
             method=method,
             c=None,
             time_s=float("inf"),
             peak_mem_bytes=0,
             valid=False,
-            failure=reason,
+            failure=info.message or str(reason),
+            failure_info=info,
+            retries=retries,
         )

@@ -149,3 +149,56 @@ class TestMatrixMarket:
         path.write_text("%%MatrixMarket matrix coordinate real general\n2 2\n")
         with pytest.raises(MatrixMarketError):
             read_mtx(path)
+
+
+class TestCorruptedFiles:
+    """S3: structured errors for corrupted MatrixMarket input."""
+
+    HEADER = "%%MatrixMarket matrix coordinate real general\n"
+
+    def test_truncated_entry_line_raises_structured_error(self, tmp_path):
+        path = tmp_path / "trunc.mtx"
+        path.write_text(self.HEADER + "2 2 2\n1 1 1.0\n2 2\n")
+        with pytest.raises(MatrixMarketError, match="malformed entry line"):
+            read_mtx(path)
+
+    def test_garbage_entry_line_raises_structured_error(self, tmp_path):
+        path = tmp_path / "garbage.mtx"
+        path.write_text(self.HEADER + "2 2 2\n1 1 1.0\nfoo bar baz\n")
+        with pytest.raises(MatrixMarketError):
+            read_mtx(path)
+
+    def test_row_index_out_of_range(self, tmp_path):
+        path = tmp_path / "range.mtx"
+        path.write_text(self.HEADER + "2 2 2\n1 1 1.0\n5 1 2.0\n")
+        with pytest.raises(MatrixMarketError, match="row index out of range"):
+            read_mtx(path)
+
+    def test_column_index_out_of_range(self, tmp_path):
+        path = tmp_path / "range.mtx"
+        path.write_text(self.HEADER + "2 2 2\n1 1 1.0\n2 7 2.0\n")
+        with pytest.raises(
+            MatrixMarketError, match="column index out of range"
+        ):
+            read_mtx(path)
+
+    def test_zero_based_index_rejected(self, tmp_path):
+        path = tmp_path / "zero.mtx"
+        path.write_text(self.HEADER + "2 2 1\n0 1 1.0\n")
+        with pytest.raises(MatrixMarketError, match="row index out of range"):
+            read_mtx(path)
+
+    def test_non_finite_values_are_sanitized(self, tmp_path):
+        path = tmp_path / "nan.mtx"
+        path.write_text(self.HEADER + "2 2 3\n1 1 1.0\n1 2 nan\n2 2 inf\n")
+        m = read_mtx(path)
+        m.validate()
+        assert m.nnz == 1
+        assert m.to_dense()[0, 0] == 1.0
+
+    def test_explicit_zeros_are_dropped(self, tmp_path):
+        path = tmp_path / "zeros.mtx"
+        path.write_text(self.HEADER + "2 2 2\n1 1 1.0\n2 2 0.0\n")
+        m = read_mtx(path)
+        m.validate()
+        assert m.nnz == 1

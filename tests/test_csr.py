@@ -123,6 +123,60 @@ class TestValidation:
         )
         m.validate()
 
+    @pytest.mark.parametrize("bad", [np.nan, np.inf, -np.inf])
+    def test_validate_rejects_non_finite_values(self, bad):
+        with pytest.raises(ValueError, match="NaN or Inf"):
+            CSR(
+                np.array([0, 2]),
+                np.array([0, 1]),
+                np.array([1.0, bad]),
+                (1, 4),
+            )
+
+
+class TestSanitize:
+    def _broken(self, indptr, indices, data, shape):
+        return CSR(
+            np.asarray(indptr),
+            np.asarray(indices),
+            np.asarray(data, dtype=float),
+            shape,
+            check=False,
+        )
+
+    def test_drops_non_finite_values(self):
+        m = self._broken([0, 3], [0, 1, 2], [1.0, np.nan, np.inf], (1, 4))
+        fixed = m.sanitize()
+        fixed.validate()
+        assert fixed.nnz == 1
+        assert fixed.data[0] == 1.0
+
+    def test_drops_explicit_zeros(self):
+        m = self._broken([0, 3], [0, 1, 2], [1.0, 0.0, 2.0], (1, 4))
+        fixed = m.sanitize()
+        fixed.validate()
+        assert fixed.nnz == 2
+        assert list(fixed.indices) == [0, 2]
+
+    def test_sorts_and_sums_duplicate_columns(self):
+        m = self._broken([0, 3], [2, 0, 2], [1.0, 3.0, 4.0], (1, 4))
+        fixed = m.sanitize()
+        fixed.validate()
+        assert list(fixed.indices) == [0, 2]
+        assert list(fixed.data) == [3.0, 5.0]
+
+    def test_drops_out_of_range_columns(self):
+        m = self._broken([0, 2], [0, 9], [1.0, 2.0], (1, 4))
+        fixed = m.sanitize()
+        fixed.validate()
+        assert fixed.nnz == 1
+
+    def test_valid_matrix_survives_unchanged(self, rng):
+        from conftest import random_csr
+
+        m = random_csr(rng, 12, 9, 0.3)
+        assert m.sanitize().allclose(m)
+
 
 class TestOperations:
     def test_transpose_dense_equivalence(self, rng):

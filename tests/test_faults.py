@@ -1,0 +1,420 @@
+"""Tests for fault injection, the failure taxonomy and harness resilience."""
+
+import dataclasses
+import json
+
+import numpy as np
+import pytest
+
+from repro.baselines import PAPER_LINEUP, all_algorithms
+from repro.baselines.base import SpGEMMAlgorithm
+from repro.core import MultiplyContext, SpeckEngine
+from repro.eval import compute_table3, evaluate_case, run_suite
+from repro.eval.harness import RunRecord
+from repro.eval.suite import MatrixCase
+from repro.faults import (
+    AccumulatorOverflow,
+    FailureInfo,
+    FaultPlan,
+    FaultRule,
+    FaultScope,
+    FaultSpecError,
+    KernelLaunchError,
+    SimulatedFault,
+    SpGEMMError,
+    null_scope,
+    parse_fault_spec,
+)
+from repro.gpu import TITAN_V, DeviceOOM, MemoryLedger
+from repro.gpu.trace import Trace
+from repro.matrices.generators import banded, poisson2d
+from repro.result import SpGEMMResult
+
+
+def _case(name="mesh_tiny", build=lambda: poisson2d(12)):
+    return MatrixCase(name=name, family="mesh", build_a=build)
+
+
+# ---------------------------------------------------------------------------
+# Failure taxonomy
+# ---------------------------------------------------------------------------
+class TestTaxonomy:
+    def test_kinds(self):
+        assert SimulatedFault("x").kind == "injected"
+        assert KernelLaunchError("x").kind == "launch"
+        assert AccumulatorOverflow("x").kind == "overflow"
+        assert DeviceOOM(1, 2, 3, "t").kind == "oom"
+
+    def test_device_oom_joins_hierarchy_retryable(self):
+        err = DeviceOOM(100, 50, 120, "C")
+        assert isinstance(err, SpGEMMError)
+        assert err.retryable
+        assert err.info.kind == "oom"
+        assert err.info.tag == "C"
+
+    def test_info_roundtrip(self):
+        info = SimulatedFault(
+            "boom", stage="numeric", tag="C", retryable=True
+        ).info
+        again = FailureInfo.from_dict(json.loads(json.dumps(info.as_dict())))
+        assert again == info
+        assert str(info) == "boom"
+
+    def test_from_exception_wraps_arbitrary_errors(self):
+        info = FailureInfo.from_exception(ValueError("bad"), stage="analysis")
+        assert info.kind == "crash"
+        assert "ValueError" in info.message
+        assert not info.retryable
+        # SpGEMMError keeps its own structured info.
+        structured = FailureInfo.from_exception(KernelLaunchError("k", stage="s"))
+        assert structured.kind == "launch"
+        assert structured.stage == "s"
+
+    def test_result_failed_accepts_error_and_string(self):
+        res = SpGEMMResult.failed("m", SimulatedFault("f", stage="sym"))
+        assert res.failure_info.kind == "injected"
+        assert res.failure == "f"
+        legacy = SpGEMMResult.failed("m", "row budget exceeded")
+        assert legacy.failure_info.kind == "limitation"
+        assert "budget" in legacy.failure
+
+
+# ---------------------------------------------------------------------------
+# Rules, plans, scopes
+# ---------------------------------------------------------------------------
+class TestFaultRules:
+    def test_site_validation(self):
+        with pytest.raises(FaultSpecError):
+            FaultRule(site="frobnicate")
+        with pytest.raises(FaultSpecError):
+            FaultRule(site="alloc", probability=1.5)
+        with pytest.raises(FaultSpecError):
+            FaultRule(site="alloc", after_n=0)
+
+    def test_matching_filters(self):
+        rule = FaultRule(
+            site="alloc", method="spECK", matrix="rmat_*", tag="C",
+            after_n=2, min_bytes=100,
+        )
+        ok = ("alloc", "spECK", "rmat_7", "C", 2, 200)
+        assert rule.matches(*ok)
+        assert not rule.matches("launch", *ok[1:])
+        assert not rule.matches("alloc", "nsparse", *ok[2:])
+        assert not rule.matches("alloc", "spECK", "mesh", "C", 2, 200)
+        assert not rule.matches("alloc", "spECK", "rmat_7", "bins", 2, 200)
+        assert not rule.matches("alloc", "spECK", "rmat_7", "C", 1, 200)
+        assert not rule.matches("alloc", "spECK", "rmat_7", "C", 2, 50)
+
+    def test_scope_counts_per_site_and_attempt(self):
+        plan = FaultPlan([FaultRule(site="alloc", after_n=2)])
+        scope = plan.scope("m", "x")
+        scope.on_alloc(10, "a")  # first alloc: no fire
+        with pytest.raises(SimulatedFault):
+            scope.on_alloc(10, "b")
+        # Persistent rule re-fires on the retry's 2nd alloc too.
+        scope.new_attempt()
+        scope.on_alloc(10, "a")
+        with pytest.raises(SimulatedFault):
+            scope.on_alloc(10, "b")
+
+    def test_transient_rule_clears_after_one_fire(self):
+        plan = FaultPlan([FaultRule(site="launch", after_n=1, transient=True)])
+        scope = plan.scope("m", "x")
+        with pytest.raises(KernelLaunchError):
+            scope.on_launch("symbolic")
+        scope.new_attempt()
+        scope.on_launch("symbolic")  # cleared: retry proceeds
+        assert scope.injected == 1
+
+    def test_probability_is_seed_deterministic(self):
+        plan_a = FaultPlan([FaultRule(site="alloc", probability=0.5)], seed=3)
+        plan_b = FaultPlan([FaultRule(site="alloc", probability=0.5)], seed=3)
+
+        def fire_pattern(plan):
+            pattern = []
+            scope = plan.scope("m", "x")
+            for i in range(64):
+                try:
+                    scope.on_alloc(8, f"t{i}")
+                    pattern.append(False)
+                except SimulatedFault:
+                    pattern.append(True)
+            return pattern
+
+        assert fire_pattern(plan_a) == fire_pattern(plan_b)
+        assert any(fire_pattern(plan_a))
+        assert not all(fire_pattern(plan_a))
+
+    def test_null_scope_is_inert(self):
+        scope = null_scope("m")
+        for i in range(8):
+            scope.on_alloc(1 << 20, "t")
+            scope.on_launch("k")
+        assert not scope.force_spill("symbolic")
+        assert scope.injected == 0
+
+    def test_spill_site(self):
+        plan = FaultPlan([FaultRule(site="spill", tag="numeric")])
+        scope = plan.scope("spECK", "x")
+        assert not scope.force_spill("symbolic")
+        assert scope.force_spill("numeric")
+
+
+class TestParseFaultSpec:
+    def test_examples(self):
+        plan = parse_fault_spec("seed=7;alloc@spECK:n=2:transient;launch:matrix=rmat_*:p=0.25")
+        assert plan.seed == 7
+        assert len(plan) == 2
+        first, second = plan.rules
+        assert first.site == "alloc" and first.method == "spECK"
+        assert first.after_n == 2 and first.transient
+        assert second.site == "launch" and second.matrix == "rmat_*"
+        assert second.probability == 0.25
+
+    def test_bytes_and_tag_options(self):
+        (rule,) = parse_fault_spec("alloc:bytes=4096:tag=C").rules
+        assert rule.min_bytes == 4096
+        assert rule.tag == "C"
+
+    @pytest.mark.parametrize(
+        "spec",
+        ["", "bogus:n=1", "alloc:n=x", "alloc:p=nope", "alloc:wat=1",
+         "seed=abc;alloc", "alloc:transient=maybe"],
+    )
+    def test_rejects_malformed_specs(self, spec):
+        with pytest.raises(FaultSpecError):
+            parse_fault_spec(spec)
+
+
+# ---------------------------------------------------------------------------
+# Ledger integration
+# ---------------------------------------------------------------------------
+class TestLedgerInjection:
+    def test_ledger_consults_scope(self):
+        plan = FaultPlan([FaultRule(site="alloc", after_n=2)])
+        scope = plan.scope("m", "x")
+        ledger = MemoryLedger(TITAN_V, faults=scope)
+        ledger.alloc(1024, "a")
+        with pytest.raises(SimulatedFault) as ei:
+            ledger.alloc(1024, "b")
+        assert ei.value.tag == "b"
+
+    def test_ledger_without_scope_unchanged(self):
+        ledger = MemoryLedger(TITAN_V)
+        ledger.alloc(1024, "a")
+        assert ledger.peak >= 1024
+
+
+# ---------------------------------------------------------------------------
+# Acceptance: fault-injected sweep stays alive and is visible in Table 3
+# ---------------------------------------------------------------------------
+class TestFaultInjectedSweep:
+    def test_alloc_fault_fails_every_gpu_method_sweep_survives(self):
+        plan = parse_fault_spec("alloc:n=1")
+        result = run_suite([_case()], faults=plan)
+        assert len(result.runs) == len(PAPER_LINEUP)
+        gpu_runs = [r for r in result.runs if r.method != "MKL"]
+        assert gpu_runs and all(not r.valid for r in gpu_runs)
+        for r in gpu_runs:
+            assert r.failure_info is not None
+            assert r.failure_info.kind == "injected"
+            assert r.failure
+        # MKL is a CPU baseline: no device allocations, so it survives.
+        mkl = result.record("mesh_tiny", "MKL")
+        assert mkl.valid
+        # Table 3's #inv. row reflects the injected failures.
+        table = compute_table3(result)
+        for method, stats in table.items():
+            assert stats.n_invalid == (0 if method == "MKL" else 1)
+
+    def test_launch_fault_is_structured(self):
+        plan = parse_fault_spec("launch@nsparse:n=1")
+        _, runs = evaluate_case(_case(), all_algorithms(), faults=plan)
+        by = {r.method: r for r in runs}
+        assert not by["nsparse"].valid
+        assert by["nsparse"].failure_info.kind == "launch"
+        assert by["nsparse"].retries == 1  # re-allocation loop re-ran once
+        assert by["spECK"].valid
+
+    def test_persistent_fault_consumes_retries(self):
+        plan = parse_fault_spec("alloc@bhSPARSE:n=1")
+        _, runs = evaluate_case(_case(), all_algorithms(), faults=plan)
+        rec = next(r for r in runs if r.method == "bhSPARSE")
+        assert not rec.valid
+        assert rec.retries == 1
+
+    def test_transient_fault_retry_succeeds_and_is_charged(self):
+        plan = parse_fault_spec("alloc@nsparse:n=1:transient")
+        _, runs = evaluate_case(_case(), all_algorithms(), faults=plan)
+        rec = next(r for r in runs if r.method == "nsparse")
+        assert rec.valid
+        assert rec.retries == 1
+        assert rec.stage_times["retry"] > 0.0
+        clean = next(
+            r for r in evaluate_case(_case(), all_algorithms())[1]
+            if r.method == "nsparse"
+        )
+        assert rec.time_s > clean.time_s
+
+
+# ---------------------------------------------------------------------------
+# spECK resilience (acceptance + S4 fallback coverage)
+# ---------------------------------------------------------------------------
+class TestSpeckRetry:
+    def test_transient_fault_retries_with_cost_in_trace(self):
+        a = banded(300, 6, seed=1)
+        ctx = MultiplyContext(a, a)
+        ctx.faults = parse_fault_spec("alloc@spECK:n=1:transient")
+        ctx.case_name = "banded_t"
+        trace = Trace()
+        engine = SpeckEngine()
+        res = engine.multiply(a, a, ctx=ctx, trace=trace)
+        assert res.valid
+        assert res.retries == 1
+        assert res.decisions["retried"] is True
+        assert res.decisions["retry_cause"] == "injected"
+        assert res.stage_times["retry"] > 0.0
+        retry_events = [e for e in trace.events if e.name == "retry (fallback)"]
+        assert len(retry_events) == 1
+        assert retry_events[0].meta["forced_global_lb"] is True
+        # Wasted attempt is charged into the total.
+        clean = SpeckEngine().multiply(a, a)
+        assert res.time_s > clean.time_s
+        assert res.time_s == pytest.approx(
+            sum(res.stage_times.values()) + engine.device.call_overhead_s
+        )
+
+    def test_persistent_fault_exhausts_fallback(self):
+        a = banded(300, 6, seed=1)
+        ctx = MultiplyContext(a, a)
+        ctx.faults = parse_fault_spec("alloc@spECK:n=1")
+        res = SpeckEngine().multiply(a, a, ctx=ctx)
+        assert not res.valid
+        assert res.retries == 1
+        assert res.failure_info.kind == "injected"
+
+    def test_forced_spill_exercises_global_hash_path(self):
+        a = banded(300, 6, seed=1)
+        clean = SpeckEngine().multiply(a, a)
+        assert "forced_spill_symbolic" not in clean.decisions
+        ctx = MultiplyContext(a, a)
+        ctx.faults = parse_fault_spec("spill@spECK:tag=symbolic")
+        res = SpeckEngine().multiply(a, a, ctx=ctx)
+        assert res.valid
+        assert res.decisions["forced_spill_symbolic"] is True
+        assert res.decisions["global_hash_blocks"] >= 1
+        # The forced spill allocates the global hash-map pool.
+        assert res.peak_mem_bytes > clean.peak_mem_bytes
+
+    def test_forced_spill_numeric(self):
+        a = banded(300, 6, seed=1)
+        ctx = MultiplyContext(a, a)
+        ctx.faults = parse_fault_spec("spill@spECK:tag=numeric")
+        res = SpeckEngine().multiply(a, a, ctx=ctx)
+        assert res.valid
+        assert res.decisions["forced_spill_numeric"] is True
+
+
+# ---------------------------------------------------------------------------
+# S4: DeviceOOM branch of the cuSPARSE-like baseline
+# ---------------------------------------------------------------------------
+class TestCusparseOOM:
+    def test_oom_returns_structured_failure(self):
+        tiny = dataclasses.replace(TITAN_V, global_mem_bytes=1 << 18)
+        algo = next(
+            a for a in all_algorithms(device=tiny) if a.name == "cuSPARSE"
+        )
+        a = poisson2d(40)
+        res = algo.run(MultiplyContext(a, a))
+        assert not res.valid
+        assert res.failure_info.kind == "oom"
+        assert res.failure_info.retryable
+        assert "memory" in res.failure or "OOM" in res.failure or res.failure
+
+
+# ---------------------------------------------------------------------------
+# Crash-proof harness + checkpointing
+# ---------------------------------------------------------------------------
+class _Exploder(SpGEMMAlgorithm):
+    name = "exploder"
+
+    def run(self, ctx):
+        raise RuntimeError("kaboom")
+
+
+class TestCrashProofHarness:
+    def test_arbitrary_crash_becomes_invalid_record(self):
+        algos = list(all_algorithms(names=["spECK"])) + [_Exploder()]
+        _, runs = evaluate_case(_case(), algos)
+        by = {r.method: r for r in runs}
+        assert by["spECK"].valid
+        assert not by["exploder"].valid
+        assert by["exploder"].failure_info.kind == "crash"
+        assert "kaboom" in by["exploder"].failure
+
+    def test_runrecord_dict_roundtrip_handles_numpy(self):
+        rec = RunRecord(
+            matrix="m", method="x", time_s=1.0, peak_mem_bytes=10,
+            valid=False, sorted_output=True,
+            stage_times={"numeric": np.float64(0.5)},
+            decisions={"dense": np.bool_(True), "rows": np.int64(7)},
+            failure="f", failure_info=FailureInfo(kind="oom"), retries=1,
+        )
+        line = json.dumps(rec.as_dict())
+        again = RunRecord.from_dict(json.loads(line))
+        assert again.failure_info.kind == "oom"
+        assert again.decisions == {"dense": True, "rows": 7}
+        assert again.retries == 1
+
+    def test_checkpoint_resume_skips_finished_cases(self, tmp_path):
+        path = str(tmp_path / "ckpt.jsonl")
+        builds = {"n": 0}
+
+        def build():
+            builds["n"] += 1
+            return poisson2d(10)
+
+        cases = [_case("m1", build), _case("m2", build)]
+        first = run_suite(cases, checkpoint=path)
+        assert builds["n"] == 2
+        assert len(first.matrices) == 2
+        with open(path, encoding="utf-8") as fh:
+            assert len(fh.readlines()) == 2
+
+        # Resume with one extra case: the finished two are not rebuilt.
+        cases = [_case("m1", build), _case("m2", build), _case("m3", build)]
+        second = run_suite(cases, checkpoint=path)
+        assert builds["n"] == 3
+        assert set(second.matrices) == {"m1", "m2", "m3"}
+        assert len(second.runs) == 3 * len(PAPER_LINEUP)
+        with open(path, encoding="utf-8") as fh:
+            assert len(fh.readlines()) == 3
+
+    def test_checkpoint_tolerates_torn_tail_line(self, tmp_path):
+        path = str(tmp_path / "ckpt.jsonl")
+        run_suite([_case("m1")], checkpoint=path)
+        with open(path, "a", encoding="utf-8") as fh:
+            fh.write('{"matrix": {"name": "m2", "ro')  # interrupted write
+        result = run_suite([_case("m1"), _case("m2")], checkpoint=path)
+        assert set(result.matrices) == {"m1", "m2"}
+        # The torn line must not swallow the record appended after it:
+        # a further resume finds every case on disk and recomputes nothing.
+        builds = {"n": 0}
+
+        def build():
+            builds["n"] += 1
+            return poisson2d(12)
+
+        again = run_suite(
+            [_case("m1", build), _case("m2", build)], checkpoint=path
+        )
+        assert builds["n"] == 0
+        assert set(again.matrices) == {"m1", "m2"}
+
+    def test_faulted_sweep_checkpoint_roundtrips_failure_info(self, tmp_path):
+        path = str(tmp_path / "ckpt.jsonl")
+        run_suite([_case()], faults=parse_fault_spec("alloc:n=1"), checkpoint=path)
+        resumed = run_suite([_case()], checkpoint=path)
+        rec = resumed.record("mesh_tiny", "spECK")
+        assert not rec.valid
+        assert rec.failure_info.kind == "injected"
