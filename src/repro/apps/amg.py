@@ -17,9 +17,12 @@ verify.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional
+from typing import TYPE_CHECKING, List, Optional
 
 import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover - annotation only
+    from ..serve.service import SpGEMMService
 
 from ..core.context import MultiplyContext
 from ..core.params import DEFAULT_PARAMS, SpeckParams
@@ -119,11 +122,27 @@ def build_hierarchy(
     min_coarse: int = 16,
     device: DeviceSpec = TITAN_V,
     params: SpeckParams = DEFAULT_PARAMS,
+    service: Optional["SpGEMMService"] = None,
 ) -> AmgHierarchy:
-    """Build an aggregation AMG hierarchy; all products via spECK."""
+    """Build an aggregation AMG hierarchy; all products via spECK.
+
+    Pass a :class:`~repro.serve.service.SpGEMMService` to route the
+    Galerkin products through the serving layer: re-running setup on an
+    operator with updated coefficients but unchanged structure (the
+    time-stepping pattern that motivates plan caching) then reuses every
+    level's analysis/binning plans, and ``device``/``params`` are taken
+    from the service.
+    """
     if a.rows != a.cols:
         raise ValueError("AMG needs a square operator")
-    engine = SpeckEngine(device, params)
+    engine = SpeckEngine(device, params) if service is None else None
+
+    def multiply(x: CSR, y: CSR):
+        if service is not None:
+            # The service owns plan + context caches and keys them itself.
+            return service.multiply(x, y)
+        return engine.multiply(x, y, ctx=MultiplyContext(x, y))
+
     levels = [AmgLevel(a=a)]
     current = a
     while len(levels) < max_levels and current.rows > min_coarse:
@@ -132,11 +151,9 @@ def build_hierarchy(
         if p.cols >= current.rows:  # coarsening stalled
             break
         r = p.transpose()
-        ctx_ap = MultiplyContext(current, p)
-        res_ap = engine.multiply(current, p, ctx=ctx_ap)
+        res_ap = multiply(current, p)
         ap = res_ap.c
-        ctx_rap = MultiplyContext(r, ap)
-        res_rap = engine.multiply(r, ap, ctx=ctx_rap)
+        res_rap = multiply(r, ap)
         coarse = res_rap.c
         levels.append(
             AmgLevel(

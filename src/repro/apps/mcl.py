@@ -21,9 +21,12 @@ within a single run.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List
+from typing import TYPE_CHECKING, Dict, List, Optional
 
 import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover - annotation only
+    from ..serve.service import SpGEMMService
 
 from ..core.context import MultiplyContext
 from ..core.params import DEFAULT_PARAMS, SpeckParams
@@ -99,15 +102,22 @@ def markov_clustering(
     tol: float = 1e-6,
     device: DeviceSpec = TITAN_V,
     params: SpeckParams = DEFAULT_PARAMS,
+    service: Optional["SpGEMMService"] = None,
 ) -> MclResult:
     """Cluster an (undirected) graph with MCL, expansions via spECK.
 
     Returns cluster labels per vertex; vertices sharing an attractor
     (a row with mass on their column) share a label.
+
+    Pass a :class:`~repro.serve.service.SpGEMMService` to route the
+    expansions through the serving layer.  Once the flow matrix's sparsity
+    pattern stabilises (late iterations; or re-clustering an updated graph
+    with unchanged topology), each squaring reuses the cached analysis and
+    binning plans; ``device``/``params`` then come from the service.
     """
     if adj.rows != adj.cols:
         raise ValueError("MCL needs a square adjacency matrix")
-    engine = SpeckEngine(device, params)
+    engine = SpeckEngine(device, params) if service is None else None
     flow = column_normalize(add_self_loops(adj))
     times: List[float] = []
     nnzs: List[int] = []
@@ -115,8 +125,10 @@ def markov_clustering(
     converged = False
     it = 0
     for it in range(1, max_iterations + 1):
-        ctx = MultiplyContext(flow, flow)
-        res = engine.multiply(flow, flow, ctx=ctx)
+        if service is not None:
+            res = service.multiply(flow, flow)
+        else:
+            res = engine.multiply(flow, flow, ctx=MultiplyContext(flow, flow))
         times.append(res.time_s)
         decisions.append(dict(res.decisions))
         expanded = res.c

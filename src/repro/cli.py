@@ -8,7 +8,9 @@ evaluation entry points:
 * ``bench`` — sweep the synthetic corpus and print the Table 3 statistics;
 * ``tune`` — run the §5 auto-tuning procedure and print Table 2;
 * ``spy`` — ASCII non-zero pattern of a matrix (Fig. 8 style);
-* ``info`` — structural statistics of a matrix / multiplication.
+* ``info`` — structural statistics of a matrix / multiplication;
+* ``serve-bench`` — open-loop serving benchmark through ``repro.serve``
+  (plan caching, batching, admission control; see docs/SERVING.md).
 """
 
 from __future__ import annotations
@@ -96,6 +98,36 @@ def build_parser() -> argparse.ArgumentParser:
 
     info = sub.add_parser("info", help="structural statistics")
     add_matrix_args(info)
+
+    sb = sub.add_parser(
+        "serve-bench",
+        help="open-loop serving benchmark (plan cache + scheduler)",
+    )
+    sb.add_argument("--rate", type=float, default=4000.0,
+                    help="mean arrival rate, requests per virtual second")
+    sb.add_argument("--duration", type=float, default=5.0,
+                    help="virtual seconds of arrivals")
+    sb.add_argument("--workers", type=int, default=2,
+                    help="simulated device streams draining the queue")
+    sb.add_argument("--alpha", type=float, default=1.1,
+                    help="Zipf skew of operand popularity")
+    sb.add_argument("--timeout", type=float, default=1.0,
+                    help="queue deadline in virtual seconds; 0 disables")
+    sb.add_argument("--seed", type=int, default=0)
+    sb.add_argument("--cache-mb", type=float, default=256.0,
+                    help="plan-cache byte budget in MB")
+    sb.add_argument("--queue-depth", type=int, default=256,
+                    help="admission bound on queued requests")
+    sb.add_argument(
+        "--device", choices=sorted(PRESETS), default="titan-v",
+        help="simulated GPU preset",
+    )
+    sb.add_argument(
+        "--faults", metavar="SPEC",
+        help="fault-injection plan threaded through every request",
+    )
+    sb.add_argument("--json", metavar="PATH",
+                    help="write the full report + metrics JSON here")
     return p
 
 
@@ -205,12 +237,39 @@ def _cmd_info(args) -> int:
     return 0
 
 
+def _cmd_serve_bench(args) -> int:
+    from .serve import AdmissionPolicy, WorkloadSpec, run_serve_bench
+
+    spec = WorkloadSpec(
+        rate=args.rate,
+        duration_s=args.duration,
+        zipf_alpha=args.alpha,
+        timeout_s=args.timeout if args.timeout > 0 else None,
+        seed=args.seed,
+    )
+    report = run_serve_bench(
+        spec=spec,
+        device=PRESETS[args.device],
+        n_workers=args.workers,
+        plan_cache_bytes=int(args.cache_mb * 1e6),
+        policy=AdmissionPolicy(max_queue_depth=args.queue_depth),
+        faults=_fault_plan(args),
+    )
+    print(report.render())
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as fh:
+            fh.write(report.to_json())
+        print(f"wrote {args.json}")
+    return 0
+
+
 _COMMANDS = {
     "multiply": _cmd_multiply,
     "bench": _cmd_bench,
     "tune": _cmd_tune,
     "spy": _cmd_spy,
     "info": _cmd_info,
+    "serve-bench": _cmd_serve_bench,
 }
 
 

@@ -49,6 +49,23 @@ class MultiplyContext:
         self._c: Optional[CSR] = None
         self._b_row_nnz: Optional[np.ndarray] = None
 
+    # -- plan reuse (repro.serve) ----------------------------------------
+    def seed_structure(
+        self, analysis: RowAnalysis, c_row_nnz: np.ndarray
+    ) -> None:
+        """Pre-populate the structural caches from a reused plan.
+
+        A :class:`~repro.serve.plan_cache.CachedPlan` stores exactly the
+        structure-derived facts this context would otherwise recompute
+        (the Algorithm-1 row analysis and the symbolic pass's output row
+        sizes); seeding them lets a cache-hit multiply skip both the host
+        work and the modelled analysis/symbolic charges.  Values of A and
+        B play no part in either array, so seeding is safe across
+        value-only operand changes.
+        """
+        self._analysis = analysis
+        self._c_row_nnz = c_row_nnz
+
     # -- structural facts ------------------------------------------------
     @property
     def analysis(self) -> RowAnalysis:

@@ -19,9 +19,13 @@ Two modes:
 
 from __future__ import annotations
 
-from typing import Optional
+from dataclasses import replace
+from typing import TYPE_CHECKING, Optional
 
 import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (serve uses core)
+    from ..serve.plan_cache import CachedPlan
 
 from ..faults import FaultScope, SpGEMMError
 from ..gpu import DeviceSpec, MemoryLedger, TITAN_V
@@ -89,11 +93,20 @@ class SpeckEngine:
         ctx: Optional[MultiplyContext] = None,
         mode: str = "model",
         trace: Optional[Trace] = None,
+        plan: Optional["CachedPlan"] = None,
     ) -> SpGEMMResult:
         """Run the full pipeline on ``C = A · B``.
 
         Pass a :class:`~repro.gpu.trace.Trace` to record a structured
         timeline of stages and per-configuration kernel launches.
+
+        Pass a :class:`~repro.serve.plan_cache.CachedPlan` to reuse (or,
+        on the first call, capture) the structure-derived stages.  A ready
+        plan skips row analysis, both load-balancing stages and the whole
+        symbolic pass — their outputs depend only on the operand structure
+        the plan was keyed on — so the cost model charges only the numeric
+        pass, sorting, and call overhead.  An unready plan is populated
+        from the cold run's artifacts as a side effect.
 
         Resilience policy: a retryable failure (device OOM, injected
         transient fault) triggers one fallback attempt with global load
@@ -105,15 +118,18 @@ class SpeckEngine:
         if mode not in ("model", "execute"):
             raise ValueError(f"unknown mode {mode!r}")
         ctx = ctx or MultiplyContext(a, b)
-        plan = getattr(ctx, "faults", None)
+        if plan is not None and plan.ready:
+            ctx.seed_structure(plan.analysis, plan.c_row_nnz)
+        fault_plan = getattr(ctx, "faults", None)
         scope = (
-            plan.scope(self.name, getattr(ctx, "case_name", ""))
-            if plan is not None
+            fault_plan.scope(self.name, getattr(ctx, "case_name", ""))
+            if fault_plan is not None
             else FaultScope(None, self.name)
         )
         try:
             return self._attempt(
-                ctx, mode, trace, self.params, self.configs, scope, retry_s=0.0
+                ctx, mode, trace, self.params, self.configs, scope,
+                retry_s=0.0, plan=plan,
             )
         except SpGEMMError as err:
             wasted = err.partial_time_s + self.device.malloc_s
@@ -137,9 +153,11 @@ class SpeckEngine:
                     },
                 )
             try:
+                # The fallback recomputes from scratch (forced LB and a
+                # reduced config set invalidate any cached plan).
                 res = self._attempt(
                     ctx, mode, trace, retry_params, retry_configs, scope,
-                    retry_s=wasted,
+                    retry_s=wasted, plan=None,
                 )
             except SpGEMMError as err2:
                 return SpGEMMResult.failed(self.name, err2, retries=1)
@@ -158,6 +176,7 @@ class SpeckEngine:
         configs: list[KernelConfig],
         scope: FaultScope,
         retry_s: float,
+        plan: Optional["CachedPlan"] = None,
     ) -> SpGEMMResult:
         """One full pipeline attempt; raises :class:`SpGEMMError` on
         failure with the simulated time already spent attached."""
@@ -167,120 +186,159 @@ class SpeckEngine:
         analysis = ctx.analysis
         stage_times: dict[str, float] = {}
         decisions: dict[str, object] = {}
+        plan_hit = plan is not None and plan.ready
 
         try:
             ledger = MemoryLedger(
                 device, resident_bytes=ctx.input_bytes, faults=scope
             )
-            # ---- 1. row analysis -------------------------------------
-            scope.enter_stage("analysis")
-            scope.on_launch("analysis")
-            stage_times["analysis"] = analysis_time_s(a, device)
-
-            # ---- 2. symbolic load balancing ---------------------------
-            scope.enter_stage("symbolic_lb")
-            sym_entries = analysis.products
-            mean_prod = max(analysis.mean_products(), 1e-9)
-            ratio_sym = analysis.prod_max / mean_prod
-            largest_cfg_sym = int(
-                config_index_for_entries(
-                    np.array([analysis.prod_max]), configs, "symbolic"
-                )[0]
-            )
-            use_lb_sym = _lb_decision(
-                "symbolic", params, ratio_sym, a.rows, largest_cfg_sym, n_cfg
-            )
-            if use_lb_sym:
-                scope.on_launch("symbolic_lb")
-                plan_sym = balanced_plan(
-                    sym_entries,
-                    configs,
-                    "symbolic",
-                    merge_smallest=params.enable_block_merge,
-                )
-                stage_times["symbolic_lb"] = load_balance_time_s(
-                    a.rows, n_cfg, device
-                )
-                ledger.alloc(8 * a.rows + 64 * n_cfg, "symbolic bins")
-            else:
-                plan_sym = uniform_plan(sym_entries, configs, "symbolic")
+            if plan_hit:
+                # ---- 1-4. reused from the cached plan -----------------
+                # Analysis, both binning stages and the symbolic pass all
+                # derive from the operand structure alone; the plan holds
+                # their outputs, so the model charges them nothing and no
+                # kernels (hence no fault-injection sites) run for them.
+                stage_times["analysis"] = 0.0
                 stage_times["symbolic_lb"] = 0.0
-
-            # ---- 3. symbolic SpGEMM -----------------------------------
-            scope.enter_stage("symbolic")
-            scope.on_launch("symbolic")
-            c_row_nnz = ctx.c_row_nnz
-            sym = run_pass(
-                "symbolic", analysis, plan_sym, c_row_nnz, configs, params, device
-            )
-            if scope.force_spill("symbolic") and not sym.global_hash_blocks:
-                # Injected scratchpad overflow: at least one block's hash map
-                # outgrew its scratch capacity and continues in global memory.
-                sym.global_hash_blocks = 1
-                sym.global_hash_max_entries = max(
-                    int(c_row_nnz.max()) if c_row_nnz.size else 1, 1
-                )
-                decisions["forced_spill_symbolic"] = True
-            if sym.global_hash_blocks:
-                pool = min(
-                    device.concurrency(
-                        configs[-1].threads, configs[-1].scratch_bytes
-                    ),
-                    sym.global_hash_blocks,
-                )
-                ledger.alloc(
-                    pool * sym.global_hash_max_entries * 8, "symbolic global maps"
-                )
-            stage_times["symbolic"] = sym.time_s
-
-            # Output allocation (excluded from time per the paper's
-            # methodology, included in peak memory).
-            ledger.alloc(ctx.output_bytes, "C")
-
-            # ---- 4. numeric load balancing ----------------------------
-            scope.enter_stage("numeric_lb")
-            num_entries = np.ceil(
-                c_row_nnz / max(params.numeric_max_fill, 1e-9)
-            ).astype(np.int64)
-            max_c = int(c_row_nnz.max()) if c_row_nnz.size else 0
-            mean_c = max(float(c_row_nnz.mean()) if c_row_nnz.size else 0.0, 1e-9)
-            ratio_num = max_c / mean_c
-            largest_cfg_num = int(
-                config_index_for_entries(
-                    np.array([int(num_entries.max()) if num_entries.size else 0]),
-                    configs,
-                    "numeric",
-                )[0]
-            )
-            use_lb_num = _lb_decision(
-                "numeric", params, ratio_num, a.rows, largest_cfg_num, n_cfg
-            )
-            if use_lb_num:
-                scope.on_launch("numeric_lb")
-                plan_num = balanced_plan(
-                    num_entries,
-                    configs,
-                    "numeric",
-                    merge_smallest=params.enable_block_merge,
-                )
-                stage_times["numeric_lb"] = load_balance_time_s(
-                    a.rows, n_cfg, device
-                )
-                ledger.alloc(8 * a.rows + 64 * n_cfg, "numeric bins")
-            else:
-                plan_num = uniform_plan(num_entries, configs, "numeric")
+                stage_times["symbolic"] = 0.0
                 stage_times["numeric_lb"] = 0.0
+                use_lb_sym = plan.use_lb_symbolic
+                use_lb_num = plan.use_lb_numeric
+                ratio_sym = plan.ratio_symbolic
+                ratio_num = plan.ratio_numeric
+                plan_sym = plan.plan_sym
+                plan_num = plan.plan_num
+                sym = plan.sym
+                c_row_nnz = ctx.c_row_nnz
+                decisions["plan_cache"] = "hit"
+                scope.enter_stage("numeric_lb")
+                # Output allocation (excluded from time per the paper's
+                # methodology, included in peak memory).
+                ledger.alloc(ctx.output_bytes, "C")
+            else:
+                # ---- 1. row analysis ---------------------------------
+                scope.enter_stage("analysis")
+                scope.on_launch("analysis")
+                stage_times["analysis"] = analysis_time_s(a, device)
+
+                # ---- 2. symbolic load balancing -----------------------
+                scope.enter_stage("symbolic_lb")
+                sym_entries = analysis.products
+                mean_prod = max(analysis.mean_products(), 1e-9)
+                ratio_sym = analysis.prod_max / mean_prod
+                largest_cfg_sym = int(
+                    config_index_for_entries(
+                        np.array([analysis.prod_max]), configs, "symbolic"
+                    )[0]
+                )
+                use_lb_sym = _lb_decision(
+                    "symbolic", params, ratio_sym, a.rows, largest_cfg_sym, n_cfg
+                )
+                if use_lb_sym:
+                    scope.on_launch("symbolic_lb")
+                    plan_sym = balanced_plan(
+                        sym_entries,
+                        configs,
+                        "symbolic",
+                        merge_smallest=params.enable_block_merge,
+                    )
+                    stage_times["symbolic_lb"] = load_balance_time_s(
+                        a.rows, n_cfg, device
+                    )
+                    ledger.alloc(8 * a.rows + 64 * n_cfg, "symbolic bins")
+                else:
+                    plan_sym = uniform_plan(sym_entries, configs, "symbolic")
+                    stage_times["symbolic_lb"] = 0.0
+
+                # ---- 3. symbolic SpGEMM -------------------------------
+                scope.enter_stage("symbolic")
+                scope.on_launch("symbolic")
+                c_row_nnz = ctx.c_row_nnz
+                sym = sym_pristine = run_pass(
+                    "symbolic", analysis, plan_sym, c_row_nnz, configs, params, device
+                )
+                if scope.force_spill("symbolic") and not sym.global_hash_blocks:
+                    # Injected scratchpad overflow: at least one block's hash map
+                    # outgrew its scratch capacity and continues in global memory.
+                    # Copy-on-write keeps any cached plan's record pristine.
+                    sym = replace(
+                        sym,
+                        global_hash_blocks=1,
+                        global_hash_max_entries=max(
+                            int(c_row_nnz.max()) if c_row_nnz.size else 1, 1
+                        ),
+                    )
+                    decisions["forced_spill_symbolic"] = True
+                if sym.global_hash_blocks:
+                    pool = min(
+                        device.concurrency(
+                            configs[-1].threads, configs[-1].scratch_bytes
+                        ),
+                        sym.global_hash_blocks,
+                    )
+                    ledger.alloc(
+                        pool * sym.global_hash_max_entries * 8, "symbolic global maps"
+                    )
+                stage_times["symbolic"] = sym.time_s
+
+                # Output allocation (excluded from time per the paper's
+                # methodology, included in peak memory).
+                ledger.alloc(ctx.output_bytes, "C")
+
+                # ---- 4. numeric load balancing ------------------------
+                scope.enter_stage("numeric_lb")
+                num_entries = np.ceil(
+                    c_row_nnz / max(params.numeric_max_fill, 1e-9)
+                ).astype(np.int64)
+                max_c = int(c_row_nnz.max()) if c_row_nnz.size else 0
+                mean_c = max(float(c_row_nnz.mean()) if c_row_nnz.size else 0.0, 1e-9)
+                ratio_num = max_c / mean_c
+                largest_cfg_num = int(
+                    config_index_for_entries(
+                        np.array([int(num_entries.max()) if num_entries.size else 0]),
+                        configs,
+                        "numeric",
+                    )[0]
+                )
+                use_lb_num = _lb_decision(
+                    "numeric", params, ratio_num, a.rows, largest_cfg_num, n_cfg
+                )
+                if use_lb_num:
+                    scope.on_launch("numeric_lb")
+                    plan_num = balanced_plan(
+                        num_entries,
+                        configs,
+                        "numeric",
+                        merge_smallest=params.enable_block_merge,
+                    )
+                    stage_times["numeric_lb"] = load_balance_time_s(
+                        a.rows, n_cfg, device
+                    )
+                    ledger.alloc(8 * a.rows + 64 * n_cfg, "numeric bins")
+                else:
+                    plan_num = uniform_plan(num_entries, configs, "numeric")
+                    stage_times["numeric_lb"] = 0.0
 
             # ---- 5. numeric SpGEMM ------------------------------------
             scope.enter_stage("numeric")
             scope.on_launch("numeric")
-            num = run_pass(
-                "numeric", analysis, plan_num, c_row_nnz, configs, params, device
-            )
+            if plan_hit and plan.num is not None:
+                # run_pass is a pure function of (structure, plan, params,
+                # device): reuse the cold run's record.  The stage is still
+                # charged in full — only host-side recomputation is skipped.
+                num = plan.num
+            else:
+                num = run_pass(
+                    "numeric", analysis, plan_num, c_row_nnz, configs, params, device
+                )
+            num_pristine = num
             if scope.force_spill("numeric") and not num.global_hash_blocks:
-                num.global_hash_blocks = 1
-                num.global_hash_max_entries = max(
-                    int(c_row_nnz.max()) if c_row_nnz.size else 1, 1
+                num = replace(
+                    num,
+                    global_hash_blocks=1,
+                    global_hash_max_entries=max(
+                        int(c_row_nnz.max()) if c_row_nnz.size else 1, 1
+                    ),
                 )
                 decisions["forced_spill_numeric"] = True
             if num.global_hash_blocks:
@@ -309,25 +367,28 @@ class SpeckEngine:
 
         if trace is not None:
             trace.record("call overhead", device.call_overhead_s, category="host")
-            trace.record("analysis", stage_times["analysis"], category="stage")
-            if use_lb_sym:
-                trace.record(
-                    "symbolic LB", stage_times["symbolic_lb"], category="stage",
-                    meta={"blocks": plan_sym.n_blocks},
-                )
-            for cfg_id, t in sorted(sym.kernel_times.items()):
-                trace.record(
-                    f"symbolic k{cfg_id}", t, category="kernel",
-                    meta={
-                        "threads": configs[cfg_id].threads,
-                        "scratch": configs[cfg_id].scratch_bytes,
-                    },
-                )
-            if use_lb_num:
-                trace.record(
-                    "numeric LB", stage_times["numeric_lb"], category="stage",
-                    meta={"blocks": plan_num.n_blocks},
-                )
+            if plan_hit:
+                trace.mark("plan cache hit", key=plan.key)
+            else:
+                trace.record("analysis", stage_times["analysis"], category="stage")
+                if use_lb_sym:
+                    trace.record(
+                        "symbolic LB", stage_times["symbolic_lb"], category="stage",
+                        meta={"blocks": plan_sym.n_blocks},
+                    )
+                for cfg_id, t in sorted(sym.kernel_times.items()):
+                    trace.record(
+                        f"symbolic k{cfg_id}", t, category="kernel",
+                        meta={
+                            "threads": configs[cfg_id].threads,
+                            "scratch": configs[cfg_id].scratch_bytes,
+                        },
+                    )
+                if use_lb_num:
+                    trace.record(
+                        "numeric LB", stage_times["numeric_lb"], category="stage",
+                        meta={"blocks": plan_num.n_blocks},
+                    )
             for cfg_id, t in sorted(num.kernel_times.items()):
                 trace.record(
                     f"numeric k{cfg_id}", t, category="kernel",
@@ -351,6 +412,21 @@ class SpeckEngine:
         if retry_s > 0.0:
             stage_times["retry"] = retry_s
         total = device.call_overhead_s + sum(stage_times.values())
+        if plan is not None and not plan.ready:
+            # Capture the cold run's structural artifacts for reuse.
+            plan.populate(
+                analysis=analysis,
+                c_row_nnz=c_row_nnz,
+                use_lb_symbolic=use_lb_sym,
+                use_lb_numeric=use_lb_num,
+                ratio_symbolic=float(ratio_sym),
+                ratio_numeric=float(ratio_num),
+                plan_sym=plan_sym,
+                plan_num=plan_num,
+                sym=sym_pristine,
+                num=num_pristine,
+            )
+            decisions["plan_cache"] = "miss"
         decisions.update(
             used_lb_symbolic=use_lb_sym,
             used_lb_numeric=use_lb_num,

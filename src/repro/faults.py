@@ -417,7 +417,12 @@ def parse_fault_spec(spec: str) -> FaultPlan:
                 if isinstance(exc, FaultSpecError):
                     raise
                 raise FaultSpecError(f"bad value for {key!r} in {entry!r}") from exc
-        rules.append(FaultRule(**kwargs))  # type: ignore[arg-type]
+        try:
+            rules.append(FaultRule(**kwargs))  # type: ignore[arg-type]
+        except FaultSpecError as exc:
+            # Name the offending rule: a multi-rule spec error is useless
+            # without knowing which entry tripped it.
+            raise FaultSpecError(f"{exc} (rule {entry!r})") from None
     if not rules:
         raise FaultSpecError(f"fault spec {spec!r} contains no rules")
     return FaultPlan(rules, seed=seed)

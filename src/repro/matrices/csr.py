@@ -15,6 +15,7 @@ conversion and the small set of structural operations the pipeline needs
 
 from __future__ import annotations
 
+import hashlib
 from typing import Iterable, Tuple
 
 import numpy as np
@@ -46,7 +47,7 @@ class CSR:
         When true (default), validate the invariants on construction.
     """
 
-    __slots__ = ("indptr", "indices", "data", "shape")
+    __slots__ = ("indptr", "indices", "data", "shape", "_fp_struct", "_fp_values")
 
     def __init__(
         self,
@@ -61,6 +62,8 @@ class CSR:
         self.indices = np.asarray(indices, dtype=INDEX_DTYPE)
         self.data = np.asarray(data, dtype=VALUE_DTYPE)
         self.shape = (int(shape[0]), int(shape[1]))
+        self._fp_struct: str | None = None
+        self._fp_values: Tuple[int, str] | None = None
         if check:
             self.validate()
 
@@ -227,6 +230,57 @@ class CSR:
         return int(
             self.indptr.nbytes + self.indices.nbytes + self.data.nbytes
         )
+
+    # ------------------------------------------------------------------
+    # Fingerprints (plan caching — see repro.serve)
+    # ------------------------------------------------------------------
+    def fingerprint(self) -> str:
+        """Stable digest of the *structure* only: shape + indptr + indices.
+
+        This is deliberately insensitive to the stored values: spECK's row
+        analysis, load-balancing plans and accumulator choices depend only
+        on the sparsity pattern, so two matrices with identical structure
+        but different values share one cached plan (the numeric-reuse case
+        that makes plan caching worthwhile — AMG re-setup on updated
+        coefficients, iterative refreshes of a fixed graph, ...).
+
+        **Misuse guard**: do NOT use this as full-content identity — value
+        changes do not change it.  Use :meth:`fingerprint_values` when the
+        stored values must participate in the key (e.g. caching an exact
+        product matrix rather than a plan).
+
+        The digest is cached on first use; the structural arrays are
+        treated as immutable after construction (as everywhere else in the
+        code base).
+        """
+        if self._fp_struct is None:
+            h = hashlib.blake2b(digest_size=16)
+            h.update(f"{self.shape[0]}x{self.shape[1]}:".encode("ascii"))
+            h.update(np.ascontiguousarray(self.indptr).tobytes())
+            h.update(np.ascontiguousarray(self.indices).tobytes())
+            self._fp_struct = h.hexdigest()
+        return self._fp_struct
+
+    def fingerprint_values(self) -> str:
+        """Digest of the full content: structure **and** values.
+
+        Differs from :meth:`fingerprint` whenever any stored value differs.
+        The digest is cached against the identity of the ``data`` array, so
+        the supported way to change values is to assign a fresh array
+        (``m.data = new_vals``) or build a new :class:`CSR` — both
+        invalidate the cache.  Mutating elements of the existing array in
+        place (``m.data[i] = x``) is *not* tracked and would serve a stale
+        digest; make a copy instead.
+        """
+        cached = self._fp_values
+        if cached is not None and cached[0] == id(self.data):
+            return cached[1]
+        h = hashlib.blake2b(digest_size=16)
+        h.update(self.fingerprint().encode("ascii"))
+        h.update(np.ascontiguousarray(self.data).tobytes())
+        digest = h.hexdigest()
+        self._fp_values = (id(self.data), digest)
+        return digest
 
     # ------------------------------------------------------------------
     # Structural operations

@@ -1,0 +1,44 @@
+"""repro.serve — the SpGEMM serving layer.
+
+A synchronous-core, concurrency-aware service wrapping the spECK engine
+for call-many-times workloads: structural plan caching (analysis, binning
+and symbolic artifacts reused across requests with the same operand
+structure), request scheduling with priorities, same-A batching and
+deadlines, admission control with structured load shedding, and service
+metrics.  See ``docs/SERVING.md`` for the architecture.
+"""
+
+from .admission import AdmissionController, AdmissionPolicy, ServiceReject
+from .metrics import Counter, Gauge, Histogram, MetricsRegistry
+from .plan_cache import CachedPlan, PlanCache, plan_key
+from .scheduler import Request, RequestOutcome, ServeScheduler
+from .service import SpGEMMService
+from .workload import (
+    BenchReport,
+    WorkloadSpec,
+    build_requests,
+    run_serve_bench,
+    serve_corpus,
+)
+
+__all__ = [
+    "AdmissionController",
+    "AdmissionPolicy",
+    "ServiceReject",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "CachedPlan",
+    "PlanCache",
+    "plan_key",
+    "Request",
+    "RequestOutcome",
+    "ServeScheduler",
+    "SpGEMMService",
+    "BenchReport",
+    "WorkloadSpec",
+    "build_requests",
+    "run_serve_bench",
+    "serve_corpus",
+]

@@ -1,0 +1,172 @@
+"""Admission control: backpressure for the SpGEMM service.
+
+The service degrades *predictably* instead of falling over: when the
+request queue is full or the simulated device's memory headroom would be
+exhausted by admitting another multiplication, the request is **shed** —
+the caller receives a structured :class:`ServiceReject` (reusing the
+failure taxonomy of :mod:`repro.faults`) rather than an exception, a
+timeout, or an OOM mid-pipeline.
+
+Thresholds live in :class:`AdmissionPolicy`; the controller itself is
+stateless apart from shed counters, so one instance can guard one queue.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from ..faults import FailureInfo
+from ..gpu import DeviceSpec
+
+__all__ = ["AdmissionPolicy", "ServiceReject", "AdmissionController"]
+
+
+@dataclass(frozen=True)
+class AdmissionPolicy:
+    """Backpressure thresholds.
+
+    Attributes
+    ----------
+    max_queue_depth:
+        Hard bound on queued (admitted, not yet started) requests.
+    memory_headroom_frac:
+        Fraction of device memory the service keeps free: a request whose
+        estimated footprint would push the committed total past
+        ``(1 - headroom) * capacity`` is shed.  The estimate is
+        conservative — inputs plus an ``output_factor`` multiple for
+        temporaries and C (compaction makes the true output smaller than
+        the products, so a small constant covers the common case).
+    output_factor:
+        Multiplier on the input bytes used as the footprint estimate.
+    retry_after_s:
+        Hint returned with sheds: when the client may retry.
+    """
+
+    max_queue_depth: int = 256
+    memory_headroom_frac: float = 0.1
+    output_factor: float = 3.0
+    retry_after_s: float = 0.05
+
+    def __post_init__(self) -> None:
+        if self.max_queue_depth < 1:
+            raise ValueError("max_queue_depth must be >= 1")
+        if not (0.0 <= self.memory_headroom_frac < 1.0):
+            raise ValueError("memory_headroom_frac must be in [0, 1)")
+        if self.output_factor < 1.0:
+            raise ValueError("output_factor must be >= 1")
+
+
+@dataclass
+class ServiceReject:
+    """A structured rejection — returned, never raised.
+
+    ``info`` reuses :class:`~repro.faults.FailureInfo` so rejected
+    requests flow through the same reporting paths as failed runs;
+    ``retryable`` is true for load sheds (the condition clears) and false
+    for requests that can never be admitted (too large for the device).
+    """
+
+    request_id: int
+    reason: str
+    info: FailureInfo
+    retry_after_s: float = 0.0
+
+    @property
+    def retryable(self) -> bool:
+        return self.info.retryable
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "request_id": int(self.request_id),
+            "reason": self.reason,
+            "retry_after_s": float(self.retry_after_s),
+            "info": self.info.as_dict(),
+        }
+
+
+class AdmissionController:
+    """Decides, per request, between *admit* and *shed*.
+
+    The scheduler reports committed bytes (inputs of queued + in-flight
+    requests) through ``committed_bytes``; the controller compares the
+    estimated footprint of each candidate against the remaining headroom
+    and the queue bound.
+    """
+
+    def __init__(
+        self,
+        device: DeviceSpec,
+        policy: Optional[AdmissionPolicy] = None,
+    ) -> None:
+        self.device = device
+        self.policy = policy or AdmissionPolicy()
+        self.sheds = 0
+        self.shed_reasons: Dict[str, int] = {}
+
+    # ------------------------------------------------------------------
+    def estimate_bytes(self, input_bytes: int) -> int:
+        """Conservative device footprint of one request."""
+        return int(self.policy.output_factor * input_bytes)
+
+    @property
+    def memory_limit(self) -> int:
+        """Committed bytes allowed before sheds start."""
+        return int(
+            (1.0 - self.policy.memory_headroom_frac)
+            * self.device.global_mem_bytes
+        )
+
+    def admit(
+        self,
+        request_id: int,
+        *,
+        queue_depth: int,
+        input_bytes: int,
+        committed_bytes: int,
+    ) -> Optional[ServiceReject]:
+        """``None`` to admit, a :class:`ServiceReject` to shed."""
+        est = self.estimate_bytes(input_bytes)
+        if est > self.memory_limit:
+            return self._shed(
+                request_id,
+                "oversized",
+                f"request needs ~{est} B, over the {self.memory_limit} B "
+                "admission limit on this device",
+                retryable=False,
+            )
+        if queue_depth >= self.policy.max_queue_depth:
+            return self._shed(
+                request_id,
+                "queue_full",
+                f"queue depth {queue_depth} at the "
+                f"{self.policy.max_queue_depth} bound",
+                retryable=True,
+            )
+        if committed_bytes + est > self.memory_limit:
+            return self._shed(
+                request_id,
+                "memory_pressure",
+                f"committed {committed_bytes} B + ~{est} B would pass the "
+                f"{self.memory_limit} B headroom threshold",
+                retryable=True,
+            )
+        return None
+
+    def _shed(
+        self, request_id: int, reason: str, message: str, *, retryable: bool
+    ) -> ServiceReject:
+        self.sheds += 1
+        self.shed_reasons[reason] = self.shed_reasons.get(reason, 0) + 1
+        return ServiceReject(
+            request_id=request_id,
+            reason=reason,
+            info=FailureInfo(
+                kind="shed",
+                stage="admission",
+                tag=reason,
+                message=message,
+                retryable=retryable,
+            ),
+            retry_after_s=self.policy.retry_after_s if retryable else 0.0,
+        )

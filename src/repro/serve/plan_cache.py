@@ -1,0 +1,236 @@
+"""Structural plan cache: fingerprint-keyed reuse of spECK's analysis.
+
+spECK's central artifact — the O(NNZ_A) row analysis plus the binning and
+configuration decisions derived from it — depends only on the *structure*
+of the operands, never on their values.  Real SpGEMM consumers multiply
+with the same structures over and over (AMG setup re-runs ``R·A·P`` when
+coefficients change, MCL squares a stabilising flow matrix, call-many-times
+library APIs reuse a symbolic setup), so the serving layer caches these
+artifacts per structural fingerprint pair and lets the engine skip the
+analysis, binning and symbolic stages on a hit.
+
+Two pieces:
+
+* :class:`CachedPlan` — the reusable artifact bundle one cold multiply
+  produces (row analysis, output row sizes, both block plans, the symbolic
+  pass record, the LB decisions).
+* :class:`PlanCache` — an LRU over plans with a *byte* budget (plans hold
+  several per-row arrays; a 1M-row operand's plan is ~50 MB), thread-safe,
+  with hit/miss/eviction counters.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from ..core.analysis import RowAnalysis
+from ..core.global_lb import BlockPlan
+from ..core.passes import PassResult
+from ..matrices.csr import CSR
+
+__all__ = ["CachedPlan", "PlanCache", "plan_key"]
+
+
+def plan_key(a: CSR, b: CSR) -> Tuple[str, str]:
+    """The cache key of a multiplication: structural fingerprints of A, B.
+
+    Deliberately value-blind (see :meth:`repro.matrices.csr.CSR.fingerprint`)
+    — numeric-only operand changes keep hitting the same plan.
+    """
+    return (a.fingerprint(), b.fingerprint())
+
+
+@dataclass
+class CachedPlan:
+    """Reusable structure-derived artifacts of one ``C = A · B``.
+
+    Created empty (``ready=False``); the engine populates it as a side
+    effect of the first (cold) multiply and reuses it afterwards.
+    """
+
+    key: Tuple[str, str]
+    ready: bool = False
+    analysis: Optional[RowAnalysis] = None
+    c_row_nnz: Optional[np.ndarray] = None
+    use_lb_symbolic: bool = False
+    use_lb_numeric: bool = False
+    ratio_symbolic: float = 0.0
+    ratio_numeric: float = 0.0
+    plan_sym: Optional[BlockPlan] = None
+    plan_num: Optional[BlockPlan] = None
+    #: The cold symbolic pass record (decision diagnostics on hits).
+    sym: Optional[PassResult] = None
+    #: The cold numeric pass record.  ``run_pass`` is a pure function of
+    #: (structure, plan, params, device), so hits reuse its result — the
+    #: numeric stage is still *charged* per request; only the host-side
+    #: recomputation of the identical cost record is skipped.
+    num: Optional[PassResult] = None
+    #: Times this plan was reused after population.
+    hits: int = 0
+
+    def populate(
+        self,
+        *,
+        analysis: RowAnalysis,
+        c_row_nnz: np.ndarray,
+        use_lb_symbolic: bool,
+        use_lb_numeric: bool,
+        ratio_symbolic: float,
+        ratio_numeric: float,
+        plan_sym: BlockPlan,
+        plan_num: BlockPlan,
+        sym: PassResult,
+        num: Optional[PassResult] = None,
+    ) -> None:
+        """Fill the plan from a cold run's artifacts and mark it ready."""
+        self.analysis = analysis
+        self.c_row_nnz = c_row_nnz
+        self.use_lb_symbolic = use_lb_symbolic
+        self.use_lb_numeric = use_lb_numeric
+        self.ratio_symbolic = ratio_symbolic
+        self.ratio_numeric = ratio_numeric
+        self.plan_sym = plan_sym
+        self.plan_num = plan_num
+        self.sym = sym
+        self.num = num
+        self.ready = True
+
+    def nbytes(self) -> int:
+        """Host bytes held by the plan's arrays (cache budget accounting)."""
+        total = 0
+        if self.analysis is not None:
+            total += self.analysis.nbytes()
+        if self.c_row_nnz is not None:
+            total += int(self.c_row_nnz.nbytes)
+        for bp in (self.plan_sym, self.plan_num):
+            if bp is not None:
+                total += int(
+                    bp.row_order.nbytes + bp.block_ptr.nbytes + bp.block_config.nbytes
+                )
+        for pr in (self.sym, self.num):
+            if pr is not None and getattr(pr, "group_sizes", None) is not None:
+                total += int(pr.group_sizes.nbytes)
+        return total
+
+
+@dataclass
+class PlanCacheStats:
+    """Counters exposed by :meth:`PlanCache.stats`."""
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+    bytes_cached: int = 0
+    entries: int = 0
+    extra: Dict[str, int] = field(default_factory=dict)
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+
+class PlanCache:
+    """Thread-safe LRU cache of :class:`CachedPlan` with a byte budget.
+
+    ``get_or_create`` returns the cached plan for a fingerprint pair (a
+    *hit* once the plan is populated) or registers a fresh empty one (a
+    *miss* — the caller's cold multiply populates it).  When the summed
+    ``nbytes()`` of ready plans exceeds the budget, least-recently-used
+    plans are evicted; a single plan larger than the whole budget is
+    served but not retained.
+    """
+
+    def __init__(self, max_bytes: int = 256 * 1024 * 1024) -> None:
+        if max_bytes <= 0:
+            raise ValueError("plan cache budget must be positive")
+        self.max_bytes = int(max_bytes)
+        self._plans: "OrderedDict[Tuple[str, str], CachedPlan]" = OrderedDict()
+        self._lock = threading.Lock()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    # ------------------------------------------------------------------
+    def get_or_create(self, a: CSR, b: CSR) -> Tuple[CachedPlan, bool]:
+        """Look up the plan for ``(A, B)``; returns ``(plan, hit)``.
+
+        ``hit`` is true only when the plan is already populated — a plan
+        registered by a concurrent cold multiply that has not finished yet
+        counts as a miss (the second caller recomputes rather than waits;
+        the synchronous core never blocks on another request).
+        """
+        key = plan_key(a, b)
+        with self._lock:
+            plan = self._plans.get(key)
+            if plan is not None and plan.ready:
+                self._plans.move_to_end(key)
+                plan.hits += 1
+                self.hits += 1
+                return plan, True
+            self.misses += 1
+            if plan is None:
+                plan = CachedPlan(key=key)
+                self._plans[key] = plan
+            return plan, False
+
+    def note_populated(self, plan: CachedPlan) -> None:
+        """Re-account a plan after the engine populated it (its byte size
+        is only known now) and enforce the budget."""
+        with self._lock:
+            if plan.key in self._plans:
+                self._plans.move_to_end(plan.key)
+            elif plan.ready and plan.nbytes() <= self.max_bytes:
+                self._plans[plan.key] = plan
+            self._evict_locked()
+
+    def _evict_locked(self) -> None:
+        while self._bytes_locked() > self.max_bytes and self._plans:
+            key, victim = next(iter(self._plans.items()))
+            if len(self._plans) == 1 and not victim.ready:
+                break  # an in-flight cold plan holds no arrays yet
+            del self._plans[key]
+            self.evictions += 1
+
+    def _bytes_locked(self) -> int:
+        return sum(p.nbytes() for p in self._plans.values())
+
+    # ------------------------------------------------------------------
+    @property
+    def bytes_cached(self) -> int:
+        with self._lock:
+            return self._bytes_locked()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._plans)
+
+    def __contains__(self, key: Tuple[str, str]) -> bool:
+        with self._lock:
+            return key in self._plans
+
+    def clear(self) -> None:
+        with self._lock:
+            self._plans.clear()
+
+    def stats(self) -> PlanCacheStats:
+        with self._lock:
+            return PlanCacheStats(
+                hits=self.hits,
+                misses=self.misses,
+                evictions=self.evictions,
+                bytes_cached=self._bytes_locked(),
+                entries=len(self._plans),
+            )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        s = self.stats()
+        return (
+            f"PlanCache(entries={s.entries}, bytes={s.bytes_cached}, "
+            f"hits={s.hits}, misses={s.misses}, evictions={s.evictions})"
+        )

@@ -1,0 +1,171 @@
+"""The synchronous SpGEMM service core.
+
+:class:`SpGEMMService` is what other layers call instead of constructing
+engines by hand: one object owning a :class:`~repro.core.speck.SpeckEngine`,
+a structural :class:`~repro.serve.plan_cache.PlanCache`, a host-side
+context cache, and a :class:`~repro.serve.metrics.MetricsRegistry`.  Every
+``multiply`` fingerprints the operands, reuses or captures a plan, and
+records hit/miss and modelled-latency metrics.
+
+Concurrency model: the core is synchronous and thread-safe (the plan
+cache and metrics lock internally; the engine itself is stateless per
+call).  Queueing, batching, deadlines and admission control live one
+layer up in :mod:`repro.serve.scheduler`.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from typing import Optional, Tuple
+
+from ..core.context import MultiplyContext
+from ..core.params import DEFAULT_PARAMS, SpeckParams
+from ..core.speck import SpeckEngine
+from ..faults import FaultPlan
+from ..gpu import DeviceSpec, TITAN_V
+from ..gpu.trace import Trace
+from ..matrices.csr import CSR
+from ..result import SpGEMMResult
+from .metrics import MetricsRegistry
+from .plan_cache import PlanCache
+
+__all__ = ["SpGEMMService"]
+
+
+class SpGEMMService:
+    """A reusable, cache-backed SpGEMM entry point.
+
+    Parameters
+    ----------
+    device, params:
+        Forwarded to the owned :class:`~repro.core.speck.SpeckEngine`.
+    plan_cache_bytes:
+        Byte budget of the structural plan cache.
+    metrics:
+        Optional shared registry (the scheduler passes its own so service
+        and queue metrics land in one snapshot).
+    context_cache_entries:
+        How many exact :class:`~repro.core.context.MultiplyContext`
+        objects to keep, keyed by *value* fingerprints.  This is a
+        host-side simulation shortcut only (the exact product C that the
+        model path reports has to come from somewhere); it never affects
+        modelled times, which depend solely on the plan cache.
+    """
+
+    def __init__(
+        self,
+        device: DeviceSpec = TITAN_V,
+        params: SpeckParams = DEFAULT_PARAMS,
+        *,
+        plan_cache_bytes: int = 256 * 1024 * 1024,
+        metrics: Optional[MetricsRegistry] = None,
+        context_cache_entries: int = 32,
+        name: str = "spECK",
+    ) -> None:
+        self.device = device
+        self.engine = SpeckEngine(device, params, name=name)
+        self.plans = PlanCache(max_bytes=plan_cache_bytes)
+        self.metrics = metrics or MetricsRegistry()
+        self._contexts: "OrderedDict[Tuple[str, str], MultiplyContext]" = (
+            OrderedDict()
+        )
+        self._context_cache_entries = max(1, int(context_cache_entries))
+        self._ctx_lock = threading.Lock()
+
+    # ------------------------------------------------------------------
+    def context_for(self, a: CSR, b: CSR) -> MultiplyContext:
+        """The shared exact-facts context of ``(A, B)``, value-keyed.
+
+        Unlike the plan cache this key includes the values — the exact
+        product matrix C is value-dependent, so contexts may only be
+        shared between *identical* operand pairs.
+        """
+        key = (a.fingerprint_values(), b.fingerprint_values())
+        with self._ctx_lock:
+            ctx = self._contexts.get(key)
+            if ctx is not None:
+                self._contexts.move_to_end(key)
+                return ctx
+            ctx = MultiplyContext(a, b)
+            self._contexts[key] = ctx
+            while len(self._contexts) > self._context_cache_entries:
+                self._contexts.popitem(last=False)
+            return ctx
+
+    # ------------------------------------------------------------------
+    def multiply(
+        self,
+        a: CSR,
+        b: CSR,
+        *,
+        mode: str = "model",
+        ctx: Optional[MultiplyContext] = None,
+        trace: Optional[Trace] = None,
+        faults: Optional[FaultPlan] = None,
+        case_name: str = "",
+    ) -> SpGEMMResult:
+        """Run ``C = A · B`` through the engine with plan reuse.
+
+        Returns the engine's :class:`~repro.result.SpGEMMResult`; a failed
+        run comes back invalid (never raises — the service is the boundary
+        where structured failures stop propagating).
+        """
+        plan, hit = self.plans.get_or_create(a, b)
+        if ctx is None:
+            ctx = self.context_for(a, b)
+        # Set unconditionally: cached contexts outlive requests, and a
+        # fault plan from one request must not haunt the next.
+        ctx.faults = faults
+        if case_name:
+            ctx.case_name = case_name
+        res = self.engine.multiply(a, b, ctx=ctx, mode=mode, trace=trace, plan=plan)
+        if not hit and plan.ready:
+            self.plans.note_populated(plan)
+
+        m = self.metrics
+        m.counter("service.requests", "multiplies accepted by the core").inc()
+        if hit:
+            m.counter("service.plan_hits", "plan cache hits").inc()
+        else:
+            m.counter("service.plan_misses", "plan cache misses").inc()
+        if res.valid:
+            m.histogram(
+                "service.latency_s", "modelled service time, all requests"
+            ).observe(res.time_s)
+            which = "hit" if hit else "cold"
+            m.histogram(
+                f"service.latency_{which}_s",
+                f"modelled service time, plan-cache {which} requests",
+            ).observe(res.time_s)
+        else:
+            m.counter("service.failures", "invalid results returned").inc()
+        if res.retries:
+            m.counter("service.engine_retries", "engine fallback attempts").inc(
+                res.retries
+            )
+        stats = self.plans.stats()
+        m.gauge("service.cache_bytes", "bytes held by the plan cache").set(
+            stats.bytes_cached
+        )
+        m.gauge("service.cache_entries", "plans cached").set(stats.entries)
+        return res
+
+    # ------------------------------------------------------------------
+    def hit_rate(self) -> float:
+        """Plan-cache hit rate over the service's lifetime."""
+        return self.plans.stats().hit_rate
+
+    def snapshot(self) -> dict:
+        """Combined metrics + plan-cache statistics."""
+        snap = self.metrics.snapshot()
+        stats = self.plans.stats()
+        snap["plan_cache"] = {
+            "hits": stats.hits,
+            "misses": stats.misses,
+            "evictions": stats.evictions,
+            "bytes_cached": stats.bytes_cached,
+            "entries": stats.entries,
+            "hit_rate": stats.hit_rate,
+        }
+        return snap

@@ -1,5 +1,7 @@
 """Tests for the command-line interface."""
 
+import json
+
 import numpy as np
 import pytest
 
@@ -116,3 +118,61 @@ class TestDeviceOption:
             raise AssertionError("no spECK line")
 
         assert speck_ms(out_a100) < speck_ms(out_titan)
+
+
+class TestFaultSpecErrors:
+    def test_bad_probability_names_offending_rule(self, capsys):
+        # A parse error in a multi-rule spec must name the rule that
+        # tripped it, not just the generic constraint.
+        assert main(["bench", "--small",
+                     "--faults", "alloc:n=1;launch:p=2.5"]) == 2
+        err = capsys.readouterr().err
+        assert "invalid --faults spec" in err
+        assert "launch:p=2.5" in err
+
+    def test_unknown_site_names_token(self, capsys):
+        assert main(["bench", "--small", "--faults", "frobnicate:n=1"]) == 2
+        err = capsys.readouterr().err
+        assert "frobnicate" in err
+
+    def test_unknown_option_names_token_and_rule(self, capsys):
+        assert main(["multiply", "--faults", "alloc:wibble=3"]) == 2
+        err = capsys.readouterr().err
+        assert "wibble" in err and "alloc:wibble=3" in err
+
+
+class TestServeBench:
+    def test_serve_bench_runs_and_reports(self, capsys):
+        assert main(["serve-bench", "--duration", "0.05",
+                     "--rate", "1000", "--seed", "0"]) == 0
+        out = capsys.readouterr().out
+        assert "serve-bench report" in out
+        assert "hit rate" in out and "bit-identical: True" in out
+
+    def test_serve_bench_writes_json(self, tmp_path, capsys):
+        path = tmp_path / "serve.json"
+        assert main(["serve-bench", "--duration", "0.05", "--rate", "1000",
+                     "--seed", "1", "--json", str(path)]) == 0
+        data = json.loads(path.read_text())
+        assert data["offered"] > 0
+        assert "metrics" in data and "hit_rate" in data
+
+    def test_serve_bench_overload_sheds_and_exits_zero(self, capsys):
+        assert main(["serve-bench", "--duration", "0.1", "--rate", "40000",
+                     "--seed", "0", "--queue-depth", "32"]) == 0
+        out = capsys.readouterr().out
+        shed = int(out.split("shed ")[1].split(",")[0])
+        assert shed > 0
+
+    def test_serve_bench_under_faults_degrades_gracefully(self, capsys):
+        assert main(["serve-bench", "--duration", "0.05", "--rate", "500",
+                     "--seed", "0",
+                     "--faults", "alloc:p=0.2;seed=3"]) == 0
+        out = capsys.readouterr().out
+        assert "serve-bench report" in out
+
+    def test_serve_bench_rejects_bad_faults(self, capsys):
+        assert main(["serve-bench", "--duration", "0.05",
+                     "--faults", "alloc:p=nope"]) == 2
+        err = capsys.readouterr().err
+        assert "alloc:p=nope" in err

@@ -312,3 +312,55 @@ class TestPropertyBased:
     @settings(max_examples=40)
     def test_row_nnz_sums_to_nnz(self, m):
         assert int(m.row_nnz().sum()) == m.nnz
+
+
+class TestFingerprints:
+    def _pair_same_structure(self):
+        a = CSR.from_dense(np.array([[1.0, 0, 2.0], [0, 3.0, 0], [4.0, 0, 5.0]]))
+        b = a.copy()
+        b.data = b.data * 7.0
+        return a, b
+
+    def test_structural_fingerprint_ignores_values(self):
+        # The misuse guard of CSR.fingerprint(): value changes must NOT
+        # change the structural digest (plans depend on structure alone).
+        a, b = self._pair_same_structure()
+        assert a.fingerprint() == b.fingerprint()
+
+    def test_value_fingerprint_sees_values(self):
+        a, b = self._pair_same_structure()
+        assert a.fingerprint_values() != b.fingerprint_values()
+        assert a.fingerprint_values() == a.copy().fingerprint_values()
+
+    def test_structural_fingerprint_differs_across_structures(self):
+        a = CSR.from_dense(np.array([[1.0, 0], [0, 1.0]]))
+        b = CSR.from_dense(np.array([[0, 1.0], [1.0, 0]]))
+        assert a.fingerprint() != b.fingerprint()
+
+    def test_fingerprint_includes_shape(self):
+        # Same (empty) arrays, different logical shape.
+        a = csr_zeros((3, 4))
+        b = csr_zeros((3, 5))
+        assert a.fingerprint() != b.fingerprint()
+
+    def test_fingerprint_is_cached_and_stable(self):
+        a = CSR.from_dense(np.eye(4))
+        first = a.fingerprint()
+        assert a.fingerprint() is first  # cached object, no rehash
+
+    def test_value_fingerprint_invalidates_on_data_reassignment(self):
+        a = CSR.from_dense(np.eye(4))
+        before = a.fingerprint_values()
+        a.data = a.data * 2.0  # the supported mutation path
+        assert a.fingerprint_values() != before
+        assert a.fingerprint() == a.fingerprint()  # structure unchanged
+
+    @given(csr_matrices())
+    @settings(max_examples=40)
+    def test_value_perturbation_never_changes_structure_digest(self, m):
+        if m.nnz == 0:
+            return
+        perturbed = m.copy()
+        perturbed.data = perturbed.data + 1.0
+        assert perturbed.fingerprint() == m.fingerprint()
+        assert perturbed.fingerprint_values() != m.fingerprint_values()
