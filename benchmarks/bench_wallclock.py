@@ -1,0 +1,186 @@
+#!/usr/bin/env python
+"""Wall-clock benchmark of the repo's host-side hot paths.
+
+Measures three things over the CI suite subset (``small_corpus``) and
+writes them to ``BENCH_core.json``:
+
+* **execute path** — ``mode="execute"`` accumulator wall-clock, scalar
+  row loop versus the batched engine (`repro.core.batch_execute`), plus
+  their speedup ratio;
+* **model path** — the full cost-model pipeline (`speck_multiply`,
+  ``mode="model"``) per sweep;
+* **suite path** — `run_suite` end to end, sequentially and with a
+  worker pool.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_wallclock.py \
+        --out BENCH_core.json --workers 4 [--full] \
+        [--baseline BENCH_core.json --max-regress 1.5]
+
+With ``--baseline`` the run compares its batched execute wall-clock
+against the committed baseline and exits 1 when it regressed more than
+``--max-regress`` (the CI regression guard).  Ratios (speedups) are
+machine-independent; absolute seconds are only comparable on similar
+hardware — the guard therefore uses a generous factor.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+from typing import Dict, List
+
+import numpy as np
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro.core import MultiplyContext, build_configs, speck_multiply
+from repro.core.batch_execute import execute_batched, execute_scalar
+from repro.core.params import DEFAULT_PARAMS
+from repro.eval import full_corpus, run_suite, small_corpus
+from repro.gpu import TITAN_V
+
+
+def _best_of(fn, repeats: int) -> float:
+    best = float("inf")
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def bench_execute(cases, repeats: int) -> Dict[str, object]:
+    """Scalar vs batched accumulator wall-clock over all corpus cases."""
+    configs = build_configs(TITAN_V)
+    prepared = []
+    for case in cases:
+        a, b = case.matrices()
+        ctx = MultiplyContext(a, b)
+        # Materialise analysis + c_row_nnz outside the timed region: both
+        # engines consume the same precomputed facts.
+        prepared.append((a, b, ctx.analysis, ctx.c_row_nnz))
+
+    def run(engine):
+        for a, b, an, cn in prepared:
+            engine(a, b, an, cn, DEFAULT_PARAMS, configs)
+
+    run(execute_batched)  # warm-up (imports, caches)
+    scalar_s = _best_of(lambda: run(execute_scalar), repeats)
+    batched_s = _best_of(lambda: run(execute_batched), repeats)
+    for case in cases:
+        case.release()
+    return {
+        "scalar_s": scalar_s,
+        "batched_s": batched_s,
+        "speedup": scalar_s / batched_s if batched_s > 0 else float("inf"),
+        "cases": len(prepared),
+    }
+
+
+def bench_model(cases, repeats: int) -> Dict[str, object]:
+    """Full cost-model pipeline (``mode="model"``) wall-clock."""
+    prepared = []
+    for case in cases:
+        a, b = case.matrices()
+        ctx = MultiplyContext(a, b)
+        ctx.c_row_nnz  # materialise the exact multiply outside the timing
+        prepared.append((a, b, ctx))
+
+    def run():
+        for a, b, ctx in prepared:
+            speck_multiply(a, b, ctx=ctx, mode="model")
+
+    run()  # warm-up
+    total = _best_of(run, repeats)
+    for case in cases:
+        case.release()
+    return {"total_s": total, "cases": len(prepared)}
+
+
+def bench_suite(make_cases, workers: int) -> Dict[str, object]:
+    """End-to-end ``run_suite`` wall-clock, sequential and parallel."""
+    t0 = time.perf_counter()
+    run_suite(make_cases())
+    seq = time.perf_counter() - t0
+    t0 = time.perf_counter()
+    run_suite(make_cases(), workers=workers)
+    par = time.perf_counter() - t0
+    return {
+        "sequential_s": seq,
+        "parallel_s": par,
+        "workers": workers,
+        "speedup": seq / par if par > 0 else float("inf"),
+    }
+
+
+def main(argv: List[str] | None = None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--out", default="BENCH_core.json", help="output JSON path")
+    ap.add_argument("--workers", type=int, default=4,
+                    help="worker count for the parallel suite measurement")
+    ap.add_argument("--repeats", type=int, default=3,
+                    help="timed repetitions; the best run is reported")
+    ap.add_argument("--full", action="store_true",
+                    help="benchmark the full corpus instead of the CI subset")
+    ap.add_argument("--baseline", metavar="PATH",
+                    help="compare against this committed BENCH_core.json")
+    ap.add_argument("--max-regress", type=float, default=1.5,
+                    help="fail when batched execute wall-clock exceeds "
+                         "baseline by more than this factor")
+    args = ap.parse_args(argv)
+
+    make_cases = full_corpus if args.full else small_corpus
+    report = {
+        "config": {
+            "suite": "full" if args.full else "small",
+            "repeats": args.repeats,
+            "workers": args.workers,
+            "cpu_count": os.cpu_count(),
+            "numpy": np.__version__,
+            "python": ".".join(map(str, sys.version_info[:3])),
+        },
+        "execute": bench_execute(make_cases(), args.repeats),
+        "model": bench_model(make_cases(), args.repeats),
+        "suite": bench_suite(make_cases, args.workers),
+    }
+
+    with open(args.out, "w", encoding="utf-8") as fh:
+        json.dump(report, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+
+    ex = report["execute"]
+    su = report["suite"]
+    print(f"execute: scalar {ex['scalar_s']:.3f}s, batched {ex['batched_s']:.3f}s "
+          f"-> {ex['speedup']:.1f}x")
+    print(f"model:   {report['model']['total_s']:.3f}s over {report['model']['cases']} cases")
+    print(f"suite:   sequential {su['sequential_s']:.3f}s, "
+          f"workers={su['workers']} {su['parallel_s']:.3f}s -> {su['speedup']:.2f}x "
+          f"({report['config']['cpu_count']} CPUs)")
+    print(f"wrote {args.out}")
+
+    if args.baseline:
+        try:
+            with open(args.baseline, "r", encoding="utf-8") as fh:
+                base = json.load(fh)
+        except (OSError, json.JSONDecodeError) as exc:
+            print(f"error: cannot read baseline {args.baseline}: {exc}",
+                  file=sys.stderr)
+            return 2
+        base_batched = float(base["execute"]["batched_s"])
+        ratio = ex["batched_s"] / base_batched if base_batched > 0 else 1.0
+        print(f"regression check: batched execute {ratio:.2f}x of baseline "
+              f"(limit {args.max_regress:.2f}x)")
+        if ratio > args.max_regress:
+            print("error: batched execute wall-clock regressed beyond the "
+                  "allowed factor", file=sys.stderr)
+            return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -88,6 +88,11 @@ def build_parser() -> argparse.ArgumentParser:
         help="append each finished case to this JSONL file; re-running "
              "with the same path resumes the sweep",
     )
+    bench.add_argument(
+        "--workers", type=int, default=1, metavar="N",
+        help="evaluate up to N cases concurrently in a process pool "
+             "(records are identical to a sequential sweep)",
+    )
 
     tune = sub.add_parser("tune", help="auto-tune thresholds (Table 2)")
     tune.add_argument("--small", action="store_true")
@@ -186,6 +191,7 @@ def _cmd_bench(args) -> int:
         verbose=True,
         faults=_fault_plan(args),
         checkpoint=getattr(args, "checkpoint", None),
+        workers=getattr(args, "workers", 1),
     )
     print()
     print(render_table3(compute_table3(result), PAPER_LINEUP))

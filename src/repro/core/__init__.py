@@ -1,6 +1,7 @@
 """spECK core: analysis, load balancing, adaptive accumulation, pipeline."""
 
 from .analysis import RowAnalysis, analyze
+from .batch_execute import ExecuteStats, execute_batched, execute_scalar
 from .config import KernelConfig, build_configs
 from .context import MultiplyContext, device_csr_bytes
 from .global_lb import BlockPlan, balanced_plan, block_merge, uniform_plan
@@ -11,6 +12,9 @@ from .speck import SpeckEngine, speck_multiply
 __all__ = [
     "RowAnalysis",
     "analyze",
+    "ExecuteStats",
+    "execute_batched",
+    "execute_scalar",
     "KernelConfig",
     "build_configs",
     "MultiplyContext",

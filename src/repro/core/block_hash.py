@@ -123,12 +123,15 @@ class BlockHashMap:
         rows = keys >> shift
         cols = keys & mask
         vals = self._vals[occupied]
-        out: List[Tuple[np.ndarray, np.ndarray]] = []
-        for r in range(n_rows):
-            sel = rows == r
-            order = np.argsort(cols[sel], kind="stable")
-            out.append((cols[sel][order], vals[sel][order]))
-        return out
+        # One stable sort over (row, col) replaces the per-row scan;
+        # searchsorted on the sorted rows yields each row's slice bounds.
+        order = np.lexsort((cols, rows))
+        rows, cols, vals = rows[order], cols[order], vals[order]
+        starts = np.searchsorted(rows, np.arange(n_rows + 1))
+        return [
+            (cols[starts[r] : starts[r + 1]], vals[starts[r] : starts[r + 1]])
+            for r in range(n_rows)
+        ]
 
 
 def block_hash_accumulate(

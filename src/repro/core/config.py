@@ -27,7 +27,8 @@ elements.  The dense accumulator stores a bitmask in the symbolic pass
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Sequence
+from functools import lru_cache
+from typing import List, Sequence, Tuple
 
 import numpy as np
 
@@ -101,6 +102,15 @@ def build_configs(device: DeviceSpec) -> List[KernelConfig]:
     return configs
 
 
+@lru_cache(maxsize=64)
+def _capacity_array(configs: Tuple[KernelConfig, ...], stage: str) -> np.ndarray:
+    """Ascending hash capacities per configuration, cached per config list
+    (``KernelConfig`` is frozen, hence hashable)."""
+    capacities = np.array([c.hash_entries(stage) for c in configs], dtype=np.int64)
+    capacities.setflags(write=False)
+    return capacities
+
+
 def config_index_for_entries(
     required_entries: np.ndarray,
     configs: Sequence[KernelConfig],
@@ -112,7 +122,7 @@ def config_index_for_entries(
     configuration (index ``len(configs) - 1``); such rows either use the
     dense accumulator or spill to a global hash map (§4.3).
     """
-    capacities = np.array([c.hash_entries(stage) for c in configs], dtype=np.int64)
+    capacities = _capacity_array(tuple(configs), stage)
     required = np.asarray(required_entries, dtype=np.int64)
     # searchsorted over the ascending capacities: first config that fits.
     idx = np.searchsorted(capacities, required, side="left")

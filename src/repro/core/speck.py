@@ -30,20 +30,15 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard (serve uses core)
 from ..faults import FaultScope, SpGEMMError
 from ..gpu import DeviceSpec, MemoryLedger, TITAN_V
 from ..gpu.trace import Trace
-from ..matrices.csr import CSR, INDEX_DTYPE, VALUE_DTYPE
+from ..matrices.csr import CSR
 from ..result import SpGEMMResult
 from .analysis import analysis_time_s
 from .config import KernelConfig, build_configs, config_index_for_entries
+from .batch_execute import execute_batched, execute_scalar
 from .context import MultiplyContext
-from .exec_accumulators import (
-    dense_accumulate_row,
-    direct_reference_row,
-    hash_accumulate_row,
-)
 from .global_lb import balanced_plan, load_balance_time_s, uniform_plan
 from .params import DEFAULT_PARAMS, SpeckParams
 from .passes import radix_sort_time_s, run_pass
-from .result_assembly import assemble_rows
 
 __all__ = ["speck_multiply", "SpeckEngine"]
 
@@ -456,51 +451,18 @@ class SpeckEngine:
 
     # ------------------------------------------------------------------
     def _execute(self, a: CSR, b: CSR, ctx: MultiplyContext) -> CSR:
-        """Compute C through the executable accumulators, row by row,
-        following the same per-row method decisions as the cost model."""
-        params, configs = self.params, self.configs
-        n_cfg = len(configs)
-        analysis = ctx.analysis
-        c_row_nnz = ctx.c_row_nnz
-        num_entries = np.ceil(
-            c_row_nnz / max(params.numeric_max_fill, 1e-9)
-        ).astype(np.int64)
-        cfg_idx = config_index_for_entries(num_entries, configs, "numeric")
-        rows_out: list[tuple[np.ndarray, np.ndarray]] = []
-        for i in range(a.rows):
-            a_cols, a_vals = a.row(i)
-            if a_cols.size == 0 or analysis.products[i] == 0:
-                rows_out.append(
-                    (np.empty(0, dtype=INDEX_DTYPE), np.empty(0, dtype=VALUE_DTYPE))
-                )
-                continue
-            if params.enable_direct and a_cols.size == 1:
-                rows_out.append(direct_reference_row(int(a_cols[0]), float(a_vals[0]), b))
-                continue
-            cfg = configs[int(cfg_idx[i])]
-            col_lo, col_hi = int(analysis.col_min[i]), int(analysis.col_max[i])
-            col_range = max(1, col_hi - col_lo + 1)
-            density = c_row_nnz[i] / col_range
-            use_dense = params.enable_dense and (
-                cfg_idx[i] == n_cfg - 1
-                or (
-                    density >= params.dense_density_threshold
-                    and cfg_idx[i] >= n_cfg - 3
-                )
-            )
-            if use_dense:
-                window = max(cfg.dense_entries("numeric"), 1)
-                cols, vals, _ = dense_accumulate_row(
-                    a_cols, a_vals, b, window, col_lo, col_hi
-                )
-            else:
-                capacity = cfg.hash_entries("numeric")
-                if c_row_nnz[i] >= capacity:
-                    # Global hash map fallback: sized at 2x the row.
-                    capacity = int(2 * c_row_nnz[i] + 1)
-                cols, vals, _ = hash_accumulate_row(a_cols, a_vals, b, capacity)
-            rows_out.append((cols, vals))
-        return assemble_rows(rows_out, (a.rows, b.cols))
+        """Compute C through the executable accumulators, following the
+        same per-row method decisions as the cost model.
+
+        Dispatches on ``params.execute_engine``: the batched engine
+        computes whole (method, config) groups with flat numpy kernels;
+        the scalar engine is the original row loop kept as its oracle.
+        """
+        engine = execute_scalar if self.params.execute_engine == "scalar" else execute_batched
+        c, _ = engine(
+            a, b, ctx.analysis, ctx.c_row_nnz, self.params, self.configs
+        )
+        return c
 
 
 def speck_multiply(

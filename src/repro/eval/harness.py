@@ -17,9 +17,10 @@ file and resume an interrupted sweep from it.
 from __future__ import annotations
 
 import json
+import multiprocessing
 import os
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Sequence
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from ..baselines import SpGEMMAlgorithm, all_algorithms
 from ..core.context import MultiplyContext
@@ -261,6 +262,55 @@ def _load_checkpoint(path: str) -> EvalResult:
     return out
 
 
+#: State inherited by forked pool workers: ``(cases, algorithms, faults)``.
+#: Set immediately before the pool forks, cleared right after — cases hold
+#: generator closures that cannot be pickled, so they ride along through
+#: fork-time memory inheritance and workers receive only integer indices.
+_PARALLEL_STATE: Optional[Tuple[List[MatrixCase], List[SpGEMMAlgorithm], Optional[FaultPlan]]] = None
+
+
+def _parallel_case_worker(
+    idx: int,
+) -> Tuple[int, Dict[str, object], List[Dict[str, object]]]:
+    """Evaluate one corpus case inside a forked pool worker.
+
+    Returns plain ``as_dict`` forms — the exact objects the sequential
+    path serialises into the checkpoint — so the parent writes
+    byte-identical JSONL records no matter which path produced them.
+    """
+    assert _PARALLEL_STATE is not None
+    cases, algos, faults = _PARALLEL_STATE
+    mrec, runs = evaluate_case(cases[idx], algos, faults=faults)
+    return idx, mrec.as_dict(), [r.as_dict() for r in runs]
+
+
+def _checkpoint_append(
+    checkpoint: Optional[str],
+    mrec_dict: Dict[str, object],
+    run_dicts: List[Dict[str, object]],
+) -> None:
+    """Append one finished case to the JSONL checkpoint (no-op if unset)."""
+    if not checkpoint:
+        return
+    entry = {"matrix": mrec_dict, "runs": run_dicts}
+    with open(checkpoint, "a", encoding="utf-8") as fh:
+        fh.write(json.dumps(entry) + "\n")
+
+
+def _report_case(mrec: MatrixRecord, runs: List[RunRecord]) -> None:  # pragma: no cover
+    """One console line per finished case (console convenience)."""
+    valid = [r for r in runs if r.valid]
+    if valid:
+        best = min(valid, key=lambda r: r.time_s)
+        winner, best_t = best.method, best.time_s
+    else:
+        winner, best_t = "-", float("inf")
+    print(
+        f"{mrec.name:24s} products={mrec.products:>10d} "
+        f"best={winner:10s} {best_t * 1e3:8.3f} ms"
+    )
+
+
 def run_suite(
     cases: Iterable[MatrixCase],
     algorithms: Optional[Sequence[SpGEMMAlgorithm]] = None,
@@ -269,12 +319,23 @@ def run_suite(
     verbose: bool = False,
     faults: Optional[FaultPlan] = None,
     checkpoint: Optional[str] = None,
+    workers: int = 1,
 ) -> EvalResult:
     """Sweep a corpus with a set of algorithms (the paper line-up by default).
 
     With ``checkpoint`` set, each finished case is appended to the JSONL
     file as ``{"matrix": ..., "runs": [...]}``; re-running with the same
     path resumes the sweep, skipping cases already on disk.
+
+    With ``workers > 1`` the pending cases fan out over a fork-based
+    process pool.  Records are identical to a sequential sweep — fault
+    plans derive every coin flip from (seed, rule, method, matrix, event
+    counter), so injection is order-independent by construction — and the
+    returned :class:`EvalResult` keeps corpus order; only the *checkpoint*
+    is appended in completion order (each case lands the moment it
+    finishes, preserving crash-proof resume).  Falls back to the
+    sequential path when the platform lacks ``fork`` (the corpus cases
+    hold generator closures that cannot be pickled to spawned workers).
     """
     algos = list(algorithms) if algorithms is not None else all_algorithms(device)
     out = _load_checkpoint(checkpoint) if checkpoint else EvalResult()
@@ -289,30 +350,55 @@ def run_suite(
                 fh.seek(-1, os.SEEK_END)
                 if fh.read(1) != b"\n":
                     fh.write(b"\n")
-    for case in cases:
-        if case.name in done:
-            if verbose:  # pragma: no cover - console convenience
+
+    case_list = list(cases)
+    if verbose:  # pragma: no cover - console convenience
+        for case in case_list:
+            if case.name in done:
                 print(f"{case.name:24s} (checkpointed, skipped)")
-            continue
+    pending = [i for i, c in enumerate(case_list) if c.name not in done]
+
+    use_pool = (
+        workers > 1
+        and len(pending) > 1
+        and "fork" in multiprocessing.get_all_start_methods()
+    )
+    if use_pool:
+        global _PARALLEL_STATE
+        _PARALLEL_STATE = (case_list, algos, faults)
+        try:
+            n_proc = min(workers, len(pending))
+            with multiprocessing.get_context("fork").Pool(n_proc) as pool:
+                by_idx: Dict[int, Tuple[Dict[str, object], List[Dict[str, object]]]] = {}
+                for idx, mrec_dict, run_dicts in pool.imap_unordered(
+                    _parallel_case_worker, pending
+                ):
+                    # Checkpoint in completion order: crash-proof resume
+                    # needs finished cases on disk immediately.
+                    _checkpoint_append(checkpoint, mrec_dict, run_dicts)
+                    by_idx[idx] = (mrec_dict, run_dicts)
+                    if verbose:  # pragma: no cover
+                        _report_case(
+                            MatrixRecord.from_dict(mrec_dict),
+                            [RunRecord.from_dict(r) for r in run_dicts],
+                        )
+        finally:
+            _PARALLEL_STATE = None
+        for idx in pending:  # corpus order, independent of completion order
+            mrec_dict, run_dicts = by_idx[idx]
+            mrec = MatrixRecord.from_dict(mrec_dict)
+            out.matrices[mrec.name] = mrec
+            out.runs.extend(RunRecord.from_dict(r) for r in run_dicts)
+        return out
+
+    for idx in pending:
+        case = case_list[idx]
         mrec, runs = evaluate_case(case, algos, faults=faults)
         out.matrices[case.name] = mrec
         out.runs.extend(runs)
-        if checkpoint:
-            entry = {
-                "matrix": mrec.as_dict(),
-                "runs": [r.as_dict() for r in runs],
-            }
-            with open(checkpoint, "a", encoding="utf-8") as fh:
-                fh.write(json.dumps(entry) + "\n")
+        _checkpoint_append(
+            checkpoint, mrec.as_dict(), [r.as_dict() for r in runs]
+        )
         if verbose:  # pragma: no cover - console convenience
-            valid = [r for r in runs if r.valid]
-            if valid:
-                best = min(valid, key=lambda r: r.time_s)
-                winner, best_t = best.method, best.time_s
-            else:
-                winner, best_t = "-", float("inf")
-            print(
-                f"{case.name:24s} products={mrec.products:>10d} "
-                f"best={winner:10s} {best_t * 1e3:8.3f} ms"
-            )
+            _report_case(mrec, runs)
     return out

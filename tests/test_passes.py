@@ -72,7 +72,21 @@ class TestSegmentHelpers:
         values = np.array([3.0, 7.0])
         ptr = np.array([0, 0, 2, 2])
         assert list(seg_max(values, ptr)) == [0.0, 7.0, 0.0]
-        assert list(seg_min(values, ptr)) == [0.0, 3.0, 0.0]
+        # Empty segments yield the minimum's identity (+inf for floats),
+        # distinguishable from a true minimum of 0.
+        assert list(seg_min(values, ptr)) == [np.inf, 3.0, np.inf]
+
+    def test_seg_min_sentinel_and_fill(self):
+        ints = np.array([5, 2], dtype=np.int64)
+        ptr = np.array([0, 0, 2, 2])
+        out = seg_min(ints, ptr)
+        sentinel = np.iinfo(np.int64).max
+        assert list(out) == [sentinel, 2, sentinel]
+        # Explicit fill overrides the sentinel.
+        assert list(seg_min(ints, ptr, fill=-1)) == [-1, 2, -1]
+        # A true minimum of 0 is preserved, not confused with "empty".
+        zeros = np.array([0, 4], dtype=np.int64)
+        assert list(seg_min(zeros, np.array([0, 2]))) == [0]
 
 
 class TestRunPass:
