@@ -1,0 +1,45 @@
+"""``repro.check`` — the standing correctness subsystem.
+
+Four pieces (see ``docs/TESTING.md`` for the full taxonomy):
+
+* :mod:`~repro.check.oracle` — differential oracle diffing every engine
+  against the exact reference, bit-exact where promised, rigorous
+  reordering tolerance where float order legitimately differs;
+* :mod:`~repro.check.laws` — metamorphic identities of ``C = A·B`` and
+  cost-model monotonicity laws;
+* :mod:`~repro.check.generator` — seeded adversarial case generation
+  (the fuzzer behind ``repro check``);
+* :mod:`~repro.check.minimize` — greedy failure shrinking into
+  one-command reproducer artifacts.
+"""
+
+from .generator import CheckCase, generate_case, generate_cases
+from .laws import COST_LAWS, METAMORPHIC_LAWS, run_cost_laws, run_metamorphic_laws
+from .minimize import MinimizedCase, load_reproducer, minimize_case, write_reproducer
+from .mutations import MUTATIONS
+from .oracle import CaseVerdict, check_case, diff_bitwise, diff_structure, diff_values, value_tolerance
+from .runner import CheckReport, replay_reproducer, run_check
+
+__all__ = [
+    "CheckCase",
+    "generate_case",
+    "generate_cases",
+    "METAMORPHIC_LAWS",
+    "COST_LAWS",
+    "run_metamorphic_laws",
+    "run_cost_laws",
+    "MinimizedCase",
+    "minimize_case",
+    "write_reproducer",
+    "load_reproducer",
+    "MUTATIONS",
+    "CaseVerdict",
+    "check_case",
+    "diff_structure",
+    "diff_bitwise",
+    "diff_values",
+    "value_tolerance",
+    "CheckReport",
+    "run_check",
+    "replay_reproducer",
+]

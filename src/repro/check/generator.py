@@ -1,0 +1,245 @@
+"""Seeded adversarial case generation for the correctness harness.
+
+Each :class:`CheckCase` composes a base matrix from
+:mod:`repro.matrices.generators` with zero or more *adversarial
+mutations* — structural edits targeting the edge cases SpGEMM engines
+historically get wrong (KokkosKernels' accumulator bugs, OpSparse's
+size-estimation bugs): empty rows, single-entry rows, dense stripes,
+extreme row-length skew and explicit zero values.
+
+Everything is derived from ``(seed, index)`` through one
+``numpy.random.Generator``; regenerating a case from its name is exact,
+which is what lets a CI failure be replayed from a one-line command.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Tuple
+
+import numpy as np
+
+from ..matrices import generators as gen
+from ..matrices.csr import CSR
+
+__all__ = ["CheckCase", "generate_case", "generate_cases", "MUTATORS", "FAMILIES"]
+
+
+@dataclass(frozen=True)
+class CheckCase:
+    """One fuzzer case: operands plus the recipe that produced them."""
+
+    name: str
+    seed: int
+    index: int
+    a: CSR
+    b: CSR
+    family: str
+    #: Names of the adversarial mutations applied to A, in order.
+    mutations: Tuple[str, ...]
+    #: How B was derived: ``"same"``, ``"transpose"`` or ``"independent"``.
+    b_mode: str
+
+
+# ---------------------------------------------------------------------------
+# Base families (small sizes: a check run is many cases, not big ones)
+# ---------------------------------------------------------------------------
+def _fam_banded(rng: np.random.Generator, n: int) -> CSR:
+    return gen.banded(n, int(rng.integers(2, 8)), seed=int(rng.integers(2**31)))
+
+
+def _fam_mesh(rng: np.random.Generator, n: int) -> CSR:
+    side = max(2, int(np.sqrt(n)))
+    return gen.poisson2d(side, seed=int(rng.integers(2**31)))
+
+
+def _fam_rmat(rng: np.random.Generator, n: int) -> CSR:
+    # First argument is the RMAT *scale*: 2**scale vertices.
+    return gen.rmat(int(rng.integers(3, 7)), int(rng.integers(2, 6)),
+                    seed=int(rng.integers(2**31)))
+
+
+def _fam_circuit(rng: np.random.Generator, n: int) -> CSR:
+    return gen.circuit(n, seed=int(rng.integers(2**31)))
+
+
+def _fam_uniform(rng: np.random.Generator, n: int) -> CSR:
+    return gen.random_uniform(
+        n, n, float(rng.uniform(1.0, 8.0)), seed=int(rng.integers(2**31))
+    )
+
+
+def _fam_stripe(rng: np.random.Generator, n: int) -> CSR:
+    return gen.dense_stripe(
+        n, min(n, int(rng.integers(8, 48))), int(rng.integers(4, 16)),
+        seed=int(rng.integers(2**31)),
+    )
+
+
+def _fam_skew(rng: np.random.Generator, n: int) -> CSR:
+    return gen.skew_single(
+        n, int(rng.integers(1, 4)), min(n, int(rng.integers(16, 96))),
+        seed=int(rng.integers(2**31)),
+    )
+
+
+def _fam_diagonal(rng: np.random.Generator, n: int) -> CSR:
+    return gen.diagonal(n, seed=int(rng.integers(2**31)))
+
+
+def _fam_block(rng: np.random.Generator, n: int) -> CSR:
+    return gen.block_dense(
+        n, min(n, int(rng.integers(4, 16))), int(rng.integers(1, 4)),
+        seed=int(rng.integers(2**31)),
+    )
+
+
+FAMILIES: Dict[str, Callable[[np.random.Generator, int], CSR]] = {
+    "banded": _fam_banded,
+    "mesh": _fam_mesh,
+    "rmat": _fam_rmat,
+    "circuit": _fam_circuit,
+    "uniform": _fam_uniform,
+    "stripe": _fam_stripe,
+    "skew": _fam_skew,
+    "diagonal": _fam_diagonal,
+    "block": _fam_block,
+}
+
+
+# ---------------------------------------------------------------------------
+# Adversarial structure mutations (applied to A)
+# ---------------------------------------------------------------------------
+def _rebuild(rows: np.ndarray, cols: np.ndarray, vals: np.ndarray, shape) -> CSR:
+    return CSR.from_coo(rows, cols, vals, shape)
+
+
+def _coo(a: CSR) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    return a.row_ids(), a.indices.copy(), a.data.copy()
+
+
+def mut_empty_rows(a: CSR, rng: np.random.Generator) -> CSR:
+    """Empty out a random ~25 % subset of rows."""
+    if a.rows == 0 or a.nnz == 0:
+        return a
+    kill = rng.random(a.rows) < 0.25
+    rows, cols, vals = _coo(a)
+    keep = ~kill[rows]
+    return _rebuild(rows[keep], cols[keep], vals[keep], a.shape)
+
+
+def mut_singleton_rows(a: CSR, rng: np.random.Generator) -> CSR:
+    """Truncate a random ~25 % subset of rows to their first entry."""
+    if a.rows == 0 or a.nnz == 0:
+        return a
+    chosen = rng.random(a.rows) < 0.25
+    rows, cols, vals = _coo(a)
+    first = np.zeros(a.nnz, dtype=bool)
+    first[a.indptr[:-1][a.row_nnz() > 0]] = True
+    keep = ~chosen[rows] | first
+    return _rebuild(rows[keep], cols[keep], vals[keep], a.shape)
+
+
+def mut_dense_rows(a: CSR, rng: np.random.Generator) -> CSR:
+    """Make one row fully dense (capped at 128 columns)."""
+    if a.rows == 0 or a.cols == 0:
+        return a
+    target = int(rng.integers(a.rows))
+    width = min(a.cols, 128)
+    start = int(rng.integers(max(1, a.cols - width + 1)))
+    new_cols = np.arange(start, start + width, dtype=a.indices.dtype)
+    new_vals = rng.uniform(0.5, 1.5, size=width) * rng.choice([-1.0, 1.0], size=width)
+    rows, cols, vals = _coo(a)
+    keep = rows != target
+    return _rebuild(
+        np.concatenate([rows[keep], np.full(width, target, dtype=rows.dtype)]),
+        np.concatenate([cols[keep], new_cols]),
+        np.concatenate([vals[keep], new_vals.astype(vals.dtype)]),
+        a.shape,
+    )
+
+
+def mut_extreme_skew(a: CSR, rng: np.random.Generator) -> CSR:
+    """Give one row ~64 scattered entries while others stay short."""
+    if a.rows == 0 or a.cols == 0:
+        return a
+    target = int(rng.integers(a.rows))
+    width = min(a.cols, 64)
+    new_cols = rng.choice(a.cols, size=width, replace=False).astype(a.indices.dtype)
+    new_vals = (rng.uniform(0.5, 1.5, size=width) * rng.choice([-1.0, 1.0], size=width))
+    rows, cols, vals = _coo(a)
+    keep = rows != target
+    return _rebuild(
+        np.concatenate([rows[keep], np.full(width, target, dtype=rows.dtype)]),
+        np.concatenate([cols[keep], new_cols]),
+        np.concatenate([vals[keep], new_vals.astype(vals.dtype)]),
+        a.shape,
+    )
+
+
+def mut_zero_values(a: CSR, rng: np.random.Generator) -> CSR:
+    """Set ~15 % of stored values to exactly 0.0 (explicit zeros)."""
+    if a.nnz == 0:
+        return a
+    vals = a.data.copy()
+    vals[rng.random(a.nnz) < 0.15] = 0.0
+    return CSR(a.indptr.copy(), a.indices.copy(), vals, a.shape)
+
+
+MUTATORS: Dict[str, Callable[[CSR, np.random.Generator], CSR]] = {
+    "empty_rows": mut_empty_rows,
+    "singleton_rows": mut_singleton_rows,
+    "dense_rows": mut_dense_rows,
+    "extreme_skew": mut_extreme_skew,
+    "zero_values": mut_zero_values,
+}
+
+
+# ---------------------------------------------------------------------------
+# Case composition
+# ---------------------------------------------------------------------------
+def generate_case(seed: int, index: int) -> CheckCase:
+    """Deterministically build case ``index`` of run ``seed``."""
+    rng = np.random.default_rng(np.random.SeedSequence([int(seed), int(index)]))
+    family = str(rng.choice(sorted(FAMILIES)))
+    n = int(rng.integers(8, 96))
+    a = FAMILIES[family](rng, n)
+
+    names: List[str] = []
+    n_muts = int(rng.integers(0, 3))
+    if n_muts:
+        picks = rng.choice(sorted(MUTATORS), size=n_muts, replace=False)
+        for name in picks:
+            a = MUTATORS[str(name)](a, rng)
+            names.append(str(name))
+
+    b_mode = str(rng.choice(["same", "transpose", "independent"]))
+    if a.rows != a.cols:
+        b_mode = "transpose"
+    if b_mode == "same":
+        b = a
+    elif b_mode == "transpose":
+        b = a.transpose()
+    else:
+        b = gen.random_uniform(
+            a.cols, int(rng.integers(8, 96)), float(rng.uniform(1.0, 6.0)),
+            seed=int(rng.integers(2**31)),
+        )
+    a.validate()
+    b.validate()
+    suffix = "+".join(names) if names else "plain"
+    return CheckCase(
+        name=f"chk-s{seed}-i{index:04d}-{family}-{suffix}-{b_mode}",
+        seed=int(seed),
+        index=int(index),
+        a=a,
+        b=b,
+        family=family,
+        mutations=tuple(names),
+        b_mode=b_mode,
+    )
+
+
+def generate_cases(seed: int, n_cases: int) -> List[CheckCase]:
+    """The first ``n_cases`` cases of run ``seed``."""
+    return [generate_case(seed, i) for i in range(int(n_cases))]

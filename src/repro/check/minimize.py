@@ -1,0 +1,266 @@
+"""Failure minimization: shrink a failing case to a readable reproducer.
+
+When the oracle reports a mismatch on a fuzzer case, the raw operands
+are noise — hundreds of rows of which perhaps two matter.  This module
+greedily shrinks the case while the failure predicate keeps holding
+(delta-debugging over three axes, coarse to fine):
+
+1. **rows/columns** — principal submatrices over a shared index set
+   (square pairs keep ``A`` and ``B`` conformable; ``B`` is re-derived
+   from ``A`` when it was ``A`` or ``Aᵀ`` to begin with), then ``B``'s
+   own columns when it is an independent operand;
+2. **non-zeros of A**, then **non-zeros of B** — dropping chunks of
+   entries, halving the chunk size down to single entries.
+
+The minimum is emitted as a committed-format artifact — ``A.mtx`` +
+``B.mtx`` + ``repro.json`` holding the one-line replay command — so a
+CI failure replays locally with ``python -m repro check --replay DIR``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass
+from typing import Callable, Dict, Optional, Tuple
+
+import numpy as np
+
+from ..matrices.csr import CSR
+from ..matrices.io_mm import read_mtx, write_mtx
+
+__all__ = [
+    "MinimizedCase",
+    "minimize_case",
+    "write_reproducer",
+    "load_reproducer",
+]
+
+Predicate = Callable[[CSR, CSR], bool]
+
+
+@dataclass
+class MinimizedCase:
+    """The shrunk operands plus minimization statistics."""
+
+    a: CSR
+    b: CSR
+    #: Predicate evaluations spent (bounded by ``max_evals``).
+    evals: int
+    #: Shrink steps that were accepted.
+    steps: int
+
+
+class _Budget:
+    def __init__(self, limit: int) -> None:
+        self.limit = limit
+        self.used = 0
+
+    def spend(self) -> bool:
+        if self.used >= self.limit:
+            return False
+        self.used += 1
+        return True
+
+
+def _derive(a: CSR, b: CSR, b_mode: str, keep: np.ndarray) -> Tuple[CSR, CSR]:
+    """Principal submatrix over index set ``keep`` (sorted)."""
+    if b_mode == "same":
+        sub = _principal(a, keep)
+        return sub, sub
+    if b_mode == "transpose":
+        sub = _principal(a, keep)
+        return sub, sub.transpose()
+    # Independent B: restrict A's rows and the shared middle dimension,
+    # leave B's columns alone (they are already few in practice).
+    a2 = _select_cols(a.select_rows(keep), keep)
+    b2 = b.select_rows(keep)
+    return a2, b2
+
+
+def _principal(m: CSR, keep: np.ndarray) -> CSR:
+    return _select_cols(m.select_rows(keep), keep)
+
+
+def _select_cols(m: CSR, keep: np.ndarray) -> CSR:
+    """Keep the given columns (renumbered to 0..len(keep)-1, order kept)."""
+    remap = np.full(m.cols, -1, dtype=np.int64)
+    remap[keep] = np.arange(keep.size)
+    mask = remap[m.indices] >= 0
+    rows = m.row_ids()[mask]
+    cols = remap[m.indices[mask]]
+    return CSR.from_coo(
+        rows, cols, m.data[mask], (m.rows, int(keep.size)), sum_duplicates=False
+    )
+
+
+def _drop_entries(m: CSR, drop: np.ndarray) -> CSR:
+    keep = np.ones(m.nnz, dtype=bool)
+    keep[drop] = False
+    return CSR.from_coo(
+        m.row_ids()[keep], m.indices[keep], m.data[keep], m.shape,
+        sum_duplicates=False,
+    )
+
+
+def minimize_case(
+    a: CSR,
+    b: CSR,
+    predicate: Predicate,
+    *,
+    b_mode: str = "independent",
+    max_evals: int = 400,
+) -> MinimizedCase:
+    """Greedily shrink ``(A, B)`` while ``predicate(A, B)`` stays true.
+
+    ``predicate`` returns ``True`` when the (possibly shrunk) case still
+    exhibits the failure.  ``b_mode`` states how ``B`` relates to ``A``
+    (``"same"``, ``"transpose"`` or ``"independent"``) so shrinking keeps
+    the operands conformable.  The search is deterministic and bounded
+    by ``max_evals`` predicate evaluations.
+    """
+    if not predicate(a, b):
+        raise ValueError("case does not fail to begin with: nothing to minimize")
+    budget = _Budget(max_evals)
+    steps = 0
+
+    # -- phase 1: shrink the shared dimension (rows/cols) -------------------
+    n = a.rows if b_mode in ("same", "transpose") else min(a.rows, a.cols)
+    keep = np.arange(n)
+    chunk = max(1, keep.size // 2)
+    while chunk >= 1 and keep.size > 1:
+        shrunk = False
+        start = 0
+        while start < keep.size and keep.size > 1:
+            trial = np.concatenate([keep[:start], keep[start + chunk:]])
+            if trial.size == 0:
+                start += chunk
+                continue
+            if not budget.spend():
+                chunk = 0
+                break
+            ta, tb = _derive(a, b, b_mode, trial)
+            if predicate(ta, tb):
+                keep = trial
+                steps += 1
+                shrunk = True
+                # stay at the same start: the next chunk slid into place
+            else:
+                start += chunk
+        if chunk == 0:
+            break
+        if not shrunk or chunk == 1:
+            if chunk == 1:
+                break
+            chunk = max(1, chunk // 2)
+    a, b = _derive(a, b, b_mode, keep)
+
+    # -- phase 1b: shrink B's own columns (independent B only) --------------
+    if b_mode == "independent" and b.cols > 1:
+        keep_c = np.arange(b.cols)
+        chunk = max(1, keep_c.size // 2)
+        while chunk >= 1 and keep_c.size > 1:
+            shrunk = False
+            start = 0
+            while start < keep_c.size and keep_c.size > 1:
+                trial = np.concatenate([keep_c[:start], keep_c[start + chunk:]])
+                if trial.size == 0:
+                    start += chunk
+                    continue
+                if not budget.spend():
+                    chunk = 0
+                    break
+                if predicate(a, _select_cols(b, trial)):
+                    keep_c = trial
+                    steps += 1
+                    shrunk = True
+                else:
+                    start += chunk
+            if chunk == 0:
+                break
+            if not shrunk or chunk == 1:
+                if chunk == 1:
+                    break
+                chunk = max(1, chunk // 2)
+        b = _select_cols(b, keep_c)
+
+    # -- phase 2: drop non-zero entries -------------------------------------
+    for which in ("a", "b"):
+        if b_mode in ("same", "transpose") and which == "b":
+            break  # B is derived from A; entry-dropping A covered both
+        m = a if which == "a" else b
+
+        def rebuild(m2: CSR) -> Tuple[CSR, CSR]:
+            if b_mode == "same":
+                return m2, m2
+            if b_mode == "transpose":
+                return m2, m2.transpose()
+            return (m2, b) if which == "a" else (a, m2)
+
+        chunk = max(1, m.nnz // 2)
+        while chunk >= 1 and m.nnz > 1:
+            dropped = False
+            start = 0
+            while start < m.nnz:
+                drop = np.arange(start, min(start + chunk, m.nnz))
+                if drop.size == m.nnz:
+                    start += chunk
+                    continue
+                if not budget.spend():
+                    chunk = 0
+                    break
+                m2 = _drop_entries(m, drop)
+                ta, tb = rebuild(m2)
+                if predicate(ta, tb):
+                    m = m2
+                    steps += 1
+                    dropped = True
+                else:
+                    start += chunk
+            if chunk == 0:
+                break
+            if not dropped or chunk == 1:
+                if chunk == 1:
+                    break
+                chunk = max(1, chunk // 2)
+        a, b = rebuild(m)
+    return MinimizedCase(a=a, b=b, evals=budget.used, steps=steps)
+
+
+# ---------------------------------------------------------------------------
+# Committed-format reproducer artifacts
+# ---------------------------------------------------------------------------
+def write_reproducer(
+    directory: str,
+    a: CSR,
+    b: CSR,
+    meta: Dict[str, object],
+) -> str:
+    """Write ``A.mtx``, ``B.mtx`` and ``repro.json`` into ``directory``.
+
+    ``meta`` should carry at least the failing check's name and detail;
+    the replay command is filled in here.  Returns the directory path.
+    """
+    os.makedirs(directory, exist_ok=True)
+    write_mtx(os.path.join(directory, "A.mtx"), a)
+    write_mtx(os.path.join(directory, "B.mtx"), b)
+    payload = dict(meta)
+    payload["command"] = f"python -m repro check --replay {directory}"
+    payload["a"] = {"rows": a.rows, "cols": a.cols, "nnz": a.nnz}
+    payload["b"] = {"rows": b.rows, "cols": b.cols, "nnz": b.nnz}
+    with open(os.path.join(directory, "repro.json"), "w", encoding="utf-8") as fh:
+        json.dump(payload, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    return directory
+
+
+def load_reproducer(directory: str) -> Tuple[CSR, CSR, Dict[str, object]]:
+    """Load a reproducer emitted by :func:`write_reproducer`."""
+    a = read_mtx(os.path.join(directory, "A.mtx"))
+    b = read_mtx(os.path.join(directory, "B.mtx"))
+    meta_path = os.path.join(directory, "repro.json")
+    meta: Dict[str, object] = {}
+    if os.path.exists(meta_path):
+        with open(meta_path, "r", encoding="utf-8") as fh:
+            meta = json.load(fh)
+    return a, b, meta

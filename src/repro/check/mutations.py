@@ -1,0 +1,79 @@
+"""Test-only engine mutations: deliberately plant a bug, prove we catch it.
+
+A mutation is a function ``(a, b, c) -> c'`` applied to the candidate
+output of the engine under test *before* the oracle diffs it.  Each one
+models a real historical SpGEMM defect class (accumulator entries lost
+under collision, output rows truncated by a size-estimation bug) so the
+harness's acceptance test is "the differential oracle catches this class
+and the minimizer shrinks it to a readable reproducer" — not merely
+"random noise is detected".
+
+Never imported by production code paths; only ``repro check --mutate``
+and ``tests/test_check.py`` reach in here.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict
+
+import numpy as np
+
+from ..kernels.reference import expand_products
+from ..matrices.csr import CSR
+
+__all__ = ["MUTATIONS", "drop_last_product", "truncate_long_rows"]
+
+
+def drop_last_product(a: CSR, b: CSR, c: CSR) -> CSR:
+    """Lose the final accumulation of every multi-product output entry.
+
+    Models a hash accumulator that drops the last colliding ``+=`` — the
+    dominant cause of the KokkosKernels failures cited in the paper.
+    Output entries with a single contributing product are untouched, so
+    the bug only fires where genuine accumulation happens.
+    """
+    rows, cols, vals = expand_products(a, b)
+    if rows.size == 0:
+        return c
+    key = rows * np.int64(b.cols) + cols
+    order = np.argsort(key, kind="stable")
+    key = key[order]
+    vals = vals[order]
+    # Last product of each (row, col) run, only for runs of length >= 2.
+    run_end = np.empty(key.size, dtype=bool)
+    run_end[-1] = True
+    np.not_equal(key[1:], key[:-1], out=run_end[:-1])
+    run_start = np.empty(key.size, dtype=bool)
+    run_start[0] = True
+    np.not_equal(key[1:], key[:-1], out=run_start[1:])
+    multi = run_end & ~run_start
+    if not multi.any():
+        return c
+    starts = np.flatnonzero(run_start)
+    lost = np.zeros(starts.size, dtype=vals.dtype)
+    run_idx = np.cumsum(run_start) - 1
+    lost[run_idx[multi]] = vals[multi]
+    return CSR(c.indptr.copy(), c.indices.copy(), c.data - lost, c.shape, check=False)
+
+
+def truncate_long_rows(a: CSR, b: CSR, c: CSR) -> CSR:
+    """Drop the final entry of every output row with >= 3 non-zeros.
+
+    Models a symbolic-pass size-estimation bug: the numeric pass writes
+    one entry fewer than the row actually needs.
+    """
+    nnz = c.row_nnz()
+    if not (nnz >= 3).any():
+        return c
+    keep = np.ones(c.nnz, dtype=bool)
+    keep[c.indptr[1:][nnz >= 3] - 1] = False
+    counts = nnz - (nnz >= 3)
+    indptr = np.zeros(c.rows + 1, dtype=c.indptr.dtype)
+    np.cumsum(counts, out=indptr[1:])
+    return CSR(indptr, c.indices[keep], c.data[keep], c.shape, check=False)
+
+
+MUTATIONS: Dict[str, Callable[[CSR, CSR, CSR], CSR]] = {
+    "drop-last-product": drop_last_product,
+    "truncate-long-rows": truncate_long_rows,
+}

@@ -1,0 +1,307 @@
+"""Differential oracle: every engine must agree on ``C``, provably.
+
+The oracle runs one case through
+
+* the exact ESC reference (:func:`repro.kernels.reference.esc_multiply`,
+  via the shared :class:`~repro.core.context.MultiplyContext`),
+* the slow independent Gustavson oracle (product-count gated),
+* spECK's executable path under **both** execute engines — ``batched``
+  and the row-by-row ``scalar`` oracle, which the docs promise are
+  bit-identical,
+* and every baseline of the paper line-up (model path),
+
+then diffs structure exactly and values under a *rigorous* reordering
+bound: two correctly-rounded summations of the same ``k`` products can
+differ by at most ``~2(k-1)·eps·Σ|aᵢₖ·bₖⱼ|``; the oracle computes both
+``Σ|products|`` and ``k`` per output entry exactly (two extra ESC runs
+on ``|A|,|B|`` and on the all-ones pattern) and allows exactly that,
+with a small constant slack.  Where the documentation promises
+bit-identity (batched vs scalar engine) the comparison is bitwise, no
+tolerance at all.
+
+Resource laws ride along: stage times non-negative, the model's total
+equals overhead plus the stage sum, and the :class:`MemoryLedger` peak
+of a valid device method covers at least its own output matrix.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+import numpy as np
+
+from ..baselines import PAPER_LINEUP, all_algorithms
+from ..core import DEFAULT_PARAMS, MultiplyContext, speck_multiply
+from ..faults import FailureInfo, FaultPlan
+from ..gpu import DeviceSpec, TITAN_V
+from ..kernels.reference import esc_multiply, gustavson_multiply
+from ..matrices.csr import CSR
+from .generator import CheckCase
+
+__all__ = [
+    "CaseVerdict",
+    "check_case",
+    "diff_structure",
+    "diff_bitwise",
+    "diff_values",
+    "value_tolerance",
+]
+
+_EPS = float(np.finfo(np.float64).eps)
+#: Constant slack over the rigorous reordering bound (rounding of the
+#: bound computation itself, fused scaling, ...).
+_SLACK = 8.0
+
+#: Failure kinds the taxonomy defines; anything else is an oracle bug.
+_KNOWN_KINDS = ("oom", "launch", "overflow", "injected", "limitation", "crash")
+
+#: Methods whose peak-memory accounting runs through the device
+#: MemoryLedger (MKL is the host CPU baseline).
+_DEVICE_METHODS = tuple(m for m in PAPER_LINEUP if m != "MKL")
+
+
+@dataclass
+class CaseVerdict:
+    """Outcome of one case: either clean or a list of named failures."""
+
+    name: str
+    seed: int
+    index: int
+    failures: List[Dict[str, str]] = field(default_factory=list)
+    #: Products of the case (sizing info for reports).
+    products: int = 0
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
+
+    def fail(self, check: str, detail: str) -> None:
+        self.failures.append({"check": check, "detail": detail})
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "name": self.name,
+            "seed": int(self.seed),
+            "index": int(self.index),
+            "ok": self.ok,
+            "products": int(self.products),
+            "failures": list(self.failures),
+        }
+
+
+# ---------------------------------------------------------------------------
+# Diff primitives
+# ---------------------------------------------------------------------------
+def diff_structure(expected: CSR, got: CSR) -> Optional[str]:
+    """First structural difference, or ``None`` (column order canonical)."""
+    if expected.shape != got.shape:
+        return f"shape {got.shape} != {expected.shape}"
+    if not np.array_equal(expected.indptr, got.indptr):
+        row = int(np.flatnonzero(expected.indptr != got.indptr)[0]) - 1
+        return (
+            f"row {max(row, 0)} has {int(np.diff(got.indptr)[max(row, 0)])} nnz, "
+            f"expected {int(np.diff(expected.indptr)[max(row, 0)])}"
+        )
+    if not np.array_equal(expected.indices, got.indices):
+        i = int(np.flatnonzero(expected.indices != got.indices)[0])
+        row = int(np.searchsorted(expected.indptr, i, side="right")) - 1
+        return (
+            f"entry {i} (row {row}): column {int(got.indices[i])}, "
+            f"expected {int(expected.indices[i])}"
+        )
+    return None
+
+
+def diff_bitwise(expected: CSR, got: CSR) -> Optional[str]:
+    """Bit-exact comparison (structure and value bit patterns)."""
+    s = diff_structure(expected, got)
+    if s is not None:
+        return s
+    eb = expected.data.view(np.int64)
+    gb = got.data.view(np.int64)
+    if not np.array_equal(eb, gb):
+        i = int(np.flatnonzero(eb != gb)[0])
+        return (
+            f"value bits differ at entry {i}: {got.data[i]!r} != "
+            f"{expected.data[i]!r}"
+        )
+    return None
+
+
+def value_tolerance(a: CSR, b: CSR) -> np.ndarray:
+    """Per-output-entry reordering tolerance, computed exactly.
+
+    ``2(k-1)·eps·Σ|products|`` with slack: any two orderings of the same
+    correctly-rounded accumulation lie within this of each other.
+    """
+    abs_a = CSR(a.indptr, a.indices, np.abs(a.data), a.shape, check=False)
+    abs_b = CSR(b.indptr, b.indices, np.abs(b.data), b.shape, check=False)
+    magnitude = esc_multiply(abs_a, abs_b)
+    ones_a = CSR(a.indptr, a.indices, np.ones_like(a.data), a.shape, check=False)
+    ones_b = CSR(b.indptr, b.indices, np.ones_like(b.data), b.shape, check=False)
+    counts = esc_multiply(ones_a, ones_b)
+    return _SLACK * 2.0 * np.maximum(counts.data - 1.0, 0.0) * _EPS * magnitude.data
+
+
+def diff_values(expected: CSR, got: CSR, tol: np.ndarray) -> Optional[str]:
+    """First value outside the reordering tolerance, or ``None``."""
+    s = diff_structure(expected, got)
+    if s is not None:
+        return s
+    d = np.abs(expected.data - got.data)
+    bad = d > tol
+    if bad.any():
+        i = int(np.flatnonzero(bad)[0])
+        row = int(np.searchsorted(expected.indptr, i, side="right")) - 1
+        return (
+            f"value at entry {i} (row {row}, col {int(expected.indices[i])}): "
+            f"{got.data[i]!r} != {expected.data[i]!r} "
+            f"(|diff| {d[i]:.3e} > tol {tol[i]:.3e})"
+        )
+    return None
+
+
+def _canonical(c: CSR) -> CSR:
+    """Column-sorted form (Kokkos-style unsorted output is legal CSR-ish)."""
+    return c.sort_rows()
+
+
+# ---------------------------------------------------------------------------
+# The differential check itself
+# ---------------------------------------------------------------------------
+def check_case(
+    case: CheckCase,
+    device: DeviceSpec = TITAN_V,
+    *,
+    mutation: Optional[Callable[[CSR, CSR, CSR], CSR]] = None,
+    faults: Optional[FaultPlan] = None,
+    laws: bool = True,
+    gustavson_limit: int = 20_000,
+) -> CaseVerdict:
+    """Run every engine on one case and diff the results.
+
+    ``mutation`` (test-only) transforms the batched engine's output
+    before comparison, simulating an engine bug the oracle must catch.
+    With ``faults`` set, runs may fail — then the check asserts the
+    failure is *structured* (taxonomy kind, machine-readable info)
+    rather than asserting success.
+    """
+    verdict = CaseVerdict(case.name, case.seed, case.index)
+    a, b = case.a, case.b
+    # One context for everything: the exact facts (including ``expected``)
+    # are host-side and computed before any fault consultation happens.
+    fault_ctx = MultiplyContext(a, b)
+    fault_ctx.case_name = case.name
+    expected = fault_ctx.c
+    verdict.products = fault_ctx.total_products
+    try:
+        expected.validate()
+    except ValueError as exc:
+        verdict.fail("reference-valid", f"ESC reference output invalid: {exc}")
+        return verdict
+    tol = value_tolerance(a, b)
+    fault_ctx.faults = faults
+
+    # -- spECK executable path, both engines --------------------------------
+    engines: Dict[str, Optional[CSR]] = {}
+    for engine in ("batched", "scalar"):
+        params = DEFAULT_PARAMS.with_overrides(execute_engine=engine)
+        res = speck_multiply(a, b, ctx=fault_ctx, mode="execute", device=device,
+                             params=params)
+        label = f"spECK-{engine}"
+        if not res.valid:
+            engines[engine] = None
+            _check_failure_shape(verdict, label, res.failure_info, faults)
+            continue
+        c = res.c
+        if engine == "batched" and mutation is not None:
+            c = mutation(a, b, c)
+        engines[engine] = c
+        mismatch = diff_structure(expected, c)
+        if mismatch is None:
+            mismatch = diff_values(expected, c, tol)
+        if mismatch is not None:
+            verdict.fail(f"differential:{label}", mismatch)
+        for stage, t in res.stage_times.items():
+            if t < 0:
+                verdict.fail(f"stage-nonneg:{label}", f"{stage} = {t!r}")
+        if res.peak_mem_bytes < fault_ctx.output_bytes:
+            verdict.fail(
+                f"ledger:{label}",
+                f"peak {res.peak_mem_bytes} B < output {fault_ctx.output_bytes} B",
+            )
+    # The docs promise the two engines are bit-identical.
+    if engines.get("batched") is not None and engines.get("scalar") is not None:
+        mismatch = diff_bitwise(engines["scalar"], engines["batched"])
+        if mismatch is not None:
+            verdict.fail("bit-identity:batched-vs-scalar", mismatch)
+
+    # -- independent Gustavson oracle (slow Python: gate by product count) --
+    if fault_ctx.total_products <= gustavson_limit:
+        g = gustavson_multiply(a, b)
+        mismatch = diff_structure(expected, g) or diff_values(expected, g, tol)
+        if mismatch is not None:
+            verdict.fail("differential:gustavson", mismatch)
+
+    # -- the full paper line-up through the model path ----------------------
+    for algo in all_algorithms(device=device):
+        try:
+            res = algo.run(fault_ctx)
+        except Exception as exc:  # noqa: BLE001 - any escape is a finding
+            verdict.fail(
+                f"crash:{algo.name}",
+                f"run() raised instead of returning a failed result: "
+                f"{type(exc).__name__}: {exc}",
+            )
+            continue
+        if not res.valid:
+            _check_failure_shape(verdict, algo.name, res.failure_info, faults)
+            continue
+        for stage, t in res.stage_times.items():
+            if t < 0:
+                verdict.fail(f"stage-nonneg:{algo.name}", f"{stage} = {t!r}")
+        if res.peak_mem_bytes < 0:
+            verdict.fail(f"ledger:{algo.name}", f"peak {res.peak_mem_bytes} B < 0")
+        if algo.name in _DEVICE_METHODS and res.peak_mem_bytes < fault_ctx.output_bytes:
+            verdict.fail(
+                f"ledger:{algo.name}",
+                f"peak {res.peak_mem_bytes} B < output {fault_ctx.output_bytes} B",
+            )
+        if res.c is not None:
+            got = res.c if res.sorted_output else _canonical(res.c)
+            mismatch = diff_structure(expected, got) or diff_values(expected, got, tol)
+            if mismatch is not None:
+                verdict.fail(f"differential:{algo.name}", mismatch)
+
+    # -- metamorphic and cost-model laws (clean runs only) ------------------
+    if laws and mutation is None and faults is None:
+        from .laws import run_cost_laws, run_metamorphic_laws
+
+        for law, detail in run_metamorphic_laws(case, expected, tol, device):
+            verdict.fail(f"law:{law}", detail)
+        for law, detail in run_cost_laws(case, device):
+            verdict.fail(f"cost-law:{law}", detail)
+    return verdict
+
+
+def _check_failure_shape(
+    verdict: CaseVerdict,
+    method: str,
+    info: Optional[FailureInfo],
+    faults: Optional[FaultPlan],
+) -> None:
+    """A failed run must carry a structured, in-taxonomy failure; without
+    a fault plan these tiny cases must not fail at all."""
+    if info is None:
+        verdict.fail(f"failure-shape:{method}", "invalid result without FailureInfo")
+        return
+    if info.kind not in _KNOWN_KINDS:
+        verdict.fail(
+            f"failure-shape:{method}", f"unknown failure kind {info.kind!r}"
+        )
+    if faults is None:
+        verdict.fail(
+            f"unexpected-failure:{method}",
+            f"failed without fault injection: {info.kind}: {info.message}",
+        )

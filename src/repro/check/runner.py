@@ -1,0 +1,243 @@
+"""The ``repro check`` driver: fuzz, diff, minimize, replay.
+
+Ties the pieces together: generate ``--cases`` seeded cases, run each
+through the differential oracle and the law registries, checkpoint each
+verdict to crash-proof JSONL (shared with the evaluation harness), and
+on the first deterministic mismatch shrink it with the minimizer and
+emit a one-command reproducer artifact.
+
+Fault-injection mode (``--faults``) flips the oracle's contract from
+"everything agrees" to "every failure is structured": runs may die, but
+only with an in-taxonomy :class:`~repro.faults.FailureInfo`, and every
+injection the plan fires is observed through the
+:attr:`~repro.faults.FaultPlan.observer` hook.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+from ..eval.checkpoint import append_jsonl, iter_jsonl, repair_torn_tail
+from ..faults import FaultPlan
+from ..gpu import DeviceSpec, TITAN_V
+from ..matrices.csr import CSR
+from .generator import CheckCase, generate_case
+from .minimize import load_reproducer, minimize_case, write_reproducer
+from .mutations import MUTATIONS
+from .oracle import CaseVerdict, check_case
+
+__all__ = ["CheckReport", "run_check", "replay_reproducer"]
+
+
+@dataclass
+class CheckReport:
+    """Aggregate outcome of one ``repro check`` invocation."""
+
+    seed: int
+    cases: int = 0
+    verdicts: List[CaseVerdict] = field(default_factory=list)
+    #: Paths of reproducer artifacts written for failing cases.
+    artifacts: List[str] = field(default_factory=list)
+    #: Injections observed through the fault plan (fault mode only).
+    injections: int = 0
+    #: Cases loaded from a resume checkpoint rather than re-run.
+    resumed: int = 0
+
+    @property
+    def failures(self) -> List[CaseVerdict]:
+        return [v for v in self.verdicts if not v.ok]
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
+
+    @property
+    def exit_code(self) -> int:
+        return 0 if self.ok else 1
+
+    def render(self) -> str:
+        lines = [
+            f"repro check: seed={self.seed} cases={self.cases} "
+            f"failures={len(self.failures)}"
+            + (f" resumed={self.resumed}" if self.resumed else "")
+            + (f" injections={self.injections}" if self.injections else "")
+        ]
+        for v in self.failures:
+            for f in v.failures:
+                lines.append(f"  FAIL {v.name}: {f['check']}: {f['detail']}")
+        for path in self.artifacts:
+            lines.append(f"  reproducer: {path}")
+        return "\n".join(lines)
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "seed": int(self.seed),
+            "cases": int(self.cases),
+            "failures": [v.as_dict() for v in self.failures],
+            "artifacts": list(self.artifacts),
+            "injections": int(self.injections),
+            "resumed": int(self.resumed),
+            "ok": self.ok,
+        }
+
+
+def _failure_predicate(
+    device: DeviceSpec,
+    mutation: Optional[Callable[[CSR, CSR, CSR], CSR]],
+    checks: List[str],
+) -> Callable[[CSR, CSR], bool]:
+    """Does a shrunk ``(A, B)`` still trip any of the original checks?
+
+    Restricting to the originally-failing check ids keeps the minimizer
+    from wandering onto an unrelated failure mid-shrink.
+    """
+    prefixes = tuple(checks)
+
+    def predicate(a: CSR, b: CSR) -> bool:
+        case = CheckCase(
+            name="minimize", seed=0, index=0, a=a, b=b,
+            family="minimize", mutations=(), b_mode="independent",
+        )
+        try:
+            v = check_case(case, device, mutation=mutation, laws=False)
+        except Exception:  # noqa: BLE001 - a crash still reproduces a bug
+            return True
+        return any(f["check"].startswith(prefixes) for f in v.failures)
+
+    return predicate
+
+
+def run_check(
+    seed: int,
+    n_cases: int,
+    *,
+    device: DeviceSpec = TITAN_V,
+    faults: Optional[FaultPlan] = None,
+    mutation: Optional[str] = None,
+    artifact_dir: Optional[str] = None,
+    checkpoint: Optional[str] = None,
+    laws: bool = True,
+    max_minimize: int = 3,
+    verbose: bool = False,
+) -> CheckReport:
+    """Run the correctness harness over ``n_cases`` seeded cases.
+
+    ``mutation`` names a test-only engine bug from
+    :data:`repro.check.mutations.MUTATIONS` that the harness must catch.
+    Deterministic mismatches (anything but fault-mode structured
+    failures) are shrunk — at most ``max_minimize`` of them, minimizing
+    is the expensive part — and written under ``artifact_dir``.
+    """
+    mutate = None
+    if mutation is not None:
+        if mutation not in MUTATIONS:
+            raise KeyError(
+                f"unknown mutation {mutation!r}; have {sorted(MUTATIONS)}"
+            )
+        mutate = MUTATIONS[mutation]
+    report = CheckReport(seed=int(seed), cases=int(n_cases))
+    if faults is not None:
+        faults.observer = lambda event: setattr(
+            report, "injections", report.injections + 1
+        )
+    done: Dict[str, Dict[str, object]] = {}
+    if checkpoint:
+        repair_torn_tail(checkpoint)
+        for entry in iter_jsonl(checkpoint):
+            done[str(entry.get("name", ""))] = entry
+
+    minimized = 0
+    for index in range(int(n_cases)):
+        case = generate_case(seed, index)
+        if case.name in done:
+            entry = done[case.name]
+            v = CaseVerdict(case.name, seed, index)
+            v.products = int(entry.get("products", 0))
+            v.failures = [dict(f) for f in entry.get("failures", [])]
+            report.verdicts.append(v)
+            report.resumed += 1
+            continue
+        verdict = check_case(
+            case, device, mutation=mutate, faults=faults, laws=laws
+        )
+        report.verdicts.append(verdict)
+        append_jsonl(checkpoint, verdict.as_dict())
+        if verbose:  # pragma: no cover - console convenience
+            mark = "ok " if verdict.ok else "FAIL"
+            print(f"{mark} {case.name} products={verdict.products}")
+        if not verdict.ok and artifact_dir and minimized < max_minimize:
+            path = _minimize_and_emit(
+                case, verdict, device, mutate, mutation, artifact_dir
+            )
+            if path is not None:
+                report.artifacts.append(path)
+                minimized += 1
+    return report
+
+
+def _minimize_and_emit(
+    case: CheckCase,
+    verdict: CaseVerdict,
+    device: DeviceSpec,
+    mutate: Optional[Callable[[CSR, CSR, CSR], CSR]],
+    mutation_name: Optional[str],
+    artifact_dir: str,
+) -> Optional[str]:
+    """Shrink a failing case and write its reproducer; None if it no
+    longer reproduces deterministically (e.g. pure fault-mode noise)."""
+    checks = [f["check"] for f in verdict.failures]
+    predicate = _failure_predicate(device, mutate, checks)
+    if not predicate(case.a, case.b):
+        return None
+    result = minimize_case(
+        case.a, case.b, predicate,
+        b_mode=case.b_mode if case.b_mode != "independent" else "independent",
+    )
+    meta: Dict[str, object] = {
+        "case": case.name,
+        "seed": int(case.seed),
+        "index": int(case.index),
+        "checks": checks,
+        "failures": list(verdict.failures),
+        "minimize_evals": result.evals,
+        "minimize_steps": result.steps,
+    }
+    if mutation_name is not None:
+        meta["mutation"] = mutation_name
+    directory = os.path.join(artifact_dir, case.name)
+    return write_reproducer(directory, result.a, result.b, meta)
+
+
+def replay_reproducer(
+    directory: str,
+    *,
+    device: DeviceSpec = TITAN_V,
+    mutation: Optional[str] = None,
+) -> CheckReport:
+    """Re-run the oracle on a committed reproducer artifact.
+
+    The mutation recorded in ``repro.json`` is re-applied unless
+    overridden, so a replay exercises exactly the failure the artifact
+    captured.  Exit code 0 means the bug no longer reproduces.
+    """
+    a, b, meta = load_reproducer(directory)
+    name = str(meta.get("case", os.path.basename(directory.rstrip("/")) or "replay"))
+    mutation = mutation if mutation is not None else meta.get("mutation")
+    mutate = None
+    if mutation is not None:
+        if mutation not in MUTATIONS:
+            raise KeyError(
+                f"unknown mutation {mutation!r}; have {sorted(MUTATIONS)}"
+            )
+        mutate = MUTATIONS[str(mutation)]
+    case = CheckCase(
+        name=name, seed=int(meta.get("seed", 0)), index=int(meta.get("index", 0)),
+        a=a, b=b, family="replay", mutations=(), b_mode="independent",
+    )
+    report = CheckReport(seed=case.seed, cases=1)
+    report.verdicts.append(
+        check_case(case, device, mutation=mutate, laws=False)
+    )
+    return report

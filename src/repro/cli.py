@@ -10,7 +10,9 @@ evaluation entry points:
 * ``spy`` — ASCII non-zero pattern of a matrix (Fig. 8 style);
 * ``info`` — structural statistics of a matrix / multiplication;
 * ``serve-bench`` — open-loop serving benchmark through ``repro.serve``
-  (plan caching, batching, admission control; see docs/SERVING.md).
+  (plan caching, batching, admission control; see docs/SERVING.md);
+* ``check`` — differential & metamorphic correctness harness with
+  failure minimization (see docs/TESTING.md).
 """
 
 from __future__ import annotations
@@ -133,6 +135,46 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sb.add_argument("--json", metavar="PATH",
                     help="write the full report + metrics JSON here")
+
+    chk = sub.add_parser(
+        "check",
+        help="differential & metamorphic correctness harness",
+    )
+    chk.add_argument("--seed", type=int, default=0,
+                     help="fuzzer seed; (seed, case index) fixes every case")
+    chk.add_argument("--cases", type=int, default=100,
+                     help="number of generated cases to run")
+    chk.add_argument(
+        "--faults", metavar="SPEC",
+        help="fault-injection plan; switches the oracle to 'every failure "
+             "is structured' mode",
+    )
+    chk.add_argument(
+        "--mutate", metavar="NAME",
+        help="test-only: plant a named engine bug the harness must catch "
+             "(see repro.check.mutations)",
+    )
+    chk.add_argument(
+        "--artifact-dir", metavar="DIR",
+        help="shrink failing cases and write .mtx+JSON reproducers here",
+    )
+    chk.add_argument(
+        "--checkpoint", metavar="PATH",
+        help="append each finished case to this JSONL file; re-running "
+             "with the same path resumes the run",
+    )
+    chk.add_argument(
+        "--replay", metavar="DIR",
+        help="re-run the oracle on a reproducer artifact instead of fuzzing",
+    )
+    chk.add_argument("--no-laws", action="store_true",
+                     help="skip the metamorphic/cost-model law checks")
+    chk.add_argument(
+        "--device", choices=sorted(PRESETS), default="titan-v",
+        help="simulated GPU preset",
+    )
+    chk.add_argument("--json", metavar="PATH",
+                     help="write the full report JSON here")
     return p
 
 
@@ -269,6 +311,45 @@ def _cmd_serve_bench(args) -> int:
     return 0
 
 
+def _cmd_check(args) -> int:
+    import json as _json
+
+    from .check import replay_reproducer, run_check
+    from .check.mutations import MUTATIONS
+
+    device = PRESETS[args.device]
+    if args.mutate and args.mutate not in MUTATIONS:
+        print(
+            f"error: unknown mutation {args.mutate!r}; "
+            f"have {sorted(MUTATIONS)}",
+            file=sys.stderr,
+        )
+        return 2
+    if args.replay:
+        report = replay_reproducer(
+            args.replay, device=device, mutation=args.mutate or None
+        )
+    else:
+        report = run_check(
+            args.seed,
+            args.cases,
+            device=device,
+            faults=_fault_plan(args),
+            mutation=args.mutate or None,
+            artifact_dir=args.artifact_dir,
+            checkpoint=args.checkpoint,
+            laws=not args.no_laws,
+            verbose=True,
+        )
+    print(report.render())
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as fh:
+            _json.dump(report.as_dict(), fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"wrote {args.json}")
+    return report.exit_code
+
+
 _COMMANDS = {
     "multiply": _cmd_multiply,
     "bench": _cmd_bench,
@@ -276,6 +357,7 @@ _COMMANDS = {
     "spy": _cmd_spy,
     "info": _cmd_info,
     "serve-bench": _cmd_serve_bench,
+    "check": _cmd_check,
 }
 
 

@@ -39,6 +39,13 @@ def choose_group_size(
     and maximum length of the referenced rows of B, and the number of
     non-zeros of A the block processes.
     """
+    if threads < 1:
+        raise ValueError(f"threads must be >= 1, got {threads}")
+    # Exact-zero statistics (empty blocks, rows of B with no entries) are
+    # legal inputs; the floor of one non-zero / one unit of length is
+    # applied once, here.  Everything derived below is then provably
+    # positive — n_rows >= 1/threads and iter_max >= 1/threads exactly —
+    # so the divisions need no epsilon fuzz.
     avg_len = np.maximum(np.asarray(avg_len, dtype=np.float64), 1.0)
     max_len = np.maximum(np.asarray(max_len, dtype=np.float64), 1.0)
     nnz_a = np.maximum(np.asarray(nnz_a, dtype=np.float64), 1.0)
@@ -47,10 +54,12 @@ def choose_group_size(
     k = threads / g
     iter_max = max_len / g
     n_rows = nnz_a / k
+    assert float(n_rows.min(initial=1.0)) > 0.0
+    assert float(iter_max.min(initial=1.0)) > 0.0
 
     # One long row must not serialise the block: widen its groups.
     grow = iter_max > 2.0 * n_rows
-    g = np.where(grow, g * iter_max / np.maximum(2.0 * n_rows, 1e-9), g)
+    g = np.where(grow, g * iter_max / (2.0 * n_rows), g)
     # Conversely, many short rows per group: narrow the groups so more
     # rows proceed in parallel (prioritising low n_rows over low iter_max).
     # Both iter_max and n_rows scale with g, so a single multiplicative
@@ -60,14 +69,12 @@ def choose_group_size(
     # for uniform rows that already fit one pass it would merely destroy
     # coalescing without reducing any group's iteration count.
     shrink = (~grow) & (n_rows > 2.0 * iter_max) & (iter_max > 2.0)
-    g = np.where(
-        shrink, g * np.sqrt(iter_max / np.maximum(n_rows, 1e-9)), g
-    )
+    g = np.where(shrink, g * np.sqrt(iter_max / n_rows), g)
 
     # Never more groups than non-zeros of A to serve.
     k = threads / np.clip(round_pow2(g), 1, threads)
     too_many_groups = k > nnz_a
-    g = np.where(too_many_groups, threads / np.maximum(nnz_a, 1.0), g)
+    g = np.where(too_many_groups, threads / nnz_a, g)
 
     return np.clip(round_pow2(g), 1, threads).astype(np.int64)
 

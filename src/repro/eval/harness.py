@@ -16,9 +16,7 @@ file and resume an interrupted sweep from it.
 
 from __future__ import annotations
 
-import json
 import multiprocessing
-import os
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
@@ -27,6 +25,7 @@ from ..core.context import MultiplyContext
 from ..faults import FailureInfo, FaultPlan
 from ..gpu import DeviceSpec, TITAN_V
 from ..result import SpGEMMResult
+from .checkpoint import append_jsonl, iter_jsonl, repair_torn_tail
 from .suite import MatrixCase
 
 __all__ = ["RunRecord", "MatrixRecord", "EvalResult", "run_suite", "evaluate_case"]
@@ -245,20 +244,10 @@ def evaluate_case(
 def _load_checkpoint(path: str) -> EvalResult:
     """Read finished cases from a JSONL checkpoint (missing file is empty)."""
     out = EvalResult()
-    if not os.path.exists(path):
-        return out
-    with open(path, "r", encoding="utf-8") as fh:
-        for line in fh:
-            line = line.strip()
-            if not line:
-                continue
-            try:
-                entry = json.loads(line)
-            except json.JSONDecodeError:
-                continue  # torn tail write from an interrupted sweep
-            mrec = MatrixRecord.from_dict(entry["matrix"])
-            out.matrices[mrec.name] = mrec
-            out.runs.extend(RunRecord.from_dict(r) for r in entry["runs"])
+    for entry in iter_jsonl(path):
+        mrec = MatrixRecord.from_dict(entry["matrix"])
+        out.matrices[mrec.name] = mrec
+        out.runs.extend(RunRecord.from_dict(r) for r in entry["runs"])
     return out
 
 
@@ -290,11 +279,7 @@ def _checkpoint_append(
     run_dicts: List[Dict[str, object]],
 ) -> None:
     """Append one finished case to the JSONL checkpoint (no-op if unset)."""
-    if not checkpoint:
-        return
-    entry = {"matrix": mrec_dict, "runs": run_dicts}
-    with open(checkpoint, "a", encoding="utf-8") as fh:
-        fh.write(json.dumps(entry) + "\n")
+    append_jsonl(checkpoint, {"matrix": mrec_dict, "runs": run_dicts})
 
 
 def _report_case(mrec: MatrixRecord, runs: List[RunRecord]) -> None:  # pragma: no cover
@@ -340,16 +325,7 @@ def run_suite(
     algos = list(algorithms) if algorithms is not None else all_algorithms(device)
     out = _load_checkpoint(checkpoint) if checkpoint else EvalResult()
     done = set(out.matrices)
-    if checkpoint and os.path.exists(checkpoint):
-        # A sweep killed mid-write leaves a torn line without a trailing
-        # newline; terminate it so the next append starts a fresh line
-        # instead of gluing a good record onto the garbage.
-        with open(checkpoint, "rb+") as fh:
-            fh.seek(0, os.SEEK_END)
-            if fh.tell() > 0:
-                fh.seek(-1, os.SEEK_END)
-                if fh.read(1) != b"\n":
-                    fh.write(b"\n")
+    repair_torn_tail(checkpoint)
 
     case_list = list(cases)
     if verbose:  # pragma: no cover - console convenience

@@ -32,7 +32,7 @@ from __future__ import annotations
 import hashlib
 from dataclasses import asdict, dataclass
 from fnmatch import fnmatchcase
-from typing import Dict, List, Optional, Tuple
+from typing import Callable, Dict, List, Optional, Tuple
 
 __all__ = [
     "FailureInfo",
@@ -237,6 +237,12 @@ class FaultPlan:
     def __init__(self, rules: List[FaultRule], *, seed: int = 0) -> None:
         self.rules: Tuple[FaultRule, ...] = tuple(rules)
         self.seed = int(seed)
+        #: Optional diagnostics callback invoked with one event dict per
+        #: fired injection (see :attr:`FaultScope.history` for the shape).
+        #: Purely observational — it never influences which rules fire —
+        #: and used by :mod:`repro.check` to assert that every injected
+        #: fault surfaced as a structured failure or a successful retry.
+        self.observer: Optional[Callable[[Dict[str, object]], None]] = None
 
     def scope(self, method: str, matrix: str = "") -> "FaultScope":
         """A fresh per-invocation consultation handle."""
@@ -277,6 +283,10 @@ class FaultScope:
         self._fired: Dict[int, int] = {}
         #: Total faults injected through this scope (diagnostics).
         self.injected = 0
+        #: One event dict per fired injection, in firing order:
+        #: ``{"site", "tag", "rule", "attempt", "stage", "method",
+        #: "matrix"}``.  Mirrored to :attr:`FaultPlan.observer` when set.
+        self.history: List[Dict[str, object]] = []
 
     # -- bookkeeping -----------------------------------------------------
     def new_attempt(self) -> None:
@@ -305,6 +315,18 @@ class FaultScope:
                     continue
             self._fired[idx] = self._fired.get(idx, 0) + 1
             self.injected += 1
+            event: Dict[str, object] = {
+                "site": site,
+                "tag": tag,
+                "rule": idx,
+                "attempt": self.attempt,
+                "stage": self.stage,
+                "method": self.method,
+                "matrix": self.matrix,
+            }
+            self.history.append(event)
+            if self.plan.observer is not None:
+                self.plan.observer(event)
             return rule
         return None
 

@@ -1,0 +1,236 @@
+"""Tests for :mod:`repro.check` — the standing correctness harness."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.check import (
+    MUTATIONS,
+    check_case,
+    diff_bitwise,
+    diff_structure,
+    diff_values,
+    generate_case,
+    load_reproducer,
+    minimize_case,
+    replay_reproducer,
+    run_check,
+    run_cost_laws,
+    run_metamorphic_laws,
+    value_tolerance,
+    write_reproducer,
+)
+from repro.cli import main
+from repro.faults import parse_fault_spec
+from repro.gpu import TITAN_V
+from repro.matrices.csr import CSR
+
+
+def _csr(dense):
+    return CSR.from_dense(np.asarray(dense, dtype=np.float64))
+
+
+class TestGenerator:
+    def test_deterministic(self):
+        x = generate_case(3, 17)
+        y = generate_case(3, 17)
+        assert x.name == y.name
+        assert x.a.fingerprint_values() == y.a.fingerprint_values()
+        assert x.b.fingerprint_values() == y.b.fingerprint_values()
+
+    def test_operands_conformable_and_valid(self):
+        for i in range(12):
+            case = generate_case(5, i)
+            assert case.a.cols == case.b.rows
+            case.a.validate()
+            case.b.validate()
+
+    def test_name_encodes_recipe(self):
+        case = generate_case(0, 4)
+        assert case.name.startswith("chk-s0-i0004-")
+        assert case.family in case.name
+        assert case.b_mode in case.name
+
+
+class TestDiffHelpers:
+    def test_identical_matrices_clean(self):
+        m = _csr([[1.0, 0.0], [0.0, 2.0]])
+        assert diff_structure(m, m) is None
+        assert diff_bitwise(m, m) is None
+
+    def test_structure_mismatch_reported(self):
+        a = _csr([[1.0, 0.0], [0.0, 2.0]])
+        b = _csr([[1.0, 1.0], [0.0, 2.0]])
+        assert diff_structure(a, b) is not None
+
+    def test_bitwise_catches_one_ulp(self):
+        a = _csr([[1.0]])
+        b = CSR(a.indptr, a.indices, np.array([np.nextafter(1.0, 2.0)]), a.shape)
+        assert diff_bitwise(a, b) is not None
+
+    def test_value_diff_respects_tolerance(self):
+        a = _csr([[1.0]])
+        b = CSR(a.indptr, a.indices, a.data + 1e-12, a.shape)
+        assert diff_values(a, b, np.array([1e-10])) is None
+        assert diff_values(a, b, np.array([1e-14])) is not None
+
+    def test_tolerance_zero_for_single_product_entries(self):
+        # A diagonal product has one product per output entry: no
+        # reordering is possible, so the rigorous bound is exactly zero.
+        a = _csr(np.diag([2.0, 3.0]))
+        tol = value_tolerance(a, a)
+        assert tol.shape == (2,)
+        assert np.all(tol == 0.0)
+
+    def test_tolerance_positive_for_multi_product_entries(self):
+        a = _csr([[1.0, 1.0], [1.0, 1.0]])
+        assert np.all(value_tolerance(a, a) > 0.0)
+
+
+class TestOracle:
+    def test_clean_case_passes(self):
+        case = generate_case(0, 1)
+        verdict = check_case(case, TITAN_V, laws=False)
+        assert verdict.ok, verdict.failures
+        assert verdict.products > 0
+
+    @pytest.mark.parametrize("name", sorted(MUTATIONS))
+    def test_planted_bug_caught(self, name):
+        for i in range(4):
+            case = generate_case(0, i)
+            verdict = check_case(case, TITAN_V, mutation=MUTATIONS[name], laws=False)
+            if not verdict.ok:
+                checks = [f["check"] for f in verdict.failures]
+                assert any(
+                    c.startswith(("differential", "bit-identity")) for c in checks
+                )
+                return
+        pytest.fail(f"mutation {name!r} never caught in 4 cases")
+
+
+class TestLaws:
+    def test_healthy_case_satisfies_all_laws(self):
+        case = generate_case(0, 2)
+        from repro.kernels.reference import esc_multiply
+
+        expected = esc_multiply(case.a, case.b)
+        tol = value_tolerance(case.a, case.b)
+        assert run_metamorphic_laws(case, expected, tol, TITAN_V) == []
+        assert run_cost_laws(case, TITAN_V) == []
+
+
+class TestRunCheck:
+    def test_clean_run_exit_zero(self):
+        report = run_check(0, 3, laws=False)
+        assert report.ok
+        assert report.exit_code == 0
+        assert len(report.verdicts) == 3
+
+    def test_unknown_mutation_rejected(self):
+        with pytest.raises(KeyError):
+            run_check(0, 1, mutation="no-such-bug")
+
+    def test_seeded_bug_caught_and_shrunk(self, tmp_path):
+        # The ISSUE acceptance criterion: a planted accumulator bug must
+        # be detected and minimized to at most 8x8 with at most 20 nnz.
+        report = run_check(
+            0, 3, mutation="drop-last-product",
+            artifact_dir=str(tmp_path), laws=False,
+        )
+        assert not report.ok
+        assert report.artifacts
+        for directory in report.artifacts:
+            a, b, meta = load_reproducer(directory)
+            assert a.rows <= 8 and a.cols <= 8
+            assert b.rows <= 8 and b.cols <= 8
+            assert a.nnz <= 20 and b.nnz <= 20
+            assert meta["mutation"] == "drop-last-product"
+            assert "--replay" in meta["command"]
+
+    def test_checkpoint_resume(self, tmp_path):
+        ckpt = tmp_path / "check.jsonl"
+        first = run_check(0, 3, laws=False, checkpoint=str(ckpt))
+        assert first.resumed == 0
+        second = run_check(0, 3, laws=False, checkpoint=str(ckpt))
+        assert second.resumed == 3
+        assert [v.name for v in second.verdicts] == [v.name for v in first.verdicts]
+
+    def test_fault_mode_structured_failures_only(self):
+        plan = parse_fault_spec("alloc:n=1")
+        report = run_check(0, 3, faults=plan, laws=False)
+        # Injections fired and were observed; any resulting failure must
+        # have been structured (in-taxonomy), so the verdicts stay clean.
+        assert report.injections > 0
+        assert report.ok, [f for v in report.failures for f in v.failures]
+
+
+class TestMinimize:
+    def test_rejects_non_failing_case(self):
+        m = _csr([[1.0]])
+        with pytest.raises(ValueError):
+            minimize_case(m, m, lambda a, b: False)
+
+    def test_shrinks_to_planted_needle(self, rng):
+        dense = rng.uniform(0.5, 1.5, size=(12, 12))
+        dense[dense < 0.9] = 0.0
+        dense[7, 3] = 42.0
+        a = _csr(dense)
+        b = _csr(np.eye(12))
+        predicate = lambda a2, b2: bool(np.any(a2.data == 42.0))
+        result = minimize_case(a, b, predicate, b_mode="independent")
+        assert np.any(result.a.data == 42.0)
+        assert result.a.nnz == 1
+        assert result.a.rows <= 2 and result.a.cols <= 2
+        assert result.b.cols <= 1
+
+    def test_reproducer_roundtrip(self, tmp_path):
+        a = _csr([[1.0, 2.0], [0.0, 3.0]])
+        b = _csr([[4.0, 0.0], [5.0, 6.0]])
+        directory = write_reproducer(
+            str(tmp_path / "repro"), a, b, {"case": "unit", "checks": ["x"]}
+        )
+        a2, b2, meta = load_reproducer(directory)
+        assert diff_structure(a, a2) is None
+        assert diff_structure(b, b2) is None
+        assert meta["case"] == "unit"
+        assert meta["a"]["nnz"] == a.nnz
+
+    def test_replay_clean_reproducer_exit_zero(self, tmp_path):
+        case = generate_case(0, 1)
+        directory = write_reproducer(
+            str(tmp_path / "clean"), case.a, case.b, {"case": "clean-unit"}
+        )
+        report = replay_reproducer(directory)
+        assert report.ok and report.exit_code == 0
+
+
+class TestCli:
+    def test_check_clean_exit_zero(self, capsys):
+        assert main(["check", "--seed", "0", "--cases", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "failures=0" in out
+
+    def test_unknown_mutation_exit_two(self, capsys):
+        assert main(["check", "--cases", "1", "--mutate", "bogus"]) == 2
+        assert "unknown mutation" in capsys.readouterr().err
+
+    def test_mutation_failure_exit_one(self, tmp_path, capsys):
+        code = main([
+            "check", "--seed", "0", "--cases", "2", "--no-laws",
+            "--mutate", "drop-last-product",
+            "--artifact-dir", str(tmp_path / "art"),
+            "--json", str(tmp_path / "report.json"),
+        ])
+        assert code == 1
+        payload = json.loads((tmp_path / "report.json").read_text())
+        assert payload["ok"] is False
+        assert payload["artifacts"]
+
+    def test_replay_reproduces_recorded_mutation(self, tmp_path, capsys):
+        assert main([
+            "check", "--seed", "0", "--cases", "2", "--no-laws",
+            "--mutate", "drop-last-product", "--artifact-dir", str(tmp_path),
+        ]) == 1
+        directory = sorted(p for p in tmp_path.iterdir() if p.is_dir())[0]
+        assert main(["check", "--replay", str(directory)]) == 1

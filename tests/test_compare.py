@@ -78,3 +78,37 @@ class TestCompare:
             run.time_s *= 1.5
         text = compare_results(result, worse).render()
         assert "regressions" in text and "REG" in text
+
+
+class TestEmptyComparisons:
+    def test_both_empty(self):
+        from repro.eval.harness import EvalResult
+
+        report = compare_results(EvalResult(), EvalResult())
+        assert report.method_ratios == {}
+        assert report.family_ratios == {}
+        assert not report.regressions and not report.improvements
+        assert "0 regressions" in report.render()
+
+    def test_empty_after_sweep_yields_no_deltas(self, result):
+        from repro.eval.harness import EvalResult
+
+        report = compare_results(result, EvalResult())
+        assert report.method_ratios == {}
+        assert not report.new_failures
+
+    def test_empty_before_sweep_yields_no_deltas(self, result):
+        from repro.eval.harness import EvalResult
+
+        report = compare_results(EvalResult(), result)
+        assert report.method_ratios == {}
+        assert not report.regressions
+
+    def test_disjoint_sweeps_share_nothing(self, result):
+        renamed = clone(result)
+        renamed.runs = [r for r in renamed.runs]
+        for r in renamed.runs:
+            r.matrix = "elsewhere/" + r.matrix
+        report = compare_results(result, renamed)
+        assert report.method_ratios == {}
+        assert not report.new_failures and not report.fixed_failures

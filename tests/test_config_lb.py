@@ -300,3 +300,44 @@ class TestMergeQualityBound:
         ptr = block_merge(sizes, limit=10)
         n_ff = 4  # first-fit: [6], [6,3], [6], [6,3]
         assert len(ptr) - 1 <= 2 * n_ff
+
+
+class TestLocalLbZeroCorners:
+    """Exact-zero statistics are legal inputs (empty blocks, empty rows of
+    B); the single clamp at the top of choose_group_size must make them
+    behave exactly like ones, with no epsilon fuzz and no float warnings."""
+
+    def test_zero_stats_equal_one_stats(self):
+        zeros = np.zeros(5)
+        ones = np.ones(5)
+        g_zero = choose_group_size(zeros, zeros, zeros, 256)
+        g_one = choose_group_size(ones, ones, ones, 256)
+        assert np.array_equal(g_zero, g_one)
+        # One (floored) non-zero per block: a single group spans the block.
+        assert np.all(g_zero == 256)
+
+    def test_empty_blocks_give_empty_result(self):
+        empty = np.empty(0)
+        g = choose_group_size(empty, empty, empty, 128)
+        assert g.shape == (0,)
+        assert g.dtype == np.int64
+
+    def test_zero_rows_with_long_max_row(self):
+        # nnz_a == 0 but a long referenced row: floors apply, the result
+        # is still a bounded power of two.
+        g = choose_group_size(np.array([0.0]), np.array([512.0]),
+                              np.array([0.0]), 256)
+        assert g.shape == (1,)
+        assert 1 <= g[0] <= 256
+        assert (int(g[0]) & (int(g[0]) - 1)) == 0
+
+    @pytest.mark.parametrize("threads", [0, -1, -256])
+    def test_nonpositive_threads_rejected(self, threads):
+        with pytest.raises(ValueError):
+            choose_group_size(np.ones(3), np.ones(3), np.ones(3), threads)
+
+    def test_no_float_warnings_on_zero_inputs(self):
+        with np.errstate(all="raise"):
+            choose_group_size(np.zeros(4), np.zeros(4), np.zeros(4), 1024)
+            choose_group_size(np.array([0.0, 3.0]), np.array([0.0, 900.0]),
+                              np.array([0.0, 1.0]), 512)

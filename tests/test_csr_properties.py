@@ -1,0 +1,99 @@
+"""Hypothesis property tests for CSR round-trips and invariants.
+
+Complements the example-based tests in ``test_csr.py`` / ``test_coo_io.py``
+with generated coverage: every property here must hold for *any* small
+CSR matrix, including empty ones, duplicate-heavy ones and matrices with
+explicit zeros.
+"""
+
+import os
+import tempfile
+
+import numpy as np
+from hypothesis import given, settings
+
+from repro.matrices.csr import CSR
+from repro.matrices.io_mm import read_mtx, write_mtx
+
+from conftest import csr_matrices
+
+
+def bit_equal(x: CSR, y: CSR) -> bool:
+    return (
+        x.shape == y.shape
+        and np.array_equal(x.indptr, y.indptr)
+        and np.array_equal(x.indices, y.indices)
+        and np.array_equal(
+            x.data.view(np.int64), y.data.view(np.int64)
+        )
+    )
+
+
+@settings(max_examples=60, deadline=None)
+@given(m=csr_matrices())
+def test_coo_csr_roundtrip_is_identity(m):
+    rebuilt = CSR.from_coo(
+        m.row_ids(), m.indices, m.data, m.shape, sum_duplicates=False
+    )
+    rebuilt.validate()
+    assert bit_equal(m, rebuilt)
+
+
+@settings(max_examples=60, deadline=None)
+@given(m=csr_matrices())
+def test_duplicate_summing_matches_dense(m):
+    # Feeding the COO triples back with duplicate summing on must agree
+    # with dense accumulation (there are no duplicates left in a CSR, so
+    # this degenerates to the identity — the property still pins the flag).
+    rebuilt = CSR.from_coo(m.row_ids(), m.indices, m.data, m.shape)
+    assert np.allclose(rebuilt.to_dense(), m.to_dense())
+
+
+@settings(max_examples=40, deadline=None)
+@given(m=csr_matrices())
+def test_mtx_roundtrip_matches_sanitized(m):
+    # read_mtx repairs real-world defects on load: explicit zeros are
+    # dropped, exactly what sanitize() does. Values survive bit-exactly
+    # because write_mtx emits repr(float).
+    with tempfile.TemporaryDirectory() as tmp:
+        path = os.path.join(tmp, "m.mtx")
+        write_mtx(path, m)
+        back = read_mtx(path)
+    back.validate()
+    assert bit_equal(m.sanitize(), back)
+
+
+@settings(max_examples=60, deadline=None)
+@given(m=csr_matrices())
+def test_sanitize_is_idempotent(m):
+    once = m.sanitize()
+    once.validate()
+    assert bit_equal(once, once.sanitize())
+    assert np.all(once.data != 0.0)
+    assert np.all(np.isfinite(once.data))
+
+
+@settings(max_examples=60, deadline=None)
+@given(m=csr_matrices(square=True))
+def test_transpose_is_an_involution(m):
+    assert bit_equal(m, m.transpose().transpose())
+
+
+@settings(max_examples=60, deadline=None)
+@given(m=csr_matrices())
+def test_fingerprints_stable_under_copy(m):
+    c = m.copy()
+    assert c.fingerprint() == m.fingerprint()
+    assert c.fingerprint_values() == m.fingerprint_values()
+    # The structural fingerprint must ignore values; the value fingerprint
+    # must see them.
+    if m.nnz:
+        bumped = CSR(m.indptr.copy(), m.indices.copy(), m.data + 1.0, m.shape)
+        assert bumped.fingerprint() == m.fingerprint()
+        assert bumped.fingerprint_values() != m.fingerprint_values()
+
+
+@settings(max_examples=60, deadline=None)
+@given(m=csr_matrices())
+def test_select_all_rows_is_identity(m):
+    assert bit_equal(m, m.select_rows(np.arange(m.rows)))

@@ -220,3 +220,44 @@ class TestReportRendering:
         assert len(lines) == 16
         # banded matrix: diagonal marked
         assert lines[0][0] == "#" and lines[15][15] == "#"
+
+
+class TestCheckpointHelpers:
+    """The crash-proof JSONL helpers shared by the harness and repro.check."""
+
+    def test_append_then_iter_roundtrip(self, tmp_path):
+        from repro.eval.checkpoint import append_jsonl, iter_jsonl
+
+        path = tmp_path / "log.jsonl"
+        append_jsonl(str(path), {"i": 1})
+        append_jsonl(str(path), {"i": 2, "nested": {"x": [1, 2]}})
+        entries = list(iter_jsonl(str(path)))
+        assert [e["i"] for e in entries] == [1, 2]
+        assert entries[1]["nested"] == {"x": [1, 2]}
+
+    def test_append_to_falsy_path_is_noop(self):
+        from repro.eval.checkpoint import append_jsonl
+
+        append_jsonl(None, {"i": 1})
+        append_jsonl("", {"i": 1})
+
+    def test_iter_missing_file_yields_nothing(self, tmp_path):
+        from repro.eval.checkpoint import iter_jsonl
+
+        assert list(iter_jsonl(str(tmp_path / "absent.jsonl"))) == []
+
+    def test_iter_skips_garbage_lines(self, tmp_path):
+        from repro.eval.checkpoint import iter_jsonl
+
+        path = tmp_path / "log.jsonl"
+        path.write_text('{"i": 1}\n\nnot json\n{"i": 2}\n')
+        assert [e["i"] for e in iter_jsonl(str(path))] == [1, 2]
+
+    def test_torn_tail_repaired_then_appendable(self, tmp_path):
+        from repro.eval.checkpoint import append_jsonl, iter_jsonl, repair_torn_tail
+
+        path = tmp_path / "log.jsonl"
+        path.write_text('{"i": 1}\n{"i": 2, "tr')  # crash mid-write
+        repair_torn_tail(str(path))
+        append_jsonl(str(path), {"i": 3})
+        assert [e["i"] for e in iter_jsonl(str(path))] == [1, 3]

@@ -82,3 +82,38 @@ class TestJsonRoundtrip:
         )
         again = result_from_json(result_to_json(result_copy))
         assert any(not r.valid for r in again.runs)
+
+
+class TestErrorPaths:
+    def test_csv_target_in_missing_directory(self, result, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            runs_to_csv(result, tmp_path / "no" / "such" / "dir" / "runs.csv")
+
+    def test_csv_target_is_a_directory(self, result, tmp_path):
+        with pytest.raises(OSError):
+            runs_to_csv(result, tmp_path)
+
+    def test_from_json_rejects_garbage_text(self):
+        with pytest.raises(json.JSONDecodeError):
+            result_from_json("{not json at all")
+
+    def test_from_json_missing_path_is_decode_error(self, tmp_path):
+        # A nonexistent path falls through to json.loads on the path
+        # string itself, which fails loudly rather than returning an
+        # empty result.
+        with pytest.raises(json.JSONDecodeError):
+            result_from_json(str(tmp_path / "missing.json"))
+
+    def test_from_json_rejects_truncated_payload(self):
+        with pytest.raises(KeyError):
+            result_from_json(json.dumps({"matrices": {}}))
+
+    def test_empty_result_roundtrips(self, tmp_path):
+        from repro.eval.harness import EvalResult
+
+        empty = EvalResult()
+        assert runs_to_csv(empty, tmp_path / "empty.csv") == 0
+        with open(tmp_path / "empty.csv") as fh:
+            assert len(list(csv.DictReader(fh))) == 0
+        again = result_from_json(result_to_json(empty))
+        assert not again.runs and not again.matrices

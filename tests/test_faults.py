@@ -418,3 +418,60 @@ class TestCrashProofHarness:
         rec = resumed.record("mesh_tiny", "spECK")
         assert not rec.valid
         assert rec.failure_info.kind == "injected"
+
+
+class TestObservability:
+    """The history/observer hooks added for the correctness harness."""
+
+    def test_history_records_each_firing(self):
+        plan = FaultPlan([FaultRule(site="alloc", after_n=2)])
+        scope = plan.scope("spECK", "mat-1")
+        scope.enter_stage("symbolic")
+        scope.on_alloc(10, "probe")
+        with pytest.raises(SimulatedFault):
+            scope.on_alloc(10, "hash-map")
+        assert len(scope.history) == 1
+        event = scope.history[0]
+        assert event["site"] == "alloc"
+        assert event["tag"] == "hash-map"
+        assert event["rule"] == 0
+        assert event["attempt"] == 1
+        assert event["stage"] == "symbolic"
+        assert event["method"] == "spECK"
+        assert event["matrix"] == "mat-1"
+
+    def test_history_survives_retries(self):
+        plan = FaultPlan([FaultRule(site="alloc", after_n=1)])
+        scope = plan.scope("m", "x")
+        for attempt in (1, 2, 3):
+            with pytest.raises(SimulatedFault):
+                scope.on_alloc(8, "t")
+            scope.new_attempt()
+        assert [e["attempt"] for e in scope.history] == [1, 2, 3]
+        assert scope.injected == 3
+
+    def test_observer_mirrors_history(self):
+        seen = []
+        plan = FaultPlan([FaultRule(site="launch", after_n=1)])
+        plan.observer = seen.append
+        scope = plan.scope("m", "x")
+        with pytest.raises(KernelLaunchError):
+            scope.on_launch("numeric")
+        assert seen == scope.history
+
+    def test_observer_counts_across_scopes(self):
+        fired = []
+        plan = FaultPlan([FaultRule(site="alloc", after_n=1)])
+        plan.observer = fired.append
+        for matrix in ("a", "b"):
+            scope = plan.scope("m", matrix)
+            with pytest.raises(SimulatedFault):
+                scope.on_alloc(4, "t")
+        assert [e["matrix"] for e in fired] == ["a", "b"]
+
+    def test_no_fire_no_history(self):
+        plan = FaultPlan([FaultRule(site="alloc", after_n=99)])
+        scope = plan.scope("m", "x")
+        scope.on_alloc(4, "t")
+        assert scope.history == []
+        assert scope.injected == 0

@@ -62,3 +62,25 @@ class TestCrossDevice:
             pascal.decisions["global_hash_blocks"]
             >= volta.decisions["global_hash_blocks"]
         )
+
+
+class TestUnknownPresets:
+    def test_unknown_name_is_a_key_error(self):
+        assert "kepler" not in PRESETS
+        with pytest.raises(KeyError):
+            PRESETS["kepler"]
+
+    @pytest.mark.parametrize("cmd", ["multiply", "bench", "check"])
+    def test_cli_rejects_unknown_device(self, cmd, capsys):
+        from repro.cli import build_parser
+
+        with pytest.raises(SystemExit) as exc:
+            build_parser().parse_args([cmd, "--device", "kepler"])
+        assert exc.value.code == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_every_preset_named_and_distinct(self):
+        names = [dev.name for dev in PRESETS.values()]
+        assert len(set(names)) == len(names)
+        for dev in PRESETS.values():
+            assert dev.global_mem_bytes > 0 and dev.clock_hz > 0

@@ -91,3 +91,46 @@ class TestAutotune:
         # bound is asserted by benchmarks/test_table2_autotune.py).
         tuned = tune(feats)
         assert _loss(feats, tuned.symbolic_lb, tuned.numeric_lb, 6) < 1.05
+
+
+class TestDegenerateGrids:
+    def test_candidate_grid_empty_values(self):
+        from repro.core.tuning import _candidate_grid
+
+        assert _candidate_grid(np.array([])).tolist() == [1.0]
+
+    def test_candidate_grid_nonfinite_and_nonpositive(self):
+        from repro.core.tuning import _candidate_grid
+
+        grid = _candidate_grid(np.array([np.inf, np.nan, -3.0, 0.0]))
+        assert grid.tolist() == [1.0]
+
+    def test_candidate_grid_single_value_brackets_it(self):
+        from repro.core.tuning import _candidate_grid
+
+        grid = _candidate_grid(np.array([4.0]))
+        assert grid.min() <= 4.0 <= grid.max()
+        assert np.all(np.diff(grid) > 0)
+
+    def test_loss_of_empty_feature_set_is_one(self):
+        t = LbThresholds(1e9, 10**9, 1e9, 10**9, 2)
+        assert _loss([], t, t, 6) == pytest.approx(1.0)
+
+    def test_tune_on_empty_features_yields_valid_params(self):
+        # No observations: every candidate has loss 1.0, the search
+        # collapses onto the singleton grid. What matters is that it
+        # terminates with usable positive thresholds instead of crashing.
+        tuned = tune([])
+        for t in (tuned.symbolic_lb, tuned.numeric_lb):
+            assert t.ratio > 0 and t.min_rows >= 0
+            assert t.ratio_large > 0 and t.min_rows_large >= 0
+
+    def test_autotune_single_case_corpus_degrades_gracefully(self):
+        from repro.eval import small_corpus
+
+        res = autotune(small_corpus()[:1], folds=3)
+        # One case cannot populate train AND test in any fold: the
+        # procedure must fall back to defaults, not crash.
+        assert res.fold_slowdowns == []
+        assert res.params.symbolic_lb == SpeckParams().symbolic_lb
+        assert 0 <= res.accuracy <= 1.0
