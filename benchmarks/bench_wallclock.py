@@ -23,6 +23,13 @@ against the committed baseline and exits 1 when it regressed more than
 ``--max-regress`` (the CI regression guard).  Ratios (speedups) are
 machine-independent; absolute seconds are only comparable on similar
 hardware — the guard therefore uses a generous factor.
+
+With ``--serve-out`` the run additionally measures the serving cluster's
+host wall-clock (`repro.cluster`, a short 2-node fleet replay) and merges
+a ``"cluster"`` entry into the given ``BENCH_serve.json`` (preserving the
+``"serve"`` entry written by ``test_serving_throughput.py``).
+``--serve-baseline`` guards that entry with the same ``--max-regress``
+factor; ``--serve-only`` skips the core benches (the CI cluster job).
 """
 
 from __future__ import annotations
@@ -118,6 +125,57 @@ def bench_suite(make_cases, workers: int) -> Dict[str, object]:
     }
 
 
+def bench_cluster() -> Dict[str, object]:
+    """Host wall-clock of a short fleet replay through ``repro.cluster``.
+
+    Virtual-time figures (throughput, scaling) are deterministic; the
+    wall-clock seconds are what the regression guard watches — they are
+    dominated by the per-request host work in the event loop.
+    """
+    from repro.cluster import ClusterSpec, run_cluster_bench
+    from repro.serve.workload import WorkloadSpec, serve_corpus
+
+    cases = serve_corpus()
+    spec = WorkloadSpec(rate=10_000.0, duration_s=0.2, timeout_s=0.1, seed=0)
+    cluster = ClusterSpec(n_nodes=2)
+    run_cluster_bench(  # warm-up (imports, generator caches)
+        cases=cases, spec=spec, cluster=cluster, compare_single=False
+    )
+    t0 = time.perf_counter()
+    report = run_cluster_bench(cases=cases, spec=spec, cluster=cluster)
+    wall = time.perf_counter() - t0
+    for case in cases:
+        case.release()
+    return {
+        "wallclock_s": wall,
+        "offered": report.offered,
+        "completed": report.completed,
+        "throughput_rps": report.throughput_rps,
+        "scaling_vs_single": report.scaling_vs_single,
+        "wrong_results": report.wrong_results,
+        "n_nodes": cluster.n_nodes,
+        "rate": spec.rate,
+        "duration_s": spec.duration_s,
+    }
+
+
+def _merge_serve_entry(path: str, entry: Dict[str, object]) -> None:
+    """Write ``{"cluster": entry}`` into ``path``, keeping other keys."""
+    merged: Dict[str, object] = {}
+    if os.path.exists(path):
+        try:
+            with open(path, "r", encoding="utf-8") as fh:
+                loaded = json.load(fh)
+            if isinstance(loaded, dict):
+                merged = loaded
+        except (OSError, json.JSONDecodeError):
+            pass
+    merged["cluster"] = entry
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(merged, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+
+
 def main(argv: List[str] | None = None) -> int:
     ap = argparse.ArgumentParser(description=__doc__)
     ap.add_argument("--out", default="BENCH_core.json", help="output JSON path")
@@ -132,7 +190,46 @@ def main(argv: List[str] | None = None) -> int:
     ap.add_argument("--max-regress", type=float, default=1.5,
                     help="fail when batched execute wall-clock exceeds "
                          "baseline by more than this factor")
+    ap.add_argument("--serve-out", metavar="PATH",
+                    help="also run the cluster bench and merge a 'cluster' "
+                         "entry into this BENCH_serve.json")
+    ap.add_argument("--serve-baseline", metavar="PATH",
+                    help="compare the cluster wall-clock against this "
+                         "committed BENCH_serve.json (same --max-regress)")
+    ap.add_argument("--serve-only", action="store_true",
+                    help="skip the core benches; only run the cluster bench "
+                         "(requires --serve-out)")
     args = ap.parse_args(argv)
+
+    if args.serve_only and not args.serve_out:
+        ap.error("--serve-only requires --serve-out")
+
+    serve_rc = 0
+    if args.serve_out:
+        entry = bench_cluster()
+        _merge_serve_entry(args.serve_out, entry)
+        print(f"cluster: {entry['completed']}/{entry['offered']} served in "
+              f"{entry['wallclock_s']:.3f}s wall "
+              f"({entry['scaling_vs_single']:.2f}x vs single node); "
+              f"merged into {args.serve_out}")
+        if args.serve_baseline:
+            try:
+                with open(args.serve_baseline, "r", encoding="utf-8") as fh:
+                    base_cluster = json.load(fh)["cluster"]
+            except (OSError, json.JSONDecodeError, KeyError) as exc:
+                print(f"error: cannot read cluster baseline "
+                      f"{args.serve_baseline}: {exc}", file=sys.stderr)
+                return 2
+            base_wall = float(base_cluster["wallclock_s"])
+            ratio = entry["wallclock_s"] / base_wall if base_wall > 0 else 1.0
+            print(f"cluster regression check: wall-clock {ratio:.2f}x of "
+                  f"baseline (limit {args.max_regress:.2f}x)")
+            if ratio > args.max_regress:
+                print("error: cluster bench wall-clock regressed beyond "
+                      "the allowed factor", file=sys.stderr)
+                serve_rc = 1
+    if args.serve_only:
+        return serve_rc
 
     make_cases = full_corpus if args.full else small_corpus
     report = {
@@ -179,7 +276,7 @@ def main(argv: List[str] | None = None) -> int:
             print("error: batched execute wall-clock regressed beyond the "
                   "allowed factor", file=sys.stderr)
             return 1
-    return 0
+    return serve_rc
 
 
 if __name__ == "__main__":

@@ -48,9 +48,22 @@ def test_serving_throughput():
         == report.offered
     )
 
+    # BENCH_serve.json holds {"serve": ..., "cluster": ...}; keep whatever
+    # the cluster benches already merged in.
     out = os.path.join(os.getcwd(), "BENCH_serve.json")
+    merged = {}
+    if os.path.exists(out):
+        try:
+            with open(out, "r", encoding="utf-8") as fh:
+                loaded = json.load(fh)
+            if isinstance(loaded, dict):
+                merged = loaded
+        except (OSError, json.JSONDecodeError):
+            pass
+    merged["serve"] = json.loads(report.to_json())
     with open(out, "w", encoding="utf-8") as fh:
-        fh.write(report.to_json())
+        json.dump(merged, fh, indent=2, sort_keys=True)
+        fh.write("\n")
     print(f"wrote {out}")
 
 

@@ -11,6 +11,11 @@ evaluation entry points:
 * ``info`` — structural statistics of a matrix / multiplication;
 * ``serve-bench`` — open-loop serving benchmark through ``repro.serve``
   (plan caching, batching, admission control; see docs/SERVING.md);
+* ``cluster-bench`` — multi-node fleet benchmark through ``repro.cluster``
+  (consistent-hash routing, plan replication, crash failover; see
+  docs/SERVING.md);
+* ``multigpu`` — one SpGEMM row-partitioned across N simulated GPUs;
+* ``partitioned`` — one SpGEMM in device-memory-bounded slabs;
 * ``check`` — differential & metamorphic correctness harness with
   failure minimization (see docs/TESTING.md).
 """
@@ -135,6 +140,81 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sb.add_argument("--json", metavar="PATH",
                     help="write the full report + metrics JSON here")
+
+    cb = sub.add_parser(
+        "cluster-bench",
+        help="multi-node fleet benchmark (routing, replication, failover)",
+    )
+    cb.add_argument("--nodes", type=int, default=4,
+                    help="fleet size")
+    cb.add_argument("--devices", default="titan-v",
+                    help="comma-separated device presets, cycled across "
+                         "nodes (heterogeneous fleets)")
+    cb.add_argument("--workers", type=int, default=2,
+                    help="simulated device streams per node")
+    cb.add_argument("--rate", type=float, default=80_000.0,
+                    help="mean arrival rate, requests per virtual second "
+                         "(default ~4x one node's capacity)")
+    cb.add_argument("--duration", type=float, default=0.5,
+                    help="virtual seconds of arrivals")
+    cb.add_argument("--alpha", type=float, default=1.1,
+                    help="Zipf skew of operand popularity")
+    cb.add_argument("--timeout", type=float, default=0.25,
+                    help="queue deadline in virtual seconds; 0 disables")
+    cb.add_argument("--seed", type=int, default=0)
+    cb.add_argument("--cache-mb", type=float, default=256.0,
+                    help="per-node plan-cache byte budget in MB")
+    cb.add_argument("--queue-depth", type=int, default=128,
+                    help="per-node admission bound on queued requests")
+    cb.add_argument("--spill-depth", type=int, default=8,
+                    help="home queue depth at which requests spill to peers")
+    cb.add_argument("--no-replication", action="store_true",
+                    help="disable plan-replica fetches between nodes")
+    cb.add_argument("--no-single-reference", action="store_true",
+                    help="skip the 1-node throughput reference replay "
+                         "(correctness digests are still checked)")
+    cb.add_argument(
+        "--faults", metavar="SPEC",
+        help="fault-injection plan; node sites key on node names, e.g. "
+             "'node_crash@node-1:n=500' (see docs/ROBUSTNESS.md)",
+    )
+    cb.add_argument("--json", metavar="PATH",
+                    help="write the full report + fleet metrics JSON here")
+
+    mg = sub.add_parser(
+        "multigpu", help="one SpGEMM row-partitioned across N simulated GPUs"
+    )
+    add_matrix_args(mg)
+    mg.add_argument("--n-devices", type=int, default=4,
+                    help="simulated GPUs the rows of A are split across")
+    mg.add_argument("--balance", choices=("rows", "products"),
+                    default="products",
+                    help="row partitioner: equal rows or equal products")
+    mg.add_argument("--gather", action="store_true",
+                    help="add the interconnect cost of collecting C onto "
+                         "one device")
+    mg.add_argument(
+        "--faults", metavar="SPEC",
+        help="fault-injection plan; per-device scopes are tagged "
+             "'<case>/devN', so 'alloc:matrix=*/dev1' targets one device",
+    )
+    mg.add_argument("--json", metavar="PATH",
+                    help="write the result summary JSON here")
+
+    pt = sub.add_parser(
+        "partitioned", help="one SpGEMM in device-memory-bounded slabs"
+    )
+    add_matrix_args(pt)
+    pt.add_argument("--budget-mb", type=float, default=0.0,
+                    help="device-memory budget in MB (0: the device's "
+                         "full global memory)")
+    pt.add_argument(
+        "--faults", metavar="SPEC",
+        help="fault-injection plan; per-slab scopes are tagged "
+             "'<case>/slabN', so 'alloc:matrix=*/slab1' targets one slab",
+    )
+    pt.add_argument("--json", metavar="PATH",
+                    help="write the result summary JSON here")
 
     chk = sub.add_parser(
         "check",
@@ -311,6 +391,139 @@ def _cmd_serve_bench(args) -> int:
     return 0
 
 
+def _cmd_cluster_bench(args) -> int:
+    from .cluster import ClusterSpec, run_cluster_bench
+    from .serve import WorkloadSpec
+
+    devices = tuple(d.strip() for d in args.devices.split(",") if d.strip())
+    for d in devices:
+        if d not in PRESETS:
+            print(
+                f"error: unknown device preset {d!r}; have {sorted(PRESETS)}",
+                file=sys.stderr,
+            )
+            return 2
+    spec = WorkloadSpec(
+        rate=args.rate,
+        duration_s=args.duration,
+        zipf_alpha=args.alpha,
+        timeout_s=args.timeout if args.timeout > 0 else None,
+        seed=args.seed,
+    )
+    cluster = ClusterSpec(
+        n_nodes=args.nodes,
+        devices=devices,
+        workers_per_node=args.workers,
+        plan_cache_mb=args.cache_mb,
+        queue_depth=args.queue_depth,
+        spill_queue_depth=args.spill_depth,
+        replicate_plans=not args.no_replication,
+        seed=args.seed,
+    )
+    report = run_cluster_bench(
+        spec=spec,
+        cluster=cluster,
+        faults=_fault_plan(args),
+        compare_single=not args.no_single_reference,
+    )
+    print(report.render())
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as fh:
+            fh.write(report.to_json())
+            fh.write("\n")
+        print(f"wrote {args.json}")
+    if report.wrong_results or not report.conservation_ok:
+        return 1
+    return 0
+
+
+def _extension_summary(kind: str, res, case: str) -> dict:
+    out = {
+        "command": kind,
+        "case": case,
+        "valid": res.valid,
+        "time_s": res.time_s if res.valid else None,
+        "c_nnz": res.c.nnz if res.c is not None else None,
+    }
+    if res.failure_info is not None:
+        out["failure"] = res.failure_info.as_dict()
+    elif not res.valid:
+        out["failure"] = {"message": res.failure}
+    return out
+
+
+def _emit_extension_result(args, kind: str, res, case: str, extra: str) -> int:
+    if res.valid:
+        print(f"{kind}: C nnz {res.c.nnz if res.c is not None else '-'}, "
+              f"{res.time_s * 1e3:.3f} ms simulated{extra}")
+    else:
+        info = res.failure_info
+        tag = f"{info.kind}/{info.stage}: " if info else ""
+        print(f"{kind}: FAILED ({tag}{res.failure[:80]})")
+    if args.json:
+        import json as _json
+
+        with open(args.json, "w", encoding="utf-8") as fh:
+            _json.dump(_extension_summary(kind, res, case), fh,
+                       indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"wrote {args.json}")
+    return 0 if res.valid else 1
+
+
+def _cmd_multigpu(args) -> int:
+    from .extensions import multigpu_multiply
+
+    a = _load_matrix(args)
+    b = a if a.rows == a.cols else a.transpose()
+    case = args.mtx or f"{args.family}-{args.size}"
+    res = multigpu_multiply(
+        a,
+        b,
+        args.n_devices,
+        device=PRESETS[args.device],
+        balance=args.balance,
+        gather=args.gather,
+        faults=_fault_plan(args),
+        case_name=case,
+    )
+    extra = ""
+    if res.valid:
+        extra = (
+            f" on {res.n_devices} devices "
+            f"(compute {res.compute_s * 1e3:.3f} ms, "
+            f"broadcast {res.broadcast_s * 1e3:.3f} ms"
+            + (f", gather {res.gather_s * 1e3:.3f} ms" if args.gather else "")
+            + ")"
+        )
+    return _emit_extension_result(args, "multigpu", res, case, extra)
+
+
+def _cmd_partitioned(args) -> int:
+    from .extensions import partitioned_multiply
+
+    a = _load_matrix(args)
+    b = a if a.rows == a.cols else a.transpose()
+    case = args.mtx or f"{args.family}-{args.size}"
+    res = partitioned_multiply(
+        a,
+        b,
+        device=PRESETS[args.device],
+        budget_bytes=int(args.budget_mb * 1e6) if args.budget_mb > 0 else None,
+        faults=_fault_plan(args),
+        case_name=case,
+    )
+    extra = ""
+    if res.valid:
+        extra = (
+            f" in {res.n_slabs} slabs "
+            f"(compute {res.compute_s * 1e3:.3f} ms, "
+            f"transfer {res.transfer_s * 1e3:.3f} ms, "
+            f"peak {res.peak_mem_bytes / 1e6:.1f} MB)"
+        )
+    return _emit_extension_result(args, "partitioned", res, case, extra)
+
+
 def _cmd_check(args) -> int:
     import json as _json
 
@@ -357,6 +570,9 @@ _COMMANDS = {
     "spy": _cmd_spy,
     "info": _cmd_info,
     "serve-bench": _cmd_serve_bench,
+    "cluster-bench": _cmd_cluster_bench,
+    "multigpu": _cmd_multigpu,
+    "partitioned": _cmd_partitioned,
     "check": _cmd_check,
 }
 

@@ -1,0 +1,633 @@
+"""The cluster event loop and the ``cluster-bench`` driver.
+
+This is the fleet analogue of :mod:`repro.serve.workload`: the same
+open-loop Zipf/Poisson arrival timeline, replayed against N nodes in
+shared virtual time.  The loop advances ``now`` from event to event
+(arrival, stream-free, completion), placing requests through the
+:class:`~repro.cluster.router.ClusterRouter`, consulting each node's
+fault scope for whole-node crashes and transient degradations, fetching
+plan replicas for spilled work, and retrying stranded requests onto
+survivors with the structured retryable taxonomy.
+
+Correctness is never assumed: every completed response's output is
+hashed and compared against a single-node reference service, and an
+execute-mode cross-check multiplies one case cold / plan-hit / via an
+adopted replica and demands bit-identical CSR arrays.  The report also
+carries a conservation flag — every offered request must reach exactly
+one terminal state (completed, shed, timed out, failed); a crash may
+*retry* work but can never silently drop it.
+
+Everything derives from the workload seed and the fault plan; a re-run
+produces a byte-identical ``--json`` report.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..core.params import DEFAULT_PARAMS, SpeckParams
+from ..eval.suite import MatrixCase
+from ..faults import FailureInfo, FaultPlan
+from ..gpu.presets import PRESETS
+from ..matrices.csr import CSR
+from ..serve.admission import AdmissionPolicy
+from ..serve.scheduler import Request, RequestOutcome
+from ..serve.service import SpGEMMService
+from ..serve.workload import WorkloadSpec, build_requests, serve_corpus
+from .metrics import FleetMetrics
+from .node import ClusterNode, InFlight
+from .router import ClusterRouter, RoutingPolicy
+
+__all__ = ["ClusterSpec", "ClusterBenchReport", "build_fleet", "run_cluster_bench"]
+
+
+@dataclass(frozen=True)
+class ClusterSpec:
+    """Shape and policies of the simulated fleet."""
+
+    n_nodes: int = 4
+    #: Device preset names, cycled across nodes (heterogeneous fleets:
+    #: pass several, e.g. ``("titan-v", "p100")``).
+    devices: Tuple[str, ...] = ("titan-v",)
+    workers_per_node: int = 2
+    plan_cache_mb: float = 256.0
+    #: Per-node admission bound on queued requests.
+    queue_depth: int = 128
+    #: Home queue depth at which the router spills (power-of-two-choices).
+    spill_queue_depth: int = 8
+    replicate_plans: bool = True
+    #: Cluster-level re-placements of a request (crash failover, faults).
+    max_retries: int = 3
+    #: Service-time multiplier while a node is degraded.
+    degrade_factor: float = 4.0
+    #: How long one degradation event lasts, virtual seconds.
+    degrade_duration_s: float = 0.05
+    #: Salt for the router's deterministic power-of-two draws.
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.n_nodes < 1:
+            raise ValueError("need at least one node")
+        if self.workers_per_node < 1:
+            raise ValueError("need at least one worker per node")
+        if not self.devices:
+            raise ValueError("need at least one device preset")
+        for d in self.devices:
+            if d not in PRESETS:
+                raise ValueError(f"unknown device preset {d!r}")
+        if self.degrade_factor < 1.0:
+            raise ValueError("degrade_factor must be >= 1")
+        if self.max_retries < 0:
+            raise ValueError("max_retries must be >= 0")
+
+
+def build_fleet(
+    spec: ClusterSpec, params: SpeckParams = DEFAULT_PARAMS
+) -> Dict[str, ClusterNode]:
+    """Construct the nodes: ``node-0`` … ``node-(N-1)``, devices cycled."""
+    nodes: Dict[str, ClusterNode] = {}
+    for i in range(spec.n_nodes):
+        device = PRESETS[spec.devices[i % len(spec.devices)]]
+        name = f"node-{i}"
+        nodes[name] = ClusterNode(
+            name,
+            device,
+            params,
+            n_workers=spec.workers_per_node,
+            plan_cache_bytes=int(spec.plan_cache_mb * 1e6),
+            policy=AdmissionPolicy(max_queue_depth=spec.queue_depth),
+        )
+    return nodes
+
+
+# ---------------------------------------------------------------------------
+# Output verification helpers
+# ---------------------------------------------------------------------------
+def _csr_digest(c: CSR) -> str:
+    """A stable digest of a CSR's exact content (shape + arrays).
+
+    Delegates to :meth:`~repro.matrices.csr.CSR.fingerprint_values`, which
+    covers structure *and* stored values and memoises against the identity
+    of the data array — crucial here, because the fleet digests every
+    completed response and the model-mode ``C`` for a case is the
+    context-cached product object, so each (node, case) pays the hash once.
+    """
+    return c.fingerprint_values()
+
+
+def _reference_digests(
+    requests: Sequence[Request],
+    device_name: str,
+    params: SpeckParams,
+) -> Dict[str, str]:
+    """Single-node reference output digest per case name."""
+    svc = SpGEMMService(PRESETS[device_name], params)
+    digests: Dict[str, str] = {}
+    for req in requests:
+        if req.case_name in digests:
+            continue
+        res = svc.multiply(req.a, req.b, case_name=req.case_name)
+        if res.valid and res.c is not None:
+            digests[req.case_name] = _csr_digest(res.c)
+    return digests
+
+
+def _verify_execute_identical(
+    case: MatrixCase, device_name: str, params: SpeckParams
+) -> bool:
+    """Cold vs plan-hit vs adopted-replica execute runs must agree bitwise.
+
+    Exercises exactly the cluster's replication path: node A computes the
+    plan cold, node B adopts a replica of it, both produce C through the
+    executable accumulators.
+    """
+    a, b = case.matrices()
+    device = PRESETS[device_name]
+    node_a = SpGEMMService(device, params)
+    cold = node_a.multiply(a, b, mode="execute")
+    hit = node_a.multiply(a, b, mode="execute")
+    if cold.c is None or hit.c is None:
+        return False
+    if hit.decisions.get("plan_cache") != "hit":
+        return False
+    key = (a.fingerprint(), b.fingerprint())
+    plan = node_a.plans.peek(key)
+    if plan is None:
+        return False
+    node_b = SpGEMMService(device, params)
+    node_b.plans.adopt(plan)
+    replica = node_b.multiply(a, b, mode="execute")
+    if replica.c is None or replica.decisions.get("plan_cache") != "hit":
+        return False
+    return all(
+        np.array_equal(getattr(cold.c, f), getattr(other.c, f))
+        for other in (hit, replica)
+        for f in ("indptr", "indices", "data")
+    )
+
+
+# ---------------------------------------------------------------------------
+# The fleet event loop
+# ---------------------------------------------------------------------------
+@dataclass
+class _FleetRun:
+    """Everything one fleet replay produces."""
+
+    outcomes: List[RequestOutcome]
+    router: ClusterRouter
+    fleet: FleetMetrics
+    nodes: Dict[str, ClusterNode]
+    retried: int = 0
+    wrong_results: int = 0
+    end_s: float = 0.0
+
+
+def _run_fleet(
+    requests: Sequence[Request],
+    nodes: Dict[str, ClusterNode],
+    spec: ClusterSpec,
+    *,
+    faults: Optional[FaultPlan] = None,
+    reference: Optional[Dict[str, str]] = None,
+) -> _FleetRun:
+    """Replay an arrival timeline against the fleet in virtual time."""
+    router = ClusterRouter(
+        nodes,
+        RoutingPolicy(
+            spill_queue_depth=spec.spill_queue_depth,
+            seed=spec.seed,
+            replicate_plans=spec.replicate_plans,
+        ),
+    )
+    fleet = FleetMetrics()
+    run = _FleetRun(outcomes=[], router=router, fleet=fleet, nodes=nodes)
+    for node in nodes.values():
+        node.bind_faults(faults)
+
+    arrivals = sorted(requests, key=lambda r: (r.arrival_s, r.id))
+    node_order = sorted(nodes)
+    now = 0.0
+    i = 0
+
+    def fail(req: Request, status: str, info: FailureInfo, finish: float) -> None:
+        run.outcomes.append(
+            RequestOutcome(
+                request_id=req.id,
+                case_name=req.case_name,
+                status=status,
+                arrival_s=req.arrival_s,
+                finish_s=finish,
+                attempts=req.attempts,
+                info=info,
+            )
+        )
+
+    def place(req: Request) -> None:
+        node, how = router.place(req, now)
+        if node is None:
+            fleet.failed()
+            fail(
+                req,
+                "failed",
+                FailureInfo(
+                    kind="crash",
+                    stage="routing",
+                    tag=req.case_name,
+                    message="no alive nodes to place the request on",
+                    retryable=False,
+                ),
+                now,
+            )
+            return
+        fleet.placement(how)
+        reject = node.admission.admit(
+            req.id,
+            queue_depth=node.queue_depth,
+            input_bytes=req.input_bytes(),
+            committed_bytes=node.committed,
+        )
+        if reject is not None:
+            fleet.shed()
+            run.outcomes.append(
+                RequestOutcome(
+                    request_id=req.id,
+                    case_name=req.case_name,
+                    status="shed",
+                    arrival_s=req.arrival_s,
+                    finish_s=now,
+                    attempts=req.attempts,
+                    reject=reject,
+                    info=reject.info,
+                )
+            )
+            return
+        node.enqueue(req, node.admission.estimate_bytes(req.input_bytes()))
+
+    def retry(req: Request, reason: str) -> None:
+        if req.attempts >= spec.max_retries:
+            fleet.failed()
+            fail(
+                req,
+                "failed",
+                FailureInfo(
+                    kind="crash" if reason == "crash" else "injected",
+                    stage="failover",
+                    tag=req.case_name,
+                    message=f"gave up after {req.attempts} re-placements ({reason})",
+                    retryable=False,
+                ),
+                now,
+            )
+            return
+        req.attempts += 1
+        run.retried += 1
+        fleet.retry(reason)
+        place(req)
+
+    def pop_request(node: ClusterNode) -> Optional[Request]:
+        """Next runnable request (priority order); expires stale ones."""
+        node.queue.sort(key=lambda r: (r.priority, r.arrival_s, r.id))
+        while node.queue:
+            req = node.queue.pop(0)
+            if req.timeout_s is not None and now - req.arrival_s > req.timeout_s:
+                fleet.timeout()
+                node.release(req.id)
+                fail(
+                    req,
+                    "timeout",
+                    FailureInfo(
+                        kind="timeout",
+                        stage="queue",
+                        tag=req.case_name,
+                        message=(
+                            f"request {req.id} waited {now - req.arrival_s:.4f}s "
+                            f"on {node.name}, over its deadline"
+                        ),
+                        retryable=True,
+                    ),
+                    now,
+                )
+                continue
+            return req
+        return None
+
+    def finalize(node: ClusterNode, inf: InFlight) -> None:
+        node.release(inf.request.id)
+        out = RequestOutcome(
+            request_id=inf.request.id,
+            case_name=inf.request.case_name,
+            status="ok",
+            arrival_s=inf.request.arrival_s,
+            start_s=inf.start_s,
+            finish_s=inf.finish_s,
+            cache_hit=inf.cache_hit,
+            attempts=inf.request.attempts,
+            result=inf.result,
+        )
+        fleet.completion(out.latency_s, inf.finish_s - inf.start_s)
+        if reference is not None and inf.result.c is not None:
+            want = reference.get(inf.request.case_name)
+            if want is not None and _csr_digest(inf.result.c) != want:
+                run.wrong_results += 1
+        run.outcomes.append(out)
+        run.end_s = max(run.end_s, inf.finish_s)
+
+    while True:
+        progressed = False
+
+        # 1. Completions due by `now`.
+        for name in node_order:
+            node = nodes[name]
+            if not node.inflight:
+                continue
+            due = [inf for inf in node.inflight if inf.finish_s <= now]
+            if due:
+                node.inflight = [
+                    inf for inf in node.inflight if inf.finish_s > now
+                ]
+                for inf in sorted(due, key=lambda x: (x.finish_s, x.request.id)):
+                    finalize(node, inf)
+
+        # 2. Arrivals due by `now`.
+        while i < len(arrivals) and arrivals[i].arrival_s <= now:
+            place(arrivals[i])
+            i += 1
+
+        # 3. Dispatch on every alive node, in stable name order.
+        for name in node_order:
+            node = nodes[name]
+            if not node.alive:
+                continue
+            for w in node.idle_workers(now):
+                if not node.queue:
+                    break
+                node.dispatches += 1
+                if node.scope.node_crash():
+                    fleet.crash()
+                    stranded = router.mark_down(node)
+                    for req in sorted(
+                        stranded, key=lambda r: (r.arrival_s, r.id)
+                    ):
+                        retry(req, "crash")
+                    progressed = True
+                    break
+                if node.scope.node_degrade():
+                    fleet.degrade()
+                    node.degraded_until = max(
+                        node.degraded_until, now + spec.degrade_duration_s
+                    )
+                req = pop_request(node)
+                if req is None:
+                    break
+                fetched, transfer_s = router.fetch_plan_for(node, req)
+                if fetched:
+                    fleet.plan_fetch(transfer_s)
+                res = node.service.multiply(
+                    req.a, req.b, faults=faults, case_name=req.case_name
+                )
+                router.note_plan(node, req)
+                if res.valid:
+                    slow = spec.degrade_factor if node.degraded(now) else 1.0
+                    service_s = res.time_s * slow + transfer_s
+                    node.workers[w] = now + service_s
+                    node.inflight.append(
+                        InFlight(
+                            request=req,
+                            worker=w,
+                            start_s=now,
+                            finish_s=now + service_s,
+                            result=res,
+                            cache_hit=res.decisions.get("plan_cache") == "hit",
+                            plan_fetch_s=transfer_s,
+                        )
+                    )
+                else:
+                    node.release(req.id)
+                    if res.failure_info is not None and res.failure_info.retryable:
+                        retry(req, "fault")
+                        progressed = True
+                    else:
+                        fleet.failed()
+                        fail(
+                            req,
+                            "failed",
+                            res.failure_info
+                            or FailureInfo(
+                                kind="crash",
+                                stage="execute",
+                                tag=req.case_name,
+                                message=res.failure,
+                            ),
+                            now,
+                        )
+
+        if progressed:
+            continue  # rerouted work may land on nodes already visited
+
+        # 4. Advance virtual time to the next event.
+        candidates: List[float] = []
+        if i < len(arrivals):
+            candidates.append(arrivals[i].arrival_s)
+        for name in node_order:
+            node = nodes[name]
+            for inf in node.inflight:
+                candidates.append(inf.finish_s)
+        if not candidates:
+            break
+        now = max(now, min(candidates))
+
+    return run
+
+
+# ---------------------------------------------------------------------------
+# The benchmark report
+# ---------------------------------------------------------------------------
+@dataclass
+class ClusterBenchReport:
+    """Everything ``cluster-bench`` measures, JSON-exportable."""
+
+    config: Dict[str, object] = field(default_factory=dict)
+    offered: int = 0
+    completed: int = 0
+    shed: int = 0
+    timed_out: int = 0
+    failed: int = 0
+    retried: int = 0
+    spilled: int = 0
+    crashes: int = 0
+    degrades: int = 0
+    plan_fetches: int = 0
+    throughput_rps: float = 0.0
+    latency: Dict[str, float] = field(default_factory=dict)
+    hit_rate: float = 0.0
+    #: Single-node reference run on the same workload (no faults).
+    single_node: Dict[str, float] = field(default_factory=dict)
+    #: Fleet throughput over single-node throughput.
+    scaling_vs_single: float = 0.0
+    bit_identical: bool = False
+    wrong_results: int = 0
+    #: Every offered request reached exactly one terminal state.
+    conservation_ok: bool = False
+    metrics: Dict[str, object] = field(default_factory=dict)
+
+    def to_json(self, indent: int = 2) -> str:
+        return json.dumps(self.__dict__, indent=indent, sort_keys=True, default=str)
+
+    def render(self) -> str:
+        lines = [
+            "cluster-bench report",
+            "--------------------",
+            f"fleet: {self.config.get('n_nodes')} nodes x "
+            f"{self.config.get('workers_per_node')} workers "
+            f"({', '.join(self.config.get('devices', []))}); "
+            f"rate {self.config.get('rate')}/s for "
+            f"{self.config.get('duration_s')}s",
+            f"offered {self.offered}; completed {self.completed} "
+            f"({self.throughput_rps:.1f} req/s), shed {self.shed}, "
+            f"timed out {self.timed_out}, failed {self.failed}",
+            f"routing: {self.spilled} spills, {self.retried} retries, "
+            f"{self.crashes} node crashes, {self.degrades} degrades, "
+            f"{self.plan_fetches} plan-replica fetches",
+            (
+                "latency  p50 {p50:.3f} ms   p95 {p95:.3f} ms   "
+                "p99 {p99:.3f} ms   mean {mean:.3f} ms"
+            ).format(
+                **{
+                    k: self.latency.get(k, 0.0) * 1e3
+                    for k in ("p50", "p95", "p99", "mean")
+                }
+            ),
+            f"fleet plan-cache hit rate {self.hit_rate * 100:.1f}%",
+        ]
+        if self.single_node:
+            lines.append(
+                f"single-node reference: "
+                f"{self.single_node.get('completed', 0):.0f} completed "
+                f"({self.single_node.get('throughput_rps', 0.0):.1f} req/s) "
+                f"-> fleet scaling {self.scaling_vs_single:.2f}x"
+            )
+        lines.append(
+            f"outputs bit-identical to single-node reference: "
+            f"{self.bit_identical} ({self.wrong_results} wrong)"
+        )
+        lines.append(f"request conservation: {self.conservation_ok}")
+        return "\n".join(lines)
+
+
+def run_cluster_bench(
+    *,
+    cases: Optional[Sequence[MatrixCase]] = None,
+    spec: Optional[WorkloadSpec] = None,
+    cluster: Optional[ClusterSpec] = None,
+    params: SpeckParams = DEFAULT_PARAMS,
+    faults: Optional[FaultPlan] = None,
+    compare_single: bool = True,
+) -> ClusterBenchReport:
+    """Drive the fleet with the serving workload; return the report.
+
+    ``compare_single`` additionally replays the identical workload
+    against a one-node fleet (same per-node resources, no fault plan) to
+    report throughput scaling; the correctness reference is always
+    computed regardless.
+    """
+    cases = list(cases) if cases is not None else serve_corpus()
+    # Default load deliberately oversubscribes one node (~20k req/s on the
+    # default device/corpus) by ~4x so fleet scaling is measurable.
+    spec = spec or WorkloadSpec(rate=80_000.0, duration_s=0.5, timeout_s=0.25)
+    cluster = cluster or ClusterSpec()
+
+    requests = build_requests(cases, spec)
+    reference = _reference_digests(requests, cluster.devices[0], params)
+
+    nodes = build_fleet(cluster, params)
+    run = _run_fleet(
+        requests, nodes, cluster, faults=faults, reference=reference
+    )
+
+    single: Dict[str, float] = {}
+    scaling = 0.0
+    if compare_single:
+        single_cluster = ClusterSpec(
+            n_nodes=1,
+            devices=cluster.devices[:1],
+            workers_per_node=cluster.workers_per_node,
+            plan_cache_mb=cluster.plan_cache_mb,
+            queue_depth=cluster.queue_depth,
+            spill_queue_depth=cluster.spill_queue_depth,
+            replicate_plans=cluster.replicate_plans,
+            max_retries=cluster.max_retries,
+            seed=cluster.seed,
+        )
+        single_nodes = build_fleet(single_cluster, params)
+        single_run = _run_fleet(
+            build_requests(cases, spec), single_nodes, single_cluster
+        )
+        s_completed = sum(1 for o in single_run.outcomes if o.ok)
+        single = {
+            "completed": float(s_completed),
+            "throughput_rps": s_completed / spec.duration_s,
+        }
+        fleet_completed = sum(1 for o in run.outcomes if o.ok)
+        if s_completed > 0:
+            scaling = fleet_completed / s_completed
+
+    outcomes = run.outcomes
+    completed = sum(1 for o in outcomes if o.ok)
+    snap = run.fleet.aggregate(
+        [nodes[n] for n in sorted(nodes)], run.router.plan_index, run.end_s
+    )
+    lat = snap["cluster"]["histograms"].get("cluster.latency_s", {})
+    fleet_stats = snap["fleet"]
+    report = ClusterBenchReport(
+        config={
+            "n_nodes": cluster.n_nodes,
+            "devices": [
+                cluster.devices[i % len(cluster.devices)]
+                for i in range(cluster.n_nodes)
+            ],
+            "workers_per_node": cluster.workers_per_node,
+            "queue_depth": cluster.queue_depth,
+            "spill_queue_depth": cluster.spill_queue_depth,
+            "replicate_plans": cluster.replicate_plans,
+            "max_retries": cluster.max_retries,
+            "rate": spec.rate,
+            "duration_s": spec.duration_s,
+            "zipf_alpha": spec.zipf_alpha,
+            "timeout_s": spec.timeout_s,
+            "seed": spec.seed,
+            "router_seed": cluster.seed,
+        },
+        offered=len(requests),
+        completed=completed,
+        shed=sum(1 for o in outcomes if o.status == "shed"),
+        timed_out=sum(1 for o in outcomes if o.status == "timeout"),
+        failed=sum(1 for o in outcomes if o.status == "failed"),
+        retried=run.retried,
+        spilled=run.router.spills,
+        crashes=int(
+            snap["cluster"]["counters"].get("cluster.node_crashes", 0)
+        ),
+        degrades=int(
+            snap["cluster"]["counters"].get("cluster.node_degrades", 0)
+        ),
+        plan_fetches=run.router.plan_index.fetches,
+        throughput_rps=completed / spec.duration_s,
+        latency={
+            k: float(lat.get(k, 0.0)) for k in ("mean", "p50", "p95", "p99")
+        },
+        hit_rate=float(fleet_stats["hit_rate"]),
+        single_node=single,
+        scaling_vs_single=scaling,
+        bit_identical=(
+            run.wrong_results == 0
+            and _verify_execute_identical(cases[0], cluster.devices[0], params)
+        ),
+        wrong_results=run.wrong_results,
+        conservation_ok=len(outcomes) == len(requests),
+        metrics=snap,
+    )
+    return report

@@ -1,0 +1,105 @@
+"""Fleet metrics: per-node registries rolled up into one cluster view.
+
+Each :class:`~repro.cluster.node.ClusterNode` keeps its own
+:class:`~repro.serve.metrics.MetricsRegistry` (the node *is* a complete
+single-host service), and the cluster keeps one more for fleet-level
+events the nodes cannot see — placements, spills, failover retries,
+crashes, plan-replica fetches, end-to-end latency across whichever node
+served the request.  :meth:`FleetMetrics.aggregate` merges both views
+into the single JSON-stable snapshot that ``cluster-bench --json``
+emits: fleet p50/p95/p99, totals summed across nodes, per-node hit
+rates and shed counts, and the plan-index replication counters.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+from ..serve.metrics import MetricsRegistry
+from .node import ClusterNode
+from .plan_index import PlanIndex
+
+__all__ = ["FleetMetrics"]
+
+
+class FleetMetrics:
+    """The cluster-level registry plus aggregation over node registries."""
+
+    def __init__(self) -> None:
+        self.registry = MetricsRegistry()
+
+    # -- recording helpers (thin, named for grepability) -----------------
+    def placement(self, how: str) -> None:
+        self.registry.counter(
+            f"cluster.placed_{how}", f"requests placed via {how}"
+        ).inc()
+
+    def completion(self, latency_s: float, service_s: float) -> None:
+        self.registry.counter("cluster.completed", "requests served").inc()
+        self.registry.histogram(
+            "cluster.latency_s", "arrival to completion, fleet-wide"
+        ).observe(latency_s)
+        self.registry.histogram(
+            "cluster.service_s", "modelled on-node service time"
+        ).observe(service_s)
+
+    def shed(self) -> None:
+        self.registry.counter("cluster.shed", "requests shed fleet-wide").inc()
+
+    def timeout(self) -> None:
+        self.registry.counter("cluster.timeouts", "queue deadline misses").inc()
+
+    def failed(self) -> None:
+        self.registry.counter("cluster.failed", "terminal failures").inc()
+
+    def retry(self, reason: str) -> None:
+        self.registry.counter("cluster.retries", "requests re-placed").inc()
+        self.registry.counter(
+            f"cluster.retries_{reason}", f"re-placements after {reason}"
+        ).inc()
+
+    def crash(self) -> None:
+        self.registry.counter("cluster.node_crashes", "whole-node crashes").inc()
+
+    def degrade(self) -> None:
+        self.registry.counter(
+            "cluster.node_degrades", "transient node degradations"
+        ).inc()
+
+    def plan_fetch(self, transfer_s: float) -> None:
+        self.registry.counter(
+            "cluster.plan_fetches", "plan replicas pulled from peers"
+        ).inc()
+        self.registry.histogram(
+            "cluster.plan_fetch_s", "modelled replica transfer seconds"
+        ).observe(transfer_s)
+
+    # ------------------------------------------------------------------
+    def aggregate(
+        self,
+        nodes: Sequence[ClusterNode],
+        plan_index: PlanIndex,
+        now: float,
+    ) -> Dict[str, object]:
+        """The fleet snapshot: cluster registry + rolled-up node stats."""
+        per_node: List[Dict[str, object]] = [n.snapshot(now) for n in nodes]
+        hits = sum(int(s["plan_cache"]["hits"]) for s in per_node)
+        misses = sum(int(s["plan_cache"]["misses"]) for s in per_node)
+        lat = self.registry.histogram(
+            "cluster.latency_s", "arrival to completion, fleet-wide"
+        )
+        return {
+            "fleet": {
+                "nodes": len(per_node),
+                "alive": sum(1 for s in per_node if s["state"] == "up"),
+                "latency": lat.snapshot(),
+                "plan_hits": hits,
+                "plan_misses": misses,
+                "hit_rate": hits / (hits + misses) if hits + misses else 0.0,
+                "sheds": sum(int(s["sheds"]) for s in per_node),
+                "dispatches": sum(int(s["dispatches"]) for s in per_node),
+            },
+            "cluster": self.registry.snapshot(),
+            "plan_index": plan_index.snapshot(),
+            "nodes": per_node,
+        }

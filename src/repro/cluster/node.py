@@ -1,0 +1,175 @@
+"""One serving node of the cluster: a `SpGEMMService` plus fleet state.
+
+A :class:`ClusterNode` wraps the single-host serving stack from
+:mod:`repro.serve` — service (engine + plan cache + metrics) and
+admission controller over one :class:`~repro.gpu.device.DeviceSpec` —
+and adds the state the cluster layer needs: a per-node request queue,
+simulated device streams (busy-until times in virtual seconds), health
+(`up`/`down`, plus a degraded-until horizon), and the per-node
+:class:`~repro.faults.FaultScope` that drives crash/degrade injection.
+
+Nodes hold state only; the event loop that moves virtual time lives in
+:mod:`repro.cluster.bench`, and placement policy in
+:mod:`repro.cluster.router`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from ..core.params import DEFAULT_PARAMS, SpeckParams
+from ..faults import FaultPlan, FaultScope, null_scope
+from ..gpu import DeviceSpec
+from ..result import SpGEMMResult
+from ..serve.admission import AdmissionController, AdmissionPolicy
+from ..serve.scheduler import Request
+from ..serve.service import SpGEMMService
+
+__all__ = ["ClusterNode", "InFlight"]
+
+
+@dataclass
+class InFlight:
+    """A request currently occupying one of a node's device streams."""
+
+    request: Request
+    worker: int
+    start_s: float
+    finish_s: float
+    result: SpGEMMResult
+    cache_hit: bool
+    #: Modelled interconnect seconds spent fetching a peer's plan replica
+    #: before this run (0 when served from the local cache or cold).
+    plan_fetch_s: float = 0.0
+
+
+class ClusterNode:
+    """One member of the serving fleet.
+
+    Parameters mirror :class:`~repro.serve.service.SpGEMMService` /
+    :class:`~repro.serve.admission.AdmissionPolicy`; ``n_workers`` is the
+    number of simulated device streams draining this node's queue.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        device: DeviceSpec,
+        params: SpeckParams = DEFAULT_PARAMS,
+        *,
+        n_workers: int = 2,
+        plan_cache_bytes: int = 256 * 1024 * 1024,
+        policy: Optional[AdmissionPolicy] = None,
+        context_cache_entries: int = 32,
+    ) -> None:
+        if n_workers < 1:
+            raise ValueError("a node needs at least one worker")
+        self.name = name
+        self.device = device
+        self.service = SpGEMMService(
+            device,
+            params,
+            plan_cache_bytes=plan_cache_bytes,
+            context_cache_entries=context_cache_entries,
+        )
+        self.admission = AdmissionController(device, policy)
+        self.workers: List[float] = [0.0] * int(n_workers)
+        self.queue: List[Request] = []
+        self.inflight: List[InFlight] = []
+        #: Conservative committed bytes of queued + in-flight requests.
+        self.committed = 0
+        self.inflight_bytes: Dict[int, int] = {}
+        self.state = "up"  # "up" | "down"
+        self.degraded_until = 0.0
+        #: Dispatches attempted on this node (the fault sites' counter).
+        self.dispatches = 0
+        self.scope: FaultScope = null_scope(name, "cluster")
+
+    # ------------------------------------------------------------------
+    def bind_faults(self, plan: Optional[FaultPlan]) -> None:
+        """Attach the run's fault plan; node rules key on this node's name."""
+        self.scope = (
+            plan.scope(self.name, "cluster") if plan is not None else null_scope(self.name)
+        )
+
+    @property
+    def alive(self) -> bool:
+        return self.state == "up"
+
+    def degraded(self, now: float) -> bool:
+        return now < self.degraded_until
+
+    @property
+    def queue_depth(self) -> int:
+        return len(self.queue)
+
+    @property
+    def plan_compat(self) -> str:
+        """Plans transfer only between nodes with identical device+params
+        (binning and kernel-config decisions are device-derived)."""
+        return f"{self.device.name}|{self.service.engine.params!r}"
+
+    # ------------------------------------------------------------------
+    def idle_workers(self, now: float) -> List[int]:
+        return [w for w, busy in enumerate(self.workers) if busy <= now]
+
+    def next_free_s(self, now: float) -> Optional[float]:
+        """Earliest future worker-free time, ``None`` if all idle."""
+        busy = [t for t in self.workers if t > now]
+        return min(busy) if busy else None
+
+    def enqueue(self, req: Request, est_bytes: int) -> None:
+        self.queue.append(req)
+        self.inflight_bytes[req.id] = est_bytes
+        self.committed += est_bytes
+
+    def release(self, request_id: int) -> None:
+        """Return a request's committed bytes (on any terminal state)."""
+        self.committed -= self.inflight_bytes.pop(request_id, 0)
+
+    def drain_for_failover(self) -> List[Request]:
+        """Crash handling: strip all queued + in-flight requests.
+
+        Returns them for rerouting; their committed bytes are released
+        and the streams cleared.  The caller marks the node down.
+        """
+        stranded = [inf.request for inf in self.inflight] + list(self.queue)
+        self.inflight.clear()
+        self.queue.clear()
+        for req in stranded:
+            self.release(req.id)
+        self.workers = [0.0] * len(self.workers)
+        return stranded
+
+    # ------------------------------------------------------------------
+    def snapshot(self, now: float) -> Dict[str, object]:
+        """Per-node slice of the fleet report (JSON-stable ordering)."""
+        stats = self.service.plans.stats()
+        return {
+            "name": self.name,
+            "device": self.device.name,
+            "state": self.state,
+            "degraded": self.degraded(now),
+            "workers": len(self.workers),
+            "dispatches": self.dispatches,
+            "queue_depth": self.queue_depth,
+            "sheds": self.admission.sheds,
+            "shed_reasons": dict(sorted(self.admission.shed_reasons.items())),
+            "plan_cache": {
+                "hits": stats.hits,
+                "misses": stats.misses,
+                "inserts": stats.inserts,
+                "evictions": stats.evictions,
+                "entries": stats.entries,
+                "bytes_cached": stats.bytes_cached,
+                "hit_rate": stats.hit_rate,
+            },
+            "metrics": self.service.metrics.snapshot(),
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"ClusterNode({self.name!r}, {self.device.name!r}, "
+            f"state={self.state!r}, queue={self.queue_depth})"
+        )

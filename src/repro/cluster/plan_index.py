@@ -1,0 +1,128 @@
+"""The cluster plan index: who holds which plan, and what a fetch costs.
+
+Consistent hashing gives each operand structure a *home* node whose plan
+cache absorbs its reuse.  But requests do not always run at home — load
+spills, failover after a crash — and a node serving a foreign structure
+cold would pay the full analysis + symbolic pipeline that the plan cache
+exists to avoid.  The :class:`PlanIndex` is the cluster-level directory
+that fixes this: it records, per plan key, which nodes hold a populated
+plan, so a spilled request can *fetch a replica* from a peer over the
+interconnect instead of recomputing.
+
+The fetch is not free: the transfer of the plan's arrays is charged at
+the NVLink-class link constants from :mod:`repro.extensions.multigpu`
+(the same constants the multi-GPU extension uses for its B broadcast).
+It is, however, far cheaper than recomputation for every plan bigger
+than a few kilobytes — and the adopted replica makes every subsequent
+request for that structure on the spill node a local hit.
+
+Plans are structure-derived **and device-derived** (binning and kernel
+configurations depend on the device), so replicas only move between
+nodes with an identical compatibility key (device + params); an
+incompatible peer plan is recomputed, never transferred.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Dict, List, Optional, Tuple
+
+from ..extensions.multigpu import LINK_BW, LINK_LATENCY
+from ..serve.plan_cache import CachedPlan
+
+__all__ = ["PlanIndex", "plan_transfer_s"]
+
+PlanKey = Tuple[str, str]
+
+
+def plan_transfer_s(nbytes: int) -> float:
+    """Modelled seconds to move a plan replica between two nodes."""
+    return nbytes / LINK_BW + LINK_LATENCY
+
+
+class PlanIndex:
+    """Directory of populated plans across the fleet.
+
+    The index stores *locations only*, never plan objects — the plans
+    stay in each node's own byte-budgeted cache, and a location is
+    dropped when the holder evicts (lazily: a failed fetch unregisters)
+    or crashes (:meth:`drop_node`).
+    """
+
+    def __init__(self) -> None:
+        self._where: Dict[PlanKey, List[str]] = {}
+        self.fetches = 0
+        self.fetched_bytes = 0
+        self.misses = 0
+
+    # ------------------------------------------------------------------
+    def note(self, key: PlanKey, node: str) -> None:
+        """Record that ``node`` holds a populated plan for ``key``."""
+        holders = self._where.setdefault(key, [])
+        if node not in holders:
+            holders.append(node)
+            holders.sort()  # deterministic fetch order
+
+    def drop_node(self, node: str) -> None:
+        """Forget every location on ``node`` (crash / decommission)."""
+        for key in list(self._where):
+            holders = [n for n in self._where[key] if n != node]
+            if holders:
+                self._where[key] = holders
+            else:
+                del self._where[key]
+
+    def holders(self, key: PlanKey) -> List[str]:
+        return list(self._where.get(key, ()))
+
+    # ------------------------------------------------------------------
+    def fetch(
+        self,
+        key: PlanKey,
+        requester: "object",
+        peers: Dict[str, "object"],
+    ) -> Tuple[Optional[CachedPlan], float]:
+        """Try to pull a replica of ``key`` for ``requester``.
+
+        ``peers`` maps node name → :class:`~repro.cluster.node.ClusterNode`
+        (alive nodes only).  Returns ``(plan, transfer_s)``; ``(None, 0.0)``
+        when no compatible live holder has the plan.  The replica is a
+        shallow copy with its own hit counter, adopted into the
+        requester's cache (so it is budget-accounted and evictable there
+        like any local plan).
+        """
+        for holder_name in self.holders(key):
+            if holder_name == getattr(requester, "name", None):
+                continue
+            holder = peers.get(holder_name)
+            if holder is None or not holder.alive:
+                continue
+            if holder.plan_compat != requester.plan_compat:
+                continue
+            plan = holder.service.plans.peek(key)
+            if plan is None:
+                # The holder evicted since we recorded it; unregister.
+                self._where[key] = [
+                    n for n in self._where.get(key, ()) if n != holder_name
+                ]
+                continue
+            replica = replace(plan, hits=0)
+            adopted = requester.service.plans.adopt(replica)
+            nbytes = adopted.nbytes()
+            self.fetches += 1
+            self.fetched_bytes += nbytes
+            self.note(key, requester.name)
+            return adopted, plan_transfer_s(nbytes)
+        self.misses += 1
+        return None, 0.0
+
+    def snapshot(self) -> Dict[str, object]:
+        return {
+            "plans_indexed": len(self._where),
+            "replicated_plans": sum(
+                1 for holders in self._where.values() if len(holders) > 1
+            ),
+            "fetches": self.fetches,
+            "fetched_bytes": self.fetched_bytes,
+            "misses": self.misses,
+        }

@@ -1,0 +1,181 @@
+"""Request placement: plan-cache affinity first, load awareness second.
+
+The router's contract balances two forces that pull in opposite
+directions.  Plan-cache hit rate wants *affinity*: every request for a
+structure should land on the same node, so one cold analysis serves the
+whole stream.  Tail latency under skew wants *spreading*: a Zipf-hot
+structure routed strictly by hash turns its home node into a hotspot
+while the rest of the fleet idles.
+
+Placement therefore proceeds in two steps:
+
+1. **Home by consistent hash.**  The request key is the pair of operand
+   structural fingerprints (exactly the plan-cache key), routed on the
+   :class:`~repro.cluster.ring.HashRing` of *alive* nodes.  While the
+   home is healthy, affinity wins and the stream stays cache-hot.
+2. **Power-of-two-choices spill.**  When the home is unhealthy — down,
+   degraded, queue deeper than ``spill_queue_depth``, or without memory
+   headroom for this request (the same conservative footprint estimate
+   the :class:`~repro.serve.admission.AdmissionController` sheds on) —
+   the router draws two deterministic candidates from the alive fleet
+   and dispatches to the shorter queue.  Two random choices are the
+   classical exponential improvement over one; determinism comes from
+   hashing ``(seed, request id, attempt)`` rather than sampling an RNG,
+   so a re-run of the same workload makes identical decisions.
+
+A spilled request pays a plan-replica fetch (see
+:class:`~repro.cluster.plan_index.PlanIndex`) instead of a cold
+recompute whenever a compatible peer holds the plan.
+
+Membership changes route through :meth:`ClusterRouter.mark_down`: the
+crashed node leaves the ring (its arcs fall to ring successors — only
+its keys move), the plan index forgets its replicas, and its stranded
+requests are handed back for re-placement on the survivors.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from ..serve.scheduler import Request
+from .node import ClusterNode
+from .plan_index import PlanIndex
+from .ring import HashRing, stable_hash
+
+__all__ = ["RoutingPolicy", "ClusterRouter", "request_key"]
+
+
+def request_key(req: Request) -> str:
+    """The placement key: structural fingerprints of both operands.
+
+    Identical to the plan-cache key, which is the whole point — routing
+    affinity and cache affinity coincide.
+    """
+    return f"{req.a.fingerprint()}|{req.b.fingerprint()}"
+
+
+@dataclass(frozen=True)
+class RoutingPolicy:
+    """Thresholds and knobs of the placement policy."""
+
+    #: Home queue depth at which requests start spilling to peers.
+    spill_queue_depth: int = 8
+    #: Salt of the deterministic power-of-two candidate draws.
+    seed: int = 0
+    #: Fetch plan replicas from peers for spilled/failover requests.
+    replicate_plans: bool = True
+    #: Virtual nodes per member on the hash ring.
+    vnodes: int = 64
+
+    def __post_init__(self) -> None:
+        if self.spill_queue_depth < 1:
+            raise ValueError("spill_queue_depth must be >= 1")
+
+
+class ClusterRouter:
+    """Places requests onto a fleet of :class:`ClusterNode`."""
+
+    def __init__(
+        self,
+        nodes: Dict[str, ClusterNode],
+        policy: Optional[RoutingPolicy] = None,
+    ) -> None:
+        if not nodes:
+            raise ValueError("a cluster needs at least one node")
+        self.nodes = dict(sorted(nodes.items()))
+        self.policy = policy or RoutingPolicy()
+        self.ring = HashRing(self.nodes, vnodes=self.policy.vnodes)
+        self.plan_index = PlanIndex()
+        self.spills = 0
+        self.home_placements = 0
+
+    # ------------------------------------------------------------------
+    def alive_nodes(self) -> List[ClusterNode]:
+        return [n for n in self.nodes.values() if n.alive]
+
+    def healthy(self, node: ClusterNode, now: float, est_bytes: int) -> bool:
+        """Is ``node`` a good home for a request of ``est_bytes`` now?
+
+        Stricter than admission (which sheds): an unhealthy-but-admitting
+        node is exactly the case where spilling beats queueing.
+        """
+        if not node.alive or node.degraded(now):
+            return False
+        if node.queue_depth >= self.policy.spill_queue_depth:
+            return False
+        limit = node.admission.memory_limit
+        return node.committed + est_bytes <= limit
+
+    # ------------------------------------------------------------------
+    def place(
+        self, req: Request, now: float
+    ) -> Tuple[Optional[ClusterNode], str]:
+        """Choose the node to enqueue ``req`` on.
+
+        Returns ``(node, how)`` with ``how`` in ``{"home", "spill"}``, or
+        ``(None, "no_nodes")`` when the whole fleet is down.
+        """
+        alive = self.alive_nodes()
+        if not alive:
+            return None, "no_nodes"
+        home = self.nodes[self.ring.route(request_key(req))]
+        est = home.admission.estimate_bytes(req.input_bytes())
+        if self.healthy(home, now, est):
+            self.home_placements += 1
+            return home, "home"
+        if len(alive) == 1:
+            # Nowhere to spill; the single node's admission decides.
+            self.home_placements += 1
+            return home if home.alive else alive[0], "home"
+        # Power of two choices over the alive fleet (deterministic draws).
+        names = [n.name for n in alive]
+        salt = f"{self.policy.seed}:{req.id}:{req.attempts}"
+        c1 = alive[stable_hash(f"p2c:{salt}:a") % len(names)]
+        c2 = alive[stable_hash(f"p2c:{salt}:b") % len(names)]
+        target = min((c1, c2), key=lambda n: (n.queue_depth, n.name))
+        if not target.alive:  # pragma: no cover - alive list is prefiltered
+            return None, "no_nodes"
+        if target.name == home.name:
+            self.home_placements += 1
+            return target, "home"
+        self.spills += 1
+        return target, "spill"
+
+    # ------------------------------------------------------------------
+    def mark_down(self, node: ClusterNode) -> List[Request]:
+        """Remove a crashed node from the fleet.
+
+        The ring rebalances (only the dead node's keys move), the plan
+        index forgets its replicas, and the node's stranded queued and
+        in-flight requests are returned for re-placement.
+        """
+        node.state = "down"
+        if node.name in self.ring:
+            self.ring.remove(node.name)
+        self.plan_index.drop_node(node.name)
+        return node.drain_for_failover()
+
+    # ------------------------------------------------------------------
+    def fetch_plan_for(
+        self, node: ClusterNode, req: Request
+    ) -> Tuple[bool, float]:
+        """Before a dispatch: pull a plan replica if one exists elsewhere.
+
+        Returns ``(fetched, transfer_s)``.  A no-op when replication is
+        off, when the node already holds the plan, or when no compatible
+        live peer has it.
+        """
+        if not self.policy.replicate_plans:
+            return False, 0.0
+        key = (req.a.fingerprint(), req.b.fingerprint())
+        if node.service.plans.peek(key) is not None:
+            return False, 0.0
+        plan, transfer_s = self.plan_index.fetch(key, node, self.nodes)
+        return plan is not None, transfer_s
+
+    def note_plan(self, node: ClusterNode, req: Request) -> None:
+        """After a dispatch: index the plan the node now holds."""
+        key = (req.a.fingerprint(), req.b.fingerprint())
+        if node.service.plans.peek(key) is not None:
+            self.plan_index.note(key, node.name)

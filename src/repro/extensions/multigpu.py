@@ -29,17 +29,29 @@ import numpy as np
 from ..core.context import MultiplyContext, device_csr_bytes
 from ..core.params import DEFAULT_PARAMS, SpeckParams
 from ..core.speck import SpeckEngine
+from ..faults import FailureInfo, FaultPlan
 from ..gpu import DeviceSpec, TITAN_V
 from ..kernels.reference import row_products
 from ..matrices.csr import CSR
 from .partitioned import _stack_rows
 
-__all__ = ["MultiGpuResult", "partition_rows", "multigpu_multiply"]
+__all__ = [
+    "MultiGpuResult",
+    "partition_rows",
+    "multigpu_multiply",
+    "LINK_BW",
+    "LINK_LATENCY",
+]
 
-#: NVLink-class device-to-device bandwidth, bytes/second.
-_LINK_BW = 45.0e9
+#: NVLink-class device-to-device bandwidth, bytes/second.  Shared with
+#: the cluster layer's modelled plan-replica transfers.
+LINK_BW = 45.0e9
 #: Per-transfer latency, seconds.
-_LINK_LATENCY = 5.0e-6
+LINK_LATENCY = 5.0e-6
+
+# Backwards-compatible aliases (pre-cluster private names).
+_LINK_BW = LINK_BW
+_LINK_LATENCY = LINK_LATENCY
 
 
 @dataclass
@@ -56,6 +68,8 @@ class MultiGpuResult:
     per_device: List[object] = field(default_factory=list)
     valid: bool = True
     failure: str = ""
+    #: Structured failure taxonomy of the failing device's run, when any.
+    failure_info: Optional[FailureInfo] = None
 
     @property
     def compute_s(self) -> float:
@@ -112,6 +126,8 @@ def multigpu_multiply(
     balance: str = "products",
     compute_result: bool = True,
     gather: bool = False,
+    faults: Optional[FaultPlan] = None,
+    case_name: str = "",
 ) -> MultiGpuResult:
     """``C = A · B`` across ``n_devices`` row-partitioned simulated GPUs.
 
@@ -119,6 +135,13 @@ def multigpu_multiply(
     paper's "shared matrix storage" vision, appropriate when C feeds the
     next distributed operation.  ``gather=True`` adds the interconnect
     cost of collecting all slabs onto one device.
+
+    A :class:`~repro.faults.FaultPlan` is threaded into every per-device
+    run; each device gets its own scope (tagged ``case_name/devN``), so
+    rules can target a single device with ``matrix=*/dev2``.  Retryable
+    faults go through the engine's own fallback first; a device that
+    still fails poisons the whole multiplication, reported with its
+    structured ``failure_info``.
     """
     bounds = partition_rows(a, b, n_devices, balance=balance)
     engine = SpeckEngine(device, params)
@@ -144,6 +167,8 @@ def multigpu_multiply(
             slabs.append(_empty_slab(0, b.cols))
             continue
         ctx = MultiplyContext(a_slab, b)
+        ctx.faults = faults
+        ctx.case_name = f"{case_name}/dev{d}" if case_name else f"dev{d}"
         res = engine.multiply(a_slab, b, ctx=ctx)
         if not res.valid:
             return MultiGpuResult(
@@ -155,6 +180,7 @@ def multigpu_multiply(
                 device_times=device_times,
                 valid=False,
                 failure=f"device {d}: {res.failure}",
+                failure_info=res.failure_info,
             )
         per_device.append(res)
         device_times.append(res.time_s)

@@ -28,17 +28,30 @@ import numpy as np
 from ..core.context import MultiplyContext, device_csr_bytes
 from ..core.params import DEFAULT_PARAMS, SpeckParams
 from ..core.speck import SpeckEngine
+from ..faults import FailureInfo, FaultPlan
 from ..gpu import DeviceSpec, TITAN_V
 from ..kernels.reference import row_products
 from ..matrices.csr import CSR, INDEX_DTYPE, VALUE_DTYPE
 from ..result import SpGEMMResult
 
-__all__ = ["SlabPlan", "plan_slabs", "partitioned_multiply", "PartitionedResult"]
+__all__ = [
+    "SlabPlan",
+    "plan_slabs",
+    "partitioned_multiply",
+    "PartitionedResult",
+    "TRANSFER_BW",
+    "TRANSFER_LATENCY",
+]
 
-#: PCIe-class host-device transfer bandwidth, bytes/second.
-_TRANSFER_BW = 12.0e9
+#: PCIe-class host-device transfer bandwidth, bytes/second.  Shared with
+#: the cluster layer's modelled cross-host fallback transfers.
+TRANSFER_BW = 12.0e9
 #: Fixed latency of one host-device transfer, seconds.
-_TRANSFER_LATENCY = 10.0e-6
+TRANSFER_LATENCY = 10.0e-6
+
+# Backwards-compatible aliases (pre-cluster private names).
+_TRANSFER_BW = TRANSFER_BW
+_TRANSFER_LATENCY = TRANSFER_LATENCY
 
 
 @dataclass
@@ -69,6 +82,9 @@ class PartitionedResult:
     per_slab: List[SpGEMMResult] = field(default_factory=list)
     valid: bool = True
     failure: str = ""
+    #: Structured failure taxonomy of the failing slab's run (or of the
+    #: planner, ``kind="limitation"``), when any.
+    failure_info: Optional[FailureInfo] = None
 
 
 def plan_slabs(
@@ -120,12 +136,21 @@ def partitioned_multiply(
     params: SpeckParams = DEFAULT_PARAMS,
     budget_bytes: Optional[int] = None,
     compute_result: bool = True,
+    faults: Optional[FaultPlan] = None,
+    case_name: str = "",
 ) -> PartitionedResult:
     """``C = A · B`` in device-memory-bounded slabs of A.
 
     ``budget_bytes`` defaults to the device's global memory.  Each slab
     pays its transfer (slab of A in, slab of C out; B is uploaded once)
     and a full spECK invocation.
+
+    A :class:`~repro.faults.FaultPlan` is threaded into every slab run;
+    each slab gets its own scope (tagged ``case_name/slabN``), so rules
+    can target one slab with ``matrix=*/slab1``.  Retryable faults go
+    through the engine's fallback first; a slab that still fails poisons
+    the whole multiplication, reported with its structured
+    ``failure_info``.
     """
     budget = int(budget_bytes if budget_bytes is not None else device.global_mem_bytes)
     try:
@@ -140,6 +165,13 @@ def partitioned_multiply(
             compute_s=0.0,
             valid=False,
             failure=str(err),
+            failure_info=FailureInfo(
+                kind="limitation",
+                stage="slab_planning",
+                tag=case_name,
+                message=str(err),
+                retryable=False,
+            ),
         )
 
     engine = SpeckEngine(device, params)
@@ -154,6 +186,8 @@ def partitioned_multiply(
         lo, hi = plan.slab(s)
         a_slab = a.select_rows(range(lo, hi))
         ctx = MultiplyContext(a_slab, b)
+        ctx.faults = faults
+        ctx.case_name = f"{case_name}/slab{s}" if case_name else f"slab{s}"
         res = engine.multiply(a_slab, b, ctx=ctx)
         if not res.valid:
             return PartitionedResult(
@@ -166,6 +200,7 @@ def partitioned_multiply(
                 per_slab=per_slab,
                 valid=False,
                 failure=f"slab {s}: {res.failure}",
+                failure_info=res.failure_info,
             )
         per_slab.append(res)
         compute_s += res.time_s

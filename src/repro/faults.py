@@ -47,8 +47,11 @@ __all__ = [
     "FaultSpecError",
 ]
 
-#: Injection sites a rule may target.
-SITES = ("alloc", "launch", "spill")
+#: Injection sites a rule may target.  ``alloc``/``launch``/``spill`` are
+#: consulted inside one engine run; ``node_crash``/``node_degrade`` are
+#: cluster-level sites consulted once per dispatch on a serving node
+#: (the rule's *method* glob matches the node name).
+SITES = ("alloc", "launch", "spill", "node_crash", "node_degrade")
 
 
 # ---------------------------------------------------------------------------
@@ -361,6 +364,20 @@ class FaultScope:
         global-memory hash-map spill path for this pass."""
         return self._consult("spill", stage, None) is not None
 
+    # -- cluster-level sites ----------------------------------------------
+    def node_crash(self, tag: str = "") -> bool:
+        """Consulted by a cluster node once per dispatch: ``True`` means
+        the whole node crashes now.  Never raises — the cluster's failover
+        path reroutes the node's work instead of unwinding a stack."""
+        return self._consult("node_crash", tag or self.method, None) is not None
+
+    def node_degrade(self, tag: str = "") -> bool:
+        """Consulted by a cluster node once per dispatch: ``True`` puts
+        the node into a temporarily degraded (slowed) state.  Transient
+        rules model degradation that clears; persistent rules keep the
+        node degraded for the whole run."""
+        return self._consult("node_degrade", tag or self.method, None) is not None
+
 
 #: Shared inert scope for algorithms running without a fault plan.
 def null_scope(method: str = "", matrix: str = "") -> FaultScope:
@@ -380,6 +397,8 @@ def parse_fault_spec(spec: str) -> FaultPlan:
         entry ::= "seed=" INT | rule
         rule  ::= site ["@" method-glob] (":" option)*
         site  ::= "alloc" | "launch" | "spill"
+                | "node_crash" | "node_degrade"   -- cluster nodes only;
+                                                  -- method-glob = node name
         option::= "n=" INT        -- fire on the Nth site event (1-based)
                 | "bytes=" INT    -- alloc only: requests >= this size
                 | "matrix=" GLOB  -- restrict to matching case names
@@ -393,6 +412,8 @@ def parse_fault_spec(spec: str) -> FaultPlan:
         alloc@spECK:n=2:transient       # spECK's 2nd alloc fails once, retry ok
         launch@nsparse:matrix=rmat_*    # nsparse launches fail on rmat cases
         seed=7;alloc:p=0.05             # 5% of allocations fail, seeded
+        node_crash@node-1:n=200         # node-1 dies at its 200th dispatch
+        node_degrade@node-*:p=0.001:transient  # rare transient slowdowns
     """
     rules: List[FaultRule] = []
     seed = 0

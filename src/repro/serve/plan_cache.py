@@ -125,8 +125,15 @@ class PlanCacheStats:
     hits: int = 0
     misses: int = 0
     evictions: int = 0
+    #: Plans that became resident: cold populations plus adopted replicas.
+    inserts: int = 0
     bytes_cached: int = 0
     entries: int = 0
+    #: Lifetime hits per fingerprint-pair key (``"fpA|fpB"``), hottest
+    #: structures first — the cluster :class:`~repro.cluster.PlanIndex`
+    #: uses this to decide what is worth replicating, and ``serve-bench``
+    #: reports it as the per-structure reuse breakdown.
+    per_key_hits: Dict[str, int] = field(default_factory=dict)
     extra: Dict[str, int] = field(default_factory=dict)
 
     @property
@@ -155,6 +162,8 @@ class PlanCache:
         self.hits = 0
         self.misses = 0
         self.evictions = 0
+        self.inserts = 0
+        self._key_hits: Dict[str, int] = {}
 
     # ------------------------------------------------------------------
     def get_or_create(self, a: CSR, b: CSR) -> Tuple[CachedPlan, bool]:
@@ -172,6 +181,8 @@ class PlanCache:
                 self._plans.move_to_end(key)
                 plan.hits += 1
                 self.hits += 1
+                ks = "|".join(key)
+                self._key_hits[ks] = self._key_hits.get(ks, 0) + 1
                 return plan, True
             self.misses += 1
             if plan is None:
@@ -185,9 +196,43 @@ class PlanCache:
         with self._lock:
             if plan.key in self._plans:
                 self._plans.move_to_end(plan.key)
+                if plan.ready:
+                    self.inserts += 1
             elif plan.ready and plan.nbytes() <= self.max_bytes:
                 self._plans[plan.key] = plan
+                self.inserts += 1
             self._evict_locked()
+
+    # ------------------------------------------------------------------
+    def peek(self, key: Tuple[str, str]) -> Optional[CachedPlan]:
+        """The *ready* plan under ``key``, or ``None`` — stat-neutral.
+
+        Used by cluster peers fetching a replica: a remote lookup is
+        neither a local hit nor a miss, and must not disturb the LRU
+        order of the serving node.
+        """
+        with self._lock:
+            plan = self._plans.get(key)
+            return plan if plan is not None and plan.ready else None
+
+    def adopt(self, plan: CachedPlan) -> CachedPlan:
+        """Insert a ready plan produced elsewhere (a replicated peer plan).
+
+        Counts as an insert, enforces the byte budget, and returns the
+        resident plan — the existing one if a concurrent multiply already
+        populated this key locally.
+        """
+        if not plan.ready:
+            raise ValueError("only populated plans can be adopted")
+        with self._lock:
+            existing = self._plans.get(plan.key)
+            if existing is not None and existing.ready:
+                return existing
+            self._plans[plan.key] = plan
+            self._plans.move_to_end(plan.key)
+            self.inserts += 1
+            self._evict_locked()
+            return plan
 
     def _evict_locked(self) -> None:
         while self._bytes_locked() > self.max_bytes and self._plans:
@@ -220,12 +265,17 @@ class PlanCache:
 
     def stats(self) -> PlanCacheStats:
         with self._lock:
+            per_key = dict(
+                sorted(self._key_hits.items(), key=lambda kv: (-kv[1], kv[0]))
+            )
             return PlanCacheStats(
                 hits=self.hits,
                 misses=self.misses,
                 evictions=self.evictions,
+                inserts=self.inserts,
                 bytes_cached=self._bytes_locked(),
                 entries=len(self._plans),
+                per_key_hits=per_key,
             )
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

@@ -164,8 +164,11 @@ class SpGEMMService:
             "hits": stats.hits,
             "misses": stats.misses,
             "evictions": stats.evictions,
+            "inserts": stats.inserts,
             "bytes_cached": stats.bytes_cached,
             "entries": stats.entries,
             "hit_rate": stats.hit_rate,
+            # Hottest structures first; bounded so snapshots stay small.
+            "per_key_hits": dict(list(stats.per_key_hits.items())[:16]),
         }
         return snap

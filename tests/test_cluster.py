@@ -1,0 +1,377 @@
+"""Tests for repro.cluster: ring, routing, replication, failover, bench.
+
+Workloads here are deliberately tiny (hundreds of virtual requests) —
+the heavy scaling run lives in ``benchmarks/test_cluster_scaling.py``.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster import (
+    ClusterSpec,
+    HashRing,
+    PlanIndex,
+    RoutingPolicy,
+    build_fleet,
+    plan_transfer_s,
+    run_cluster_bench,
+    stable_hash,
+)
+from repro.core.params import DEFAULT_PARAMS
+from repro.faults import parse_fault_spec
+from repro.gpu.presets import PRESETS
+from repro.serve.plan_cache import PlanCache
+from repro.serve.workload import WorkloadSpec, serve_corpus
+
+
+@pytest.fixture(scope="module")
+def corpus():
+    return serve_corpus()
+
+
+def small_spec(**kw):
+    base = dict(rate=3000.0, duration_s=0.1, timeout_s=0.1, seed=0)
+    base.update(kw)
+    return WorkloadSpec(**base)
+
+
+# ---------------------------------------------------------------------------
+# Hash ring
+# ---------------------------------------------------------------------------
+class TestHashRing:
+    def test_stable_hash_is_stable(self):
+        # Pinned value: must never change across processes or versions
+        # (routing and the fault PRNG both depend on it).
+        assert stable_hash("speck") == stable_hash("speck")
+        assert stable_hash("a") != stable_hash("b")
+
+    def test_route_uses_only_members(self):
+        ring = HashRing(["n1", "n2", "n3"])
+        owners = {ring.route(f"key-{i}") for i in range(200)}
+        assert owners <= {"n1", "n2", "n3"}
+        assert len(owners) == 3  # 200 keys spread over every member
+
+    def test_duplicate_member_rejected(self):
+        ring = HashRing(["n1"])
+        with pytest.raises(ValueError):
+            ring.add("n1")
+
+    def test_remove_unknown_member_rejected(self):
+        with pytest.raises(KeyError):
+            HashRing(["n1"]).remove("n2")
+
+    def test_preference_lists_distinct_members(self):
+        ring = HashRing([f"m{i}" for i in range(5)])
+        pref = ring.preference("some-key", 3)
+        assert len(pref) == len(set(pref)) == 3
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        n_members=st.integers(min_value=2, max_value=8),
+        victim=st.integers(min_value=0, max_value=7),
+        key_seed=st.integers(min_value=0, max_value=1000),
+    )
+    def test_leave_moves_only_the_victims_keys(
+        self, n_members, victim, key_seed
+    ):
+        members = [f"m{i}" for i in range(n_members)]
+        ring = HashRing(members)
+        keys = [f"k{key_seed}-{i}" for i in range(120)]
+        before = {k: ring.route(k) for k in keys}
+        gone = members[victim % n_members]
+        ring.remove(gone)
+        for k in keys:
+            if before[k] != gone:
+                assert ring.route(k) == before[k]
+            else:
+                assert ring.route(k) != gone
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        n_members=st.integers(min_value=1, max_value=8),
+        key_seed=st.integers(min_value=0, max_value=1000),
+    )
+    def test_join_moves_keys_only_to_the_newcomer(self, n_members, key_seed):
+        members = [f"m{i}" for i in range(n_members)]
+        ring = HashRing(members)
+        keys = [f"k{key_seed}-{i}" for i in range(120)]
+        before = {k: ring.route(k) for k in keys}
+        ring.add("newcomer")
+        for k in keys:
+            after = ring.route(k)
+            assert after == before[k] or after == "newcomer"
+
+
+# ---------------------------------------------------------------------------
+# Plan cache: peek / adopt / counters
+# ---------------------------------------------------------------------------
+class TestPlanCacheClusterApi:
+    def _warm_cache(self, corpus):
+        from repro.serve.service import SpGEMMService
+
+        svc = SpGEMMService(PRESETS["titan-v"], DEFAULT_PARAMS)
+        a, b = corpus[0].matrices()
+        svc.multiply(a, b)
+        svc.multiply(a, b)
+        return svc, (a.fingerprint(), b.fingerprint())
+
+    def test_peek_returns_ready_plan_without_stats(self, corpus):
+        svc, key = self._warm_cache(corpus)
+        before = svc.plans.stats()
+        plan = svc.plans.peek(key)
+        assert plan is not None and plan.ready
+        after = svc.plans.stats()
+        assert (after.hits, after.misses) == (before.hits, before.misses)
+
+    def test_peek_unknown_key_is_none(self, corpus):
+        svc, _ = self._warm_cache(corpus)
+        assert svc.plans.peek(("nope", "nope")) is None
+
+    def test_adopt_inserts_and_counts(self, corpus):
+        svc, key = self._warm_cache(corpus)
+        plan = svc.plans.peek(key)
+        other = PlanCache(max_bytes=1 << 30)
+        adopted = other.adopt(plan)
+        assert adopted is plan or adopted.ready
+        stats = other.stats()
+        assert stats.inserts == 1
+        assert stats.entries == 1
+        assert other.peek(key) is not None
+
+    def test_adopt_rejects_unready_plan(self):
+        from repro.serve.plan_cache import CachedPlan
+
+        cache = PlanCache(max_bytes=1 << 20)
+        with pytest.raises(ValueError):
+            cache.adopt(CachedPlan(key=("x", "y")))
+
+    def test_insert_and_per_key_hit_counters(self, corpus):
+        svc, key = self._warm_cache(corpus)
+        stats = svc.plans.stats()
+        assert stats.inserts == 1
+        assert stats.hits == 1
+        ks = "|".join(key)
+        assert stats.per_key_hits.get(ks) == 1
+
+    def test_service_snapshot_surfaces_new_counters(self, corpus):
+        svc, _ = self._warm_cache(corpus)
+        snap = svc.snapshot()
+        assert snap["plan_cache"]["inserts"] == 1
+        assert isinstance(snap["plan_cache"]["per_key_hits"], dict)
+        assert sum(snap["plan_cache"]["per_key_hits"].values()) == 1
+
+
+# ---------------------------------------------------------------------------
+# Plan index / replication
+# ---------------------------------------------------------------------------
+class TestPlanIndex:
+    def _two_nodes(self, devices=("titan-v", "titan-v")):
+        spec = ClusterSpec(n_nodes=2, devices=devices)
+        return build_fleet(spec)
+
+    def _warm(self, node, corpus):
+        a, b = corpus[0].matrices()
+        node.service.multiply(a, b)
+        return (a.fingerprint(), b.fingerprint()), (a, b)
+
+    def test_fetch_adopts_replica_and_charges_transfer(self, corpus):
+        nodes = self._two_nodes()
+        n0, n1 = nodes["node-0"], nodes["node-1"]
+        key, _ = self._warm(n0, corpus)
+        index = PlanIndex()
+        index.note(key, "node-0")
+        plan, transfer_s = index.fetch(key, n1, nodes)
+        assert plan is not None and plan.ready
+        assert transfer_s > 0
+        assert transfer_s == pytest.approx(plan_transfer_s(plan.nbytes()))
+        assert n1.service.plans.peek(key) is not None
+        assert index.fetches == 1
+        assert sorted(index.holders(key)) == ["node-0", "node-1"]
+
+    def test_replica_has_independent_hit_counter(self, corpus):
+        nodes = self._two_nodes()
+        n0, n1 = nodes["node-0"], nodes["node-1"]
+        key, (a, b) = self._warm(n0, corpus)
+        n0.service.multiply(a, b)  # bump the original's hit counter
+        index = PlanIndex()
+        index.note(key, "node-0")
+        plan, _ = index.fetch(key, n1, nodes)
+        assert plan.hits == 0
+        assert n0.service.plans.peek(key).hits >= 1
+
+    def test_no_cross_device_adoption(self, corpus):
+        nodes = self._two_nodes(devices=("titan-v", "p100"))
+        n0, n1 = nodes["node-0"], nodes["node-1"]
+        key, _ = self._warm(n0, corpus)
+        index = PlanIndex()
+        index.note(key, "node-0")
+        plan, transfer_s = index.fetch(key, n1, nodes)
+        assert plan is None and transfer_s == 0.0
+        assert index.misses == 1
+        assert n1.service.plans.peek(key) is None
+
+    def test_dead_holder_is_skipped(self, corpus):
+        nodes = self._two_nodes()
+        n0, n1 = nodes["node-0"], nodes["node-1"]
+        key, _ = self._warm(n0, corpus)
+        index = PlanIndex()
+        index.note(key, "node-0")
+        n0.state = "down"
+        plan, _ = index.fetch(key, n1, nodes)
+        assert plan is None
+
+    def test_drop_node_forgets_locations(self):
+        index = PlanIndex()
+        index.note(("f1", "f2"), "node-0")
+        index.note(("f1", "f2"), "node-1")
+        index.drop_node("node-0")
+        assert index.holders(("f1", "f2")) == ["node-1"]
+        index.drop_node("node-1")
+        assert index.holders(("f1", "f2")) == []
+
+
+# ---------------------------------------------------------------------------
+# The fleet bench: determinism, failover, conservation
+# ---------------------------------------------------------------------------
+class TestClusterBench:
+    def test_report_is_byte_deterministic(self, corpus):
+        def go():
+            return run_cluster_bench(
+                cases=corpus,
+                spec=small_spec(),
+                cluster=ClusterSpec(n_nodes=2),
+                compare_single=False,
+            ).to_json()
+
+        assert go() == go()
+
+    def test_report_with_faults_is_byte_deterministic(self, corpus):
+        def go():
+            return run_cluster_bench(
+                cases=corpus,
+                spec=small_spec(),
+                cluster=ClusterSpec(n_nodes=3),
+                faults=parse_fault_spec(
+                    "node_crash@node-1:n=10;node_degrade@node-2:n=5"
+                ),
+                compare_single=False,
+            ).to_json()
+
+        assert go() == go()
+
+    def test_completions_bit_identical_and_conserved(self, corpus):
+        rep = run_cluster_bench(
+            cases=corpus,
+            spec=small_spec(),
+            cluster=ClusterSpec(n_nodes=2),
+            compare_single=False,
+        )
+        assert rep.wrong_results == 0
+        assert rep.bit_identical
+        assert rep.conservation_ok
+        assert rep.completed > 0
+        assert (
+            rep.completed + rep.shed + rep.timed_out + rep.failed
+            == rep.offered
+        )
+
+    def test_node_crash_fails_over_without_wrong_results(self, corpus):
+        rep = run_cluster_bench(
+            cases=corpus,
+            spec=small_spec(),
+            cluster=ClusterSpec(n_nodes=3),
+            faults=parse_fault_spec("node_crash@node-1:n=5"),
+            compare_single=False,
+        )
+        assert rep.crashes == 1
+        # The crash strands at least the queued request that triggered
+        # the dispatch; stranded work is retried, never dropped.
+        assert rep.retried > 0
+        assert rep.wrong_results == 0
+        assert rep.conservation_ok
+        fleet = rep.metrics["fleet"]
+        assert fleet["alive"] == 2
+        retries = rep.metrics["cluster"]["counters"]["cluster.retries_crash"]
+        assert retries == rep.retried
+
+    def test_whole_fleet_down_fails_structured(self, corpus):
+        rep = run_cluster_bench(
+            cases=corpus,
+            spec=small_spec(rate=1000.0, duration_s=0.05),
+            cluster=ClusterSpec(n_nodes=1),
+            faults=parse_fault_spec("node_crash@node-0:n=1"),
+            compare_single=False,
+        )
+        assert rep.crashes == 1
+        assert rep.completed == 0
+        assert rep.failed > 0
+        assert rep.conservation_ok  # no silent drops even with no fleet
+
+    def test_node_degrade_slows_but_stays_correct(self, corpus):
+        rep = run_cluster_bench(
+            cases=corpus,
+            spec=small_spec(),
+            cluster=ClusterSpec(n_nodes=2),
+            faults=parse_fault_spec("node_degrade@node-0:n=1"),
+            compare_single=False,
+        )
+        assert rep.degrades >= 1
+        assert rep.wrong_results == 0
+        assert rep.conservation_ok
+
+    def test_overload_spills_and_replicates(self, corpus):
+        rep = run_cluster_bench(
+            cases=corpus,
+            spec=small_spec(rate=30_000.0, duration_s=0.05, timeout_s=0.05),
+            cluster=ClusterSpec(n_nodes=2, spill_queue_depth=2),
+            compare_single=False,
+        )
+        assert rep.spilled > 0
+        assert rep.plan_fetches > 0
+        assert rep.metrics["plan_index"]["fetched_bytes"] > 0
+        assert rep.wrong_results == 0
+        assert rep.conservation_ok
+
+    def test_replication_can_be_disabled(self, corpus):
+        rep = run_cluster_bench(
+            cases=corpus,
+            spec=small_spec(rate=30_000.0, duration_s=0.05, timeout_s=0.05),
+            cluster=ClusterSpec(
+                n_nodes=2, spill_queue_depth=2, replicate_plans=False
+            ),
+            compare_single=False,
+        )
+        assert rep.plan_fetches == 0
+        assert rep.wrong_results == 0
+
+    def test_heterogeneous_fleet_never_transfers_plans(self, corpus):
+        rep = run_cluster_bench(
+            cases=corpus,
+            spec=small_spec(rate=30_000.0, duration_s=0.05, timeout_s=0.05),
+            cluster=ClusterSpec(
+                n_nodes=2, devices=("titan-v", "p100"), spill_queue_depth=2
+            ),
+            compare_single=False,
+        )
+        assert rep.spilled > 0
+        assert rep.plan_fetches == 0  # incompatible peers recompute
+        assert rep.wrong_results == 0
+        assert rep.conservation_ok
+
+    def test_single_reference_reports_scaling(self, corpus):
+        rep = run_cluster_bench(
+            cases=corpus,
+            spec=small_spec(),
+            cluster=ClusterSpec(n_nodes=2),
+        )
+        assert rep.single_node["completed"] > 0
+        assert rep.scaling_vs_single > 0
+
+    def test_spec_validation(self):
+        with pytest.raises(ValueError):
+            ClusterSpec(n_nodes=0)
+        with pytest.raises(ValueError):
+            ClusterSpec(devices=("not-a-device",))
+        with pytest.raises(ValueError):
+            RoutingPolicy(spill_queue_depth=0)

@@ -1,0 +1,135 @@
+"""Fault-injection coverage for the §7 extensions.
+
+The multi-GPU and partitioned paths thread a :class:`~repro.faults.FaultPlan`
+into every per-device / per-slab engine run; these tests pin the contract:
+persistent faults surface as *structured* invalid results (never raises,
+never silent wrong answers), transient faults clear through the engine's
+retry and still produce the exact product, and matrix globs can target a
+single device or slab.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import device_csr_bytes
+from repro.extensions import multigpu_multiply, partitioned_multiply
+from repro.faults import FaultPlan, FaultRule, parse_fault_spec
+from repro.matrices.generators import banded, poisson2d
+
+
+def oracle(a, b):
+    return (a.to_scipy() @ b.to_scipy()).toarray()
+
+
+@pytest.fixture(scope="module")
+def mesh():
+    return poisson2d(40)  # 1600 rows, plenty for 4 devices / several slabs
+
+
+class TestMultiGpuFaults:
+    def test_persistent_alloc_fault_is_structured(self, mesh):
+        plan = parse_fault_spec("alloc")
+        res = multigpu_multiply(mesh, mesh, 2, faults=plan, case_name="mesh")
+        assert not res.valid
+        assert res.failure_info is not None
+        assert res.failure_info.kind == "injected"
+        assert res.failure_info.retryable  # alloc faults are retryable
+        assert res.c is None
+
+    def test_transient_alloc_fault_retries_to_exact_product(self, mesh):
+        plan = parse_fault_spec("alloc:transient")
+        res = multigpu_multiply(mesh, mesh, 2, faults=plan, case_name="mesh")
+        assert res.valid, res.failure
+        assert np.allclose(res.c.to_dense(), oracle(mesh, mesh))
+
+    def test_matrix_glob_targets_one_device(self, mesh):
+        # Scopes are tagged "<case>/devN": only device 1 sees the fault.
+        plan = parse_fault_spec("alloc:matrix=*/dev1")
+        res = multigpu_multiply(mesh, mesh, 4, faults=plan, case_name="mesh")
+        assert not res.valid
+        assert "device 1" in res.failure
+        # Device 0 completed fine before the failing one was reached.
+        assert res.device_times and res.device_times[0] > 0
+
+    def test_untargeted_devices_unaffected(self, mesh):
+        plan = parse_fault_spec("alloc:matrix=*/dev7")  # no such device
+        res = multigpu_multiply(mesh, mesh, 2, faults=plan, case_name="mesh")
+        assert res.valid
+        assert np.allclose(res.c.to_dense(), oracle(mesh, mesh))
+
+    def test_launch_fault_structured(self, mesh):
+        plan = parse_fault_spec("launch@spECK*")
+        res = multigpu_multiply(mesh, mesh, 2, faults=plan, case_name="mesh")
+        assert not res.valid
+        assert res.failure_info is not None
+        assert res.failure_info.kind == "launch"
+
+    def test_default_case_name_tags_devices(self, mesh):
+        # Without case_name the scope tag is bare "devN".
+        plan = parse_fault_spec("alloc:matrix=dev0")
+        res = multigpu_multiply(mesh, mesh, 2, faults=plan)
+        assert not res.valid
+        assert "device 0" in res.failure
+
+
+class TestPartitionedFaults:
+    def _budget(self, a):
+        return device_csr_bytes(a.rows, a.nnz) * 3
+
+    def test_persistent_fault_poisons_multiply(self, mesh):
+        plan = parse_fault_spec("alloc")
+        res = partitioned_multiply(
+            mesh, mesh, budget_bytes=self._budget(mesh),
+            faults=plan, case_name="mesh",
+        )
+        assert not res.valid
+        assert res.failure_info is not None
+        assert res.failure_info.kind == "injected"
+        assert res.c is None
+
+    def test_transient_fault_recovers_exactly(self, mesh):
+        plan = parse_fault_spec("alloc:transient")
+        res = partitioned_multiply(
+            mesh, mesh, budget_bytes=self._budget(mesh),
+            faults=plan, case_name="mesh",
+        )
+        assert res.valid, res.failure
+        assert np.allclose(res.c.to_dense(), oracle(mesh, mesh))
+
+    def test_matrix_glob_targets_one_slab(self, mesh):
+        plan = parse_fault_spec("alloc:matrix=*/slab1")
+        res = partitioned_multiply(
+            mesh, mesh, budget_bytes=self._budget(mesh),
+            faults=plan, case_name="mesh",
+        )
+        assert res.n_slabs > 1  # the budget actually forced slabbing
+        assert not res.valid
+        assert "slab 1" in res.failure
+        assert res.per_slab and res.per_slab[0].valid
+
+    def test_planner_rejection_is_structured_limitation(self):
+        a = banded(1000, 4, seed=1)
+        res = partitioned_multiply(
+            a, a, budget_bytes=1000, faults=None, case_name="tiny-budget"
+        )
+        assert not res.valid
+        assert res.failure_info is not None
+        assert res.failure_info.kind == "limitation"
+        assert res.failure_info.stage == "slab_planning"
+        assert not res.failure_info.retryable
+
+    def test_probabilistic_rule_is_deterministic(self, mesh):
+        plan = FaultPlan(
+            [FaultRule(site="alloc", probability=0.3)], seed=11
+        )
+        first = partitioned_multiply(
+            mesh, mesh, budget_bytes=self._budget(mesh),
+            faults=plan, case_name="mesh",
+        )
+        again = partitioned_multiply(
+            mesh, mesh, budget_bytes=self._budget(mesh),
+            faults=FaultPlan([FaultRule(site="alloc", probability=0.3)], seed=11),
+            case_name="mesh",
+        )
+        assert first.valid == again.valid
+        assert first.failure == again.failure
