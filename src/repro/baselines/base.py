@@ -21,7 +21,8 @@ Cost-model conventions shared by the baselines:
 from __future__ import annotations
 
 import abc
-from typing import Callable, Dict, Type
+import hashlib
+from typing import Callable, Dict, Optional, Type
 
 import numpy as np
 
@@ -36,6 +37,7 @@ __all__ = [
     "registry",
     "stream_time_s",
     "row_blocks",
+    "retry_backoff_s",
     "run_with_retries",
 ]
 
@@ -82,24 +84,61 @@ class SpGEMMAlgorithm(abc.ABC):
         return f"{type(self).__name__}(device={self.device.name!r})"
 
 
+def retry_backoff_s(
+    algo_name: str,
+    scope: FaultScope,
+    attempt: int,
+    *,
+    base_s: float,
+    cap_s: float,
+) -> float:
+    """Backoff charged before retry ``attempt`` (1-based): capped
+    exponential with deterministic jitter.
+
+    The delay doubles per attempt (``base_s * 2**(attempt-1)``), is capped
+    at ``cap_s``, and carries up to +50% jitter so simultaneous retries
+    across a fleet decorrelate — but the jitter is *seeded*, a blake2b
+    draw over ``(algorithm, matrix, attempt)``, so the same run always
+    charges the same virtual seconds.
+    """
+    expo = min(cap_s, base_s * (2.0 ** (attempt - 1)))
+    digest = hashlib.blake2b(
+        f"backoff:{algo_name}:{scope.matrix}:{attempt}".encode(),
+        digest_size=8,
+    ).digest()
+    jitter = int.from_bytes(digest, "big") / 2**64  # [0, 1)
+    return expo * (1.0 + 0.5 * jitter)
+
+
 def run_with_retries(
     algo: "SpGEMMAlgorithm",
     scope: FaultScope,
     attempt_fn: Callable[[int], SpGEMMResult],
     *,
     max_retries: int = 1,
+    backoff_base_s: Optional[float] = None,
+    backoff_cap_s: float = 1e-3,
 ) -> SpGEMMResult:
     """Shared retry/fallback driver for resilient algorithms.
 
     ``attempt_fn(attempt)`` runs one full pipeline attempt (0-based) and
     either returns a result or raises an :class:`~repro.faults.SpGEMMError`
     whose ``partial_time_s`` holds the simulated time already spent.  Each
-    failed-but-retryable attempt is charged to the model: its wasted time
-    plus one re-allocation (``malloc_s``) land in the final result's
-    ``stage_times["retry"]`` and total time — the paper's baselines pay
-    exactly this on hardware when their re-allocation loops fire.
+    failed-but-retryable attempt is charged to the model: its wasted time,
+    one re-allocation (``malloc_s``), and a capped-exponential backoff
+    delay (:func:`retry_backoff_s`; base defaults to ``malloc_s``) land in
+    the final result's ``stage_times["retry"]`` and total time — the
+    paper's baselines pay the re-allocation on hardware when their loops
+    fire, and the backoff keeps a fleet of simultaneous retries from
+    hammering the allocator in lockstep.  The attempt count is surfaced in
+    ``decisions["attempts"]`` (total attempts, including the first) and the
+    backoff share in ``decisions["retry_backoff_s"]``.
     """
+    base_s = (
+        backoff_base_s if backoff_base_s is not None else algo.device.malloc_s
+    )
     wasted = 0.0
+    backoff_total = 0.0
     for attempt in range(max_retries + 1):
         if attempt:
             scope.new_attempt()
@@ -109,12 +148,19 @@ def run_with_retries(
             wasted += err.partial_time_s + algo.device.malloc_s
             if not err.retryable or attempt == max_retries:
                 return SpGEMMResult.failed(algo.name, err, retries=attempt)
+            delay = retry_backoff_s(
+                algo.name, scope, attempt + 1, base_s=base_s, cap_s=backoff_cap_s
+            )
+            wasted += delay
+            backoff_total += delay
             continue
         if attempt:
             res.stage_times["retry"] = res.stage_times.get("retry", 0.0) + wasted
             res.time_s += wasted
             res.retries = attempt
             res.decisions["retries"] = attempt
+            res.decisions["attempts"] = attempt + 1
+            res.decisions["retry_backoff_s"] = backoff_total
         return res
     raise AssertionError("unreachable")  # pragma: no cover
 

@@ -42,7 +42,9 @@ class BhSparse(SpGEMMAlgorithm):
 
     def run(self, ctx: MultiplyContext) -> SpGEMMResult:
         # bhSPARSE re-runs its bin re-allocation loop once on failure; the
-        # wasted attempt plus re-allocation is charged to the model.
+        # wasted attempt plus re-allocation is charged to the model, plus
+        # a capped exponential backoff with seeded jitter before the
+        # re-allocation (see base.retry_backoff_s).
         scope = self.fault_scope(ctx)
         return run_with_retries(
             self, scope, lambda attempt: self._attempt(ctx, scope)

@@ -42,7 +42,9 @@ class Nsparse(SpGEMMAlgorithm):
 
     def run(self, ctx: MultiplyContext) -> SpGEMMResult:
         # nsparse re-runs its allocation loop once when table allocation
-        # fails (re-allocation on hardware); the wasted attempt is charged.
+        # fails (re-allocation on hardware); the wasted attempt is charged,
+        # plus a capped exponential backoff with seeded jitter before the
+        # re-allocation (see base.retry_backoff_s).
         scope = self.fault_scope(ctx)
         return run_with_retries(
             self, scope, lambda attempt: self._attempt(ctx, scope)

@@ -138,6 +138,10 @@ def build_parser() -> argparse.ArgumentParser:
         "--faults", metavar="SPEC",
         help="fault-injection plan threaded through every request",
     )
+    sb.add_argument("--plan-store", metavar="DIR",
+                    help="durable plan store directory: warm-start from "
+                         "plans persisted by earlier runs, persist this "
+                         "run's plans for the next one")
     sb.add_argument("--json", metavar="PATH",
                     help="write the full report + metrics JSON here")
 
@@ -176,8 +180,13 @@ def build_parser() -> argparse.ArgumentParser:
     cb.add_argument(
         "--faults", metavar="SPEC",
         help="fault-injection plan; node sites key on node names, e.g. "
-             "'node_crash@node-1:n=500' (see docs/ROBUSTNESS.md)",
+             "'node_crash@node-1:n=500' or 'disk_corrupt@node-0:n=2' "
+             "(see docs/ROBUSTNESS.md)",
     )
+    cb.add_argument("--plan-store", metavar="DIR",
+                    help="durable plan stores: each node persists plans "
+                         "under DIR/<node-name> and warm-starts from what "
+                         "a previous run left there")
     cb.add_argument("--json", metavar="PATH",
                     help="write the full report + fleet metrics JSON here")
 
@@ -382,6 +391,7 @@ def _cmd_serve_bench(args) -> int:
         plan_cache_bytes=int(args.cache_mb * 1e6),
         policy=AdmissionPolicy(max_queue_depth=args.queue_depth),
         faults=_fault_plan(args),
+        plan_store_dir=args.plan_store,
     )
     print(report.render())
     if args.json:
@@ -419,6 +429,7 @@ def _cmd_cluster_bench(args) -> int:
         spill_queue_depth=args.spill_depth,
         replicate_plans=not args.no_replication,
         seed=args.seed,
+        plan_store_dir=args.plan_store,
     )
     report = run_cluster_bench(
         spec=spec,

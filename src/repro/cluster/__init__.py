@@ -25,9 +25,18 @@ from .metrics import FleetMetrics
 from .node import ClusterNode, InFlight
 from .plan_index import PlanIndex, plan_transfer_s
 from .ring import HashRing, stable_hash
-from .router import ClusterRouter, RoutingPolicy, request_key
+from .router import (
+    BreakerPolicy,
+    CircuitBreaker,
+    ClusterRouter,
+    RetryBudget,
+    RoutingPolicy,
+    request_key,
+)
 
 __all__ = [
+    "BreakerPolicy",
+    "CircuitBreaker",
     "ClusterBenchReport",
     "ClusterNode",
     "ClusterRouter",
@@ -36,6 +45,7 @@ __all__ = [
     "HashRing",
     "InFlight",
     "PlanIndex",
+    "RetryBudget",
     "RoutingPolicy",
     "build_fleet",
     "plan_transfer_s",

@@ -68,6 +68,10 @@ class ClusterSpec:
     degrade_duration_s: float = 0.05
     #: Salt for the router's deterministic power-of-two draws.
     seed: int = 0
+    #: Durable plan stores: each node persists its plans under
+    #: ``plan_store_dir/<node-name>`` and warm-starts from what it finds
+    #: there.  ``None`` keeps the fleet memory-only.
+    plan_store_dir: Optional[str] = None
 
     def __post_init__(self) -> None:
         if self.n_nodes < 1:
@@ -207,6 +211,8 @@ def _run_fleet(
     run = _FleetRun(outcomes=[], router=router, fleet=fleet, nodes=nodes)
     for node in nodes.values():
         node.bind_faults(faults)
+        if spec.plan_store_dir is not None:
+            node.attach_plan_store(spec.plan_store_dir, faults)
 
     arrivals = sorted(requests, key=lambda r: (r.arrival_s, r.id))
     node_order = sorted(nodes)
@@ -283,6 +289,28 @@ def _run_fleet(
                 now,
             )
             return
+        if not router.retry_budget.try_spend():
+            # The fleet-wide budget is exhausted: fail terminally instead
+            # of feeding a retry storm.  Still a structured outcome —
+            # conservation holds.
+            fleet.retry_denied()
+            fleet.failed()
+            fail(
+                req,
+                "failed",
+                FailureInfo(
+                    kind="shed",
+                    stage="retry_budget",
+                    tag=req.case_name,
+                    message=(
+                        f"retry after {reason} denied: fleet budget "
+                        f"{router.retry_budget.allowance} spent"
+                    ),
+                    retryable=False,
+                ),
+                now,
+            )
+            return
         req.attempts += 1
         run.retried += 1
         fleet.retry(reason)
@@ -354,6 +382,7 @@ def _run_fleet(
 
         # 2. Arrivals due by `now`.
         while i < len(arrivals) and arrivals[i].arrival_s <= now:
+            router.retry_budget.note_request()
             place(arrivals[i])
             i += 1
 
@@ -386,10 +415,31 @@ def _run_fleet(
                 fetched, transfer_s = router.fetch_plan_for(node, req)
                 if fetched:
                     fleet.plan_fetch(transfer_s)
+                # Brownout rung under this node's instantaneous pressure.
+                binfo = node.admission.brownout_mode(
+                    queue_depth=node.queue_depth,
+                    committed_bytes=node.committed,
+                )
+                fleet.brownout(binfo.mode)
                 res = node.service.multiply(
-                    req.a, req.b, faults=faults, case_name=req.case_name
+                    req.a,
+                    req.b,
+                    faults=faults,
+                    case_name=req.case_name,
+                    brownout=binfo,
                 )
                 router.note_plan(node, req)
+                # Feed the node's circuit breaker: an invalid result or a
+                # degraded (slow) dispatch counts against it, so a
+                # persistently sick node opens its breaker and stops
+                # receiving traffic until the cooldown probe clears it.
+                prev_state = router.breakers[node.name].state
+                router.record_outcome(
+                    node, res.valid and not node.degraded(now), now
+                )
+                new_state = router.breakers[node.name].state
+                if new_state != prev_state:
+                    fleet.breaker_transition(node.name, new_state)
                 if res.valid:
                     slow = spec.degrade_factor if node.degraded(now) else 1.0
                     service_s = res.time_s * slow + transfer_s
@@ -464,6 +514,20 @@ class ClusterBenchReport:
     throughput_rps: float = 0.0
     latency: Dict[str, float] = field(default_factory=dict)
     hit_rate: float = 0.0
+    #: Hit rate over the first 100 served requests (warm-restart signal).
+    first_100_hit_rate: float = 0.0
+    #: Plans warm-adopted from durable stores at fleet startup.
+    warm_plans: int = 0
+    #: Dispatches per brownout rung, fleet-wide.
+    brownouts: Dict[str, int] = field(default_factory=dict)
+    #: Per-node breaker state + lifetime transition counts.
+    breakers: Dict[str, Dict[str, object]] = field(default_factory=dict)
+    #: Breaker-open transitions across the fleet.
+    breaker_opens: int = 0
+    #: Fleet retry-budget allowance / spent / denied.
+    retry_budget: Dict[str, int] = field(default_factory=dict)
+    #: Summed durable-store counters (appends, quarantines, replays).
+    plan_store: Dict[str, int] = field(default_factory=dict)
     #: Single-node reference run on the same workload (no faults).
     single_node: Dict[str, float] = field(default_factory=dict)
     #: Fleet throughput over single-node throughput.
@@ -501,8 +565,36 @@ class ClusterBenchReport:
                     for k in ("p50", "p95", "p99", "mean")
                 }
             ),
-            f"fleet plan-cache hit rate {self.hit_rate * 100:.1f}%",
+            f"fleet plan-cache hit rate {self.hit_rate * 100:.1f}%  "
+            f"(first 100 served: {self.first_100_hit_rate * 100:.1f}%)",
         ]
+        degraded = {k: v for k, v in self.brownouts.items() if k != "full"}
+        if degraded:
+            lines.append(
+                "brownout dispatches: "
+                + ", ".join(f"{k}={v}" for k, v in sorted(degraded.items()))
+            )
+        if self.breaker_opens:
+            open_now = sum(
+                1 for b in self.breakers.values() if b.get("state") != "closed"
+            )
+            lines.append(
+                f"circuit breakers: {self.breaker_opens} opens, "
+                f"{open_now} not closed at end"
+            )
+        if self.retry_budget.get("denied"):
+            lines.append(
+                f"retry budget: {self.retry_budget['spent']}/"
+                f"{self.retry_budget['allowance']} spent, "
+                f"{self.retry_budget['denied']} denied"
+            )
+        if self.plan_store:
+            lines.append(
+                f"plan stores: {self.warm_plans} plans warm-restored, "
+                f"{self.plan_store.get('appended', 0)} appended, "
+                f"{self.plan_store.get('quarantined_corrupt', 0)} corrupt + "
+                f"{self.plan_store.get('quarantined_torn', 0)} torn quarantined"
+            )
         if self.single_node:
             lines.append(
                 f"single-node reference: "
@@ -578,10 +670,19 @@ def run_cluster_bench(
     outcomes = run.outcomes
     completed = sum(1 for o in outcomes if o.ok)
     snap = run.fleet.aggregate(
-        [nodes[n] for n in sorted(nodes)], run.router.plan_index, run.end_s
+        [nodes[n] for n in sorted(nodes)],
+        run.router.plan_index,
+        run.end_s,
+        router=run.router,
     )
     lat = snap["cluster"]["histograms"].get("cluster.latency_s", {})
     fleet_stats = snap["fleet"]
+    first = sorted((o for o in outcomes if o.ok), key=lambda o: o.request_id)
+    first = first[:100]
+    first_100 = (
+        sum(1 for o in first if o.cache_hit) / len(first) if first else 0.0
+    )
+    breakers = snap.get("breakers", {})
     report = ClusterBenchReport(
         config={
             "n_nodes": cluster.n_nodes,
@@ -600,6 +701,9 @@ def run_cluster_bench(
             "timeout_s": spec.timeout_s,
             "seed": spec.seed,
             "router_seed": cluster.seed,
+            # A boolean, never the path: the JSON report stays
+            # byte-identical across machines and temp directories.
+            "plan_store": cluster.plan_store_dir is not None,
         },
         offered=len(requests),
         completed=completed,
@@ -620,6 +724,15 @@ def run_cluster_bench(
             k: float(lat.get(k, 0.0)) for k in ("mean", "p50", "p95", "p99")
         },
         hit_rate=float(fleet_stats["hit_rate"]),
+        first_100_hit_rate=first_100,
+        warm_plans=int(
+            fleet_stats["node_counters"].get("service.warm_plans", 0)
+        ),
+        brownouts=dict(fleet_stats["brownouts"]),
+        breakers=breakers,
+        breaker_opens=sum(int(b.get("opens", 0)) for b in breakers.values()),
+        retry_budget=dict(snap.get("retry_budget", {})),
+        plan_store=dict(fleet_stats["plan_store_totals"]),
         single_node=single,
         scaling_vs_single=scaling,
         bit_identical=(

@@ -13,11 +13,14 @@ rates and shed counts, and the plan-index replication counters.
 
 from __future__ import annotations
 
-from typing import Dict, List, Sequence
+from typing import Dict, List, Optional, Sequence, TYPE_CHECKING
 
 from ..serve.metrics import MetricsRegistry
 from .node import ClusterNode
 from .plan_index import PlanIndex
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from .router import ClusterRouter
 
 __all__ = ["FleetMetrics"]
 
@@ -74,21 +77,61 @@ class FleetMetrics:
             "cluster.plan_fetch_s", "modelled replica transfer seconds"
         ).observe(transfer_s)
 
+    def brownout(self, mode: str) -> None:
+        self.registry.counter(
+            f"cluster.brownout_{mode}", f"dispatches planned in {mode} mode"
+        ).inc()
+
+    def breaker_transition(self, node: str, state: str) -> None:
+        self.registry.counter(
+            f"cluster.breaker_{state}", f"breaker transitions into {state}"
+        ).inc()
+        self.registry.counter(
+            f"cluster.breaker_{state}_{node}",
+            f"breaker transitions into {state} on {node}",
+        ).inc()
+
+    def retry_denied(self) -> None:
+        self.registry.counter(
+            "cluster.retry_denied", "retries refused by the fleet budget"
+        ).inc()
+
     # ------------------------------------------------------------------
     def aggregate(
         self,
         nodes: Sequence[ClusterNode],
         plan_index: PlanIndex,
         now: float,
+        router: Optional["ClusterRouter"] = None,
     ) -> Dict[str, object]:
-        """The fleet snapshot: cluster registry + rolled-up node stats."""
+        """The fleet snapshot: cluster registry + rolled-up node stats.
+
+        Every node-registry counter is summed into
+        ``fleet["node_counters"]`` *uniformly* — retry, backoff, brownout
+        and any counter a future layer adds ride along without this
+        aggregation needing to learn their names.  (Earlier versions
+        special-cased a fixed list and silently dropped the rest.)
+        """
         per_node: List[Dict[str, object]] = [n.snapshot(now) for n in nodes]
         hits = sum(int(s["plan_cache"]["hits"]) for s in per_node)
         misses = sum(int(s["plan_cache"]["misses"]) for s in per_node)
+        node_counters: Dict[str, int] = {}
+        brownouts: Dict[str, int] = {}
+        store_totals: Dict[str, int] = {}
+        stores_attached = 0
+        for s in per_node:
+            for cname, value in s["metrics"]["counters"].items():
+                node_counters[cname] = node_counters.get(cname, 0) + int(value)
+            for mode, count in s["brownout_modes"].items():
+                brownouts[mode] = brownouts.get(mode, 0) + int(count)
+            if s["plan_store"] is not None:
+                stores_attached += 1
+                for sname, value in s["plan_store"].items():
+                    store_totals[sname] = store_totals.get(sname, 0) + int(value)
         lat = self.registry.histogram(
             "cluster.latency_s", "arrival to completion, fleet-wide"
         )
-        return {
+        out: Dict[str, object] = {
             "fleet": {
                 "nodes": len(per_node),
                 "alive": sum(1 for s in per_node if s["state"] == "up"),
@@ -98,8 +141,17 @@ class FleetMetrics:
                 "hit_rate": hits / (hits + misses) if hits + misses else 0.0,
                 "sheds": sum(int(s["sheds"]) for s in per_node),
                 "dispatches": sum(int(s["dispatches"]) for s in per_node),
+                "brownouts": dict(sorted(brownouts.items())),
+                "node_counters": dict(sorted(node_counters.items())),
+                "plan_stores": stores_attached,
+                "plan_store_totals": dict(sorted(store_totals.items())),
             },
             "cluster": self.registry.snapshot(),
             "plan_index": plan_index.snapshot(),
             "nodes": per_node,
         }
+        if router is not None:
+            out["breakers"] = router.breaker_snapshot()
+            out["retry_budget"] = router.retry_budget.snapshot()
+            out["breaker_rejections"] = router.breaker_rejections
+        return out

@@ -15,6 +15,7 @@ Nodes hold state only; the event loop that moves virtual time lives in
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass
 from typing import Dict, List, Optional
 
@@ -93,6 +94,22 @@ class ClusterNode:
             plan.scope(self.name, "cluster") if plan is not None else null_scope(self.name)
         )
 
+    def attach_plan_store(
+        self, directory: str, faults: Optional[FaultPlan] = None
+    ) -> int:
+        """Bind a durable plan store under ``directory/<node-name>``.
+
+        Returns the number of plans warm-adopted from a previous run.
+        The store's fault scope carries this node's name, so
+        ``disk_corrupt@node-1`` in a fault spec targets node 1's WAL.
+        """
+        from ..serve.plan_store import PlanStore
+
+        store = PlanStore(
+            os.path.join(directory, self.name), name=self.name, faults=faults
+        )
+        return self.service.attach_plan_store(store)
+
     @property
     def alive(self) -> bool:
         return self.state == "up"
@@ -107,8 +124,11 @@ class ClusterNode:
     @property
     def plan_compat(self) -> str:
         """Plans transfer only between nodes with identical device+params
-        (binning and kernel-config decisions are device-derived)."""
-        return f"{self.device.name}|{self.service.engine.params!r}"
+        (binning and kernel-config decisions are device-derived).  The
+        same :func:`~repro.serve.plan_ir.compat_key` string the service
+        stamps on persisted plans, so disk and wire use one notion of
+        compatibility."""
+        return self.service.compat
 
     # ------------------------------------------------------------------
     def idle_workers(self, now: float) -> List[int]:
@@ -161,10 +181,18 @@ class ClusterNode:
                 "misses": stats.misses,
                 "inserts": stats.inserts,
                 "evictions": stats.evictions,
+                "rejects": stats.rejects,
+                "refines": stats.refines,
                 "entries": stats.entries,
                 "bytes_cached": stats.bytes_cached,
                 "hit_rate": stats.hit_rate,
             },
+            "brownout_modes": dict(sorted(self.admission.brownout_modes.items())),
+            "plan_store": (
+                self.service.plan_store.stats()
+                if self.service.plan_store is not None
+                else None
+            ),
             "metrics": self.service.metrics.snapshot(),
         }
 

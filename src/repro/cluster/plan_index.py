@@ -28,7 +28,7 @@ from dataclasses import replace
 from typing import Dict, List, Optional, Tuple
 
 from ..extensions.multigpu import LINK_BW, LINK_LATENCY
-from ..serve.plan_cache import CachedPlan
+from ..serve.plan_cache import CachedPlan, PlanIntegrityError
 
 __all__ = ["PlanIndex", "plan_transfer_s"]
 
@@ -54,6 +54,8 @@ class PlanIndex:
         self.fetches = 0
         self.fetched_bytes = 0
         self.misses = 0
+        #: Replicas refused at adopt time (checksum or compat mismatch).
+        self.integrity_rejects = 0
 
     # ------------------------------------------------------------------
     def note(self, key: PlanKey, node: str) -> None:
@@ -107,7 +109,16 @@ class PlanIndex:
                 ]
                 continue
             replica = replace(plan, hits=0)
-            adopted = requester.service.plans.adopt(replica)
+            try:
+                adopted = requester.service.plans.adopt(
+                    replica, expected_compat=requester.plan_compat
+                )
+            except PlanIntegrityError:
+                # A replica that no longer verifies (checksum drift, wrong
+                # compat stamp) is worse than a cold recompute: skip this
+                # holder and keep looking.
+                self.integrity_rejects += 1
+                continue
             nbytes = adopted.nbytes()
             self.fetches += 1
             self.fetched_bytes += nbytes
@@ -125,4 +136,5 @@ class PlanIndex:
             "fetches": self.fetches,
             "fetched_bytes": self.fetched_bytes,
             "misses": self.misses,
+            "integrity_rejects": self.integrity_rejects,
         }

@@ -19,13 +19,22 @@ from __future__ import annotations
 
 import json
 import os
-from typing import Dict, Iterator, Optional
+from typing import Callable, Dict, Iterator, Optional
 
 __all__ = ["iter_jsonl", "append_jsonl", "repair_torn_tail"]
 
 
-def iter_jsonl(path: str) -> Iterator[Dict[str, object]]:
-    """Yield one dict per parseable line (missing file yields nothing)."""
+def iter_jsonl(
+    path: str,
+    *,
+    on_bad_line: Optional[Callable[[str], None]] = None,
+) -> Iterator[Dict[str, object]]:
+    """Yield one dict per parseable line (missing file yields nothing).
+
+    Lines that do not parse as a JSON object are skipped; callers that
+    need to *account* for them (the plan store quarantines corrupt WAL
+    records) pass ``on_bad_line``, which receives the raw offending line.
+    """
     if not os.path.exists(path):
         return
     with open(path, "r", encoding="utf-8") as fh:
@@ -36,9 +45,14 @@ def iter_jsonl(path: str) -> Iterator[Dict[str, object]]:
             try:
                 entry = json.loads(line)
             except json.JSONDecodeError:
-                continue  # torn tail write from an interrupted run
+                # torn tail write from an interrupted run, or bit rot
+                if on_bad_line is not None:
+                    on_bad_line(line)
+                continue
             if isinstance(entry, dict):
                 yield entry
+            elif on_bad_line is not None:
+                on_bad_line(line)
 
 
 def append_jsonl(path: Optional[str], entry: Dict[str, object]) -> None:

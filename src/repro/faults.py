@@ -50,8 +50,19 @@ __all__ = [
 #: Injection sites a rule may target.  ``alloc``/``launch``/``spill`` are
 #: consulted inside one engine run; ``node_crash``/``node_degrade`` are
 #: cluster-level sites consulted once per dispatch on a serving node
-#: (the rule's *method* glob matches the node name).
-SITES = ("alloc", "launch", "spill", "node_crash", "node_degrade")
+#: (the rule's *method* glob matches the node name);
+#: ``disk_corrupt``/``disk_torn_write`` are durability sites consulted by
+#: the :class:`~repro.serve.plan_store.PlanStore` once per WAL append
+#: (the method glob matches the store owner's name, e.g. the node name).
+SITES = (
+    "alloc",
+    "launch",
+    "spill",
+    "node_crash",
+    "node_degrade",
+    "disk_corrupt",
+    "disk_torn_write",
+)
 
 
 # ---------------------------------------------------------------------------
@@ -378,6 +389,22 @@ class FaultScope:
         node degraded for the whole run."""
         return self._consult("node_degrade", tag or self.method, None) is not None
 
+    # -- durability sites --------------------------------------------------
+    def disk_corrupt(self, tag: str = "") -> bool:
+        """Consulted by the plan store once per WAL append: ``True`` means
+        the record lands on disk bit-flipped (a latent media error the
+        load path must detect via the Plan IR checksum and quarantine).
+        Never raises — corruption is silent by nature."""
+        return self._consult("disk_corrupt", tag or self.method, None) is not None
+
+    def disk_torn_write(self, tag: str = "") -> bool:
+        """Consulted by the plan store once per WAL append: ``True`` means
+        the process "dies" mid-write, leaving a torn (truncated,
+        unterminated) final record for the next load to repair."""
+        return (
+            self._consult("disk_torn_write", tag or self.method, None) is not None
+        )
+
 
 #: Shared inert scope for algorithms running without a fault plan.
 def null_scope(method: str = "", matrix: str = "") -> FaultScope:
@@ -399,6 +426,9 @@ def parse_fault_spec(spec: str) -> FaultPlan:
         site  ::= "alloc" | "launch" | "spill"
                 | "node_crash" | "node_degrade"   -- cluster nodes only;
                                                   -- method-glob = node name
+                | "disk_corrupt" | "disk_torn_write"
+                                                  -- plan-store WAL appends;
+                                                  -- method-glob = store owner
         option::= "n=" INT        -- fire on the Nth site event (1-based)
                 | "bytes=" INT    -- alloc only: requests >= this size
                 | "matrix=" GLOB  -- restrict to matching case names
@@ -414,6 +444,8 @@ def parse_fault_spec(spec: str) -> FaultPlan:
         seed=7;alloc:p=0.05             # 5% of allocations fail, seeded
         node_crash@node-1:n=200         # node-1 dies at its 200th dispatch
         node_degrade@node-*:p=0.001:transient  # rare transient slowdowns
+        disk_corrupt@node-0:n=2         # node-0's 2nd WAL append bit-flips
+        disk_torn_write@node-*:p=0.01   # 1% of appends die mid-write
     """
     rules: List[FaultRule] = []
     seed = 0

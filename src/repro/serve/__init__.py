@@ -8,9 +8,24 @@ deadlines, admission control with structured load shedding, and service
 metrics.  See ``docs/SERVING.md`` for the architecture.
 """
 
-from .admission import AdmissionController, AdmissionPolicy, ServiceReject
+from .admission import (
+    BROWNOUT_MODES,
+    AdmissionController,
+    AdmissionPolicy,
+    BrownoutInfo,
+    BrownoutPolicy,
+    ServiceReject,
+)
 from .metrics import Counter, Gauge, Histogram, MetricsRegistry
-from .plan_cache import CachedPlan, PlanCache, plan_key
+from .plan_cache import CachedPlan, PlanCache, PlanIntegrityError, plan_key
+from .plan_ir import (
+    PlanIRError,
+    compat_key,
+    decode_plan,
+    encode_plan,
+    plan_checksum,
+)
+from .plan_store import PlanStore, PlanStoreLoad
 from .scheduler import Request, RequestOutcome, ServeScheduler
 from .service import SpGEMMService
 from .workload import (
@@ -24,6 +39,9 @@ from .workload import (
 __all__ = [
     "AdmissionController",
     "AdmissionPolicy",
+    "BROWNOUT_MODES",
+    "BrownoutInfo",
+    "BrownoutPolicy",
     "ServiceReject",
     "Counter",
     "Gauge",
@@ -31,7 +49,15 @@ __all__ = [
     "MetricsRegistry",
     "CachedPlan",
     "PlanCache",
+    "PlanIntegrityError",
     "plan_key",
+    "PlanIRError",
+    "compat_key",
+    "decode_plan",
+    "encode_plan",
+    "plan_checksum",
+    "PlanStore",
+    "PlanStoreLoad",
     "Request",
     "RequestOutcome",
     "ServeScheduler",

@@ -1,4 +1,4 @@
-"""Admission control: backpressure for the SpGEMM service.
+"""Admission control: backpressure and the brownout ladder.
 
 The service degrades *predictably* instead of falling over: when the
 request queue is full or the simulated device's memory headroom would be
@@ -7,8 +7,19 @@ the caller receives a structured :class:`ServiceReject` (reusing the
 failure taxonomy of :mod:`repro.faults`) rather than an exception, a
 timeout, or an OOM mid-pipeline.
 
-Thresholds live in :class:`AdmissionPolicy`; the controller itself is
-stateless apart from shed counters, so one instance can guard one queue.
+Shedding is the *last* rung, though.  Before load reaches the shed
+thresholds the controller walks a **brownout ladder**: as queue depth or
+committed memory climbs, cold requests step down from full planning to
+progressively cheaper modes (global-LB-fallback planning, then a
+dense-free minimal plan) that trade plan quality for immediate headroom
+— results stay bit-correct, only the modelled planning effort shrinks.
+:meth:`AdmissionController.brownout_mode` maps the instantaneous
+pressure to a rung; the service owns what each rung means
+(:attr:`~repro.serve.service.SpGEMMService.BROWNOUT_PARAMS`).
+
+Thresholds live in :class:`AdmissionPolicy` / :class:`BrownoutPolicy`;
+the controller itself is stateless apart from shed/brownout counters,
+so one instance can guard one queue.
 """
 
 from __future__ import annotations
@@ -19,7 +30,18 @@ from typing import Dict, Optional
 from ..faults import FailureInfo
 from ..gpu import DeviceSpec
 
-__all__ = ["AdmissionPolicy", "ServiceReject", "AdmissionController"]
+__all__ = [
+    "AdmissionPolicy",
+    "BrownoutPolicy",
+    "BrownoutInfo",
+    "BROWNOUT_MODES",
+    "ServiceReject",
+    "AdmissionController",
+]
+
+#: The degradation ladder, best rung first.  ``shed`` (the implicit
+#: fourth rung) is handled by :meth:`AdmissionController.admit`.
+BROWNOUT_MODES = ("full", "lb_fallback", "minimal")
 
 
 @dataclass(frozen=True)
@@ -55,6 +77,48 @@ class AdmissionPolicy:
             raise ValueError("memory_headroom_frac must be in [0, 1)")
         if self.output_factor < 1.0:
             raise ValueError("output_factor must be >= 1")
+
+
+@dataclass(frozen=True)
+class BrownoutPolicy:
+    """Pressure thresholds of the degradation ladder.
+
+    *Pressure* is the worse of two fractions: queue depth over the
+    admission queue bound, and committed bytes over the admission memory
+    limit — i.e. how close the service is to its shed thresholds.  Cold
+    requests plan in ``lb_fallback`` mode from ``lb_fallback_frac`` and
+    in ``minimal`` mode from ``minimal_frac``; at pressure 1.0 admission
+    sheds, completing the ladder.
+    """
+
+    lb_fallback_frac: float = 0.5
+    minimal_frac: float = 0.8
+
+    def __post_init__(self) -> None:
+        if not (0.0 < self.lb_fallback_frac <= self.minimal_frac <= 1.0):
+            raise ValueError(
+                "need 0 < lb_fallback_frac <= minimal_frac <= 1"
+            )
+
+
+@dataclass(frozen=True)
+class BrownoutInfo:
+    """Structured record of one brownout decision (FailureInfo-style:
+    machine-readable, attached to results and metrics rather than
+    raised)."""
+
+    mode: str
+    pressure: float
+    queue_frac: float
+    memory_frac: float
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "mode": self.mode,
+            "pressure": round(float(self.pressure), 6),
+            "queue_frac": round(float(self.queue_frac), 6),
+            "memory_frac": round(float(self.memory_frac), 6),
+        }
 
 
 @dataclass
@@ -98,11 +162,16 @@ class AdmissionController:
         self,
         device: DeviceSpec,
         policy: Optional[AdmissionPolicy] = None,
+        brownout: Optional[BrownoutPolicy] = None,
     ) -> None:
         self.device = device
         self.policy = policy or AdmissionPolicy()
+        self.brownout = brownout or BrownoutPolicy()
         self.sheds = 0
         self.shed_reasons: Dict[str, int] = {}
+        #: Brownout decisions per rung (``full`` counted too, so the
+        #: fractions are readable from the counters alone).
+        self.brownout_modes: Dict[str, int] = {}
 
     # ------------------------------------------------------------------
     def estimate_bytes(self, input_bytes: int) -> int:
@@ -152,6 +221,35 @@ class AdmissionController:
                 retryable=True,
             )
         return None
+
+    # ------------------------------------------------------------------
+    def brownout_mode(
+        self, *, queue_depth: int, committed_bytes: int
+    ) -> BrownoutInfo:
+        """The degradation rung for a dispatch under the current load.
+
+        Consulted at dispatch time (not admission time — pressure when
+        the request *runs* is what matters) and counted per rung, so the
+        metrics show how much of the workload was served degraded.
+        """
+        queue_frac = queue_depth / self.policy.max_queue_depth
+        memory_frac = (
+            committed_bytes / self.memory_limit if self.memory_limit else 0.0
+        )
+        pressure = max(queue_frac, memory_frac)
+        if pressure >= self.brownout.minimal_frac:
+            mode = "minimal"
+        elif pressure >= self.brownout.lb_fallback_frac:
+            mode = "lb_fallback"
+        else:
+            mode = "full"
+        self.brownout_modes[mode] = self.brownout_modes.get(mode, 0) + 1
+        return BrownoutInfo(
+            mode=mode,
+            pressure=pressure,
+            queue_frac=queue_frac,
+            memory_frac=memory_frac,
+        )
 
     def _shed(
         self, request_id: int, reason: str, message: str, *, retryable: bool

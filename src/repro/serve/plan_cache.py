@@ -33,7 +33,21 @@ from ..core.global_lb import BlockPlan
 from ..core.passes import PassResult
 from ..matrices.csr import CSR
 
-__all__ = ["CachedPlan", "PlanCache", "plan_key"]
+__all__ = ["CachedPlan", "PlanCache", "PlanIntegrityError", "plan_key"]
+
+
+class PlanIntegrityError(ValueError):
+    """An adopted replica failed verification (checksum or compat key).
+
+    Raised by :meth:`PlanCache.adopt` instead of trusting the peer
+    blindly; the cluster's :class:`~repro.cluster.plan_index.PlanIndex`
+    catches it and falls through to the next holder (or a cold
+    recompute).  ``reason`` is ``"checksum"`` or ``"compat"``.
+    """
+
+    def __init__(self, message: str, *, reason: str) -> None:
+        super().__init__(message)
+        self.reason = reason
 
 
 def plan_key(a: CSR, b: CSR) -> Tuple[str, str]:
@@ -72,6 +86,19 @@ class CachedPlan:
     num: Optional[PassResult] = None
     #: Times this plan was reused after population.
     hits: int = 0
+    #: Planning mode that produced this plan: ``"full"`` for the complete
+    #: pipeline, or a brownout rung (``"lb_fallback"``, ``"minimal"``)
+    #: when it was computed cheaply under pressure.  A non-full plan
+    #: still serves requests bit-correctly; a later full-mode request
+    #: *refines* it (recomputes the full plan in place of the entry).
+    mode: str = "full"
+    #: Device/params compatibility key stamped by the owning service
+    #: (see :func:`repro.serve.plan_ir.compat_key`); ``None`` for plans
+    #: built outside a service.
+    compat: Optional[str] = None
+    #: Plan IR payload digest stamped at population / decode time;
+    #: verified on :meth:`PlanCache.adopt`.
+    checksum: Optional[str] = None
 
     def populate(
         self,
@@ -127,6 +154,10 @@ class PlanCacheStats:
     evictions: int = 0
     #: Plans that became resident: cold populations plus adopted replicas.
     inserts: int = 0
+    #: Replicas refused by :meth:`PlanCache.adopt` (checksum/compat).
+    rejects: int = 0
+    #: Non-full (brownout) plans replaced by a full recompute.
+    refines: int = 0
     bytes_cached: int = 0
     entries: int = 0
     #: Lifetime hits per fingerprint-pair key (``"fpA|fpB"``), hottest
@@ -163,21 +194,41 @@ class PlanCache:
         self.misses = 0
         self.evictions = 0
         self.inserts = 0
+        self.rejects = 0
+        self.refines = 0
         self._key_hits: Dict[str, int] = {}
 
     # ------------------------------------------------------------------
-    def get_or_create(self, a: CSR, b: CSR) -> Tuple[CachedPlan, bool]:
+    def get_or_create(
+        self, a: CSR, b: CSR, mode: str = "full"
+    ) -> Tuple[CachedPlan, bool]:
         """Look up the plan for ``(A, B)``; returns ``(plan, hit)``.
 
         ``hit`` is true only when the plan is already populated — a plan
         registered by a concurrent cold multiply that has not finished yet
         counts as a miss (the second caller recomputes rather than waits;
         the synchronous core never blocks on another request).
+
+        ``mode`` is the caller's planning rung (see the service's
+        brownout ladder).  A ready plan serves *any* request — a full
+        plan is strictly better than what a degraded request would
+        compute, and under pressure a cheap plan beats a cold run — with
+        one exception: a **full-mode** request landing on a non-full
+        plan *refines* it.  The stale brownout entry is replaced by a
+        fresh plan the caller's cold multiply populates with the
+        complete pipeline ("plan cheaply now, refine later").
         """
         key = plan_key(a, b)
         with self._lock:
             plan = self._plans.get(key)
             if plan is not None and plan.ready:
+                if mode == "full" and plan.mode != "full":
+                    self.refines += 1
+                    self.misses += 1
+                    plan = CachedPlan(key=key, mode=mode)
+                    self._plans[key] = plan
+                    self._plans.move_to_end(key)
+                    return plan, False
                 self._plans.move_to_end(key)
                 plan.hits += 1
                 self.hits += 1
@@ -188,6 +239,7 @@ class PlanCache:
             if plan is None:
                 plan = CachedPlan(key=key)
                 self._plans[key] = plan
+            plan.mode = mode
             return plan, False
 
     def note_populated(self, plan: CachedPlan) -> None:
@@ -215,15 +267,47 @@ class PlanCache:
             plan = self._plans.get(key)
             return plan if plan is not None and plan.ready else None
 
-    def adopt(self, plan: CachedPlan) -> CachedPlan:
-        """Insert a ready plan produced elsewhere (a replicated peer plan).
+    def adopt(
+        self, plan: CachedPlan, *, expected_compat: Optional[str] = None
+    ) -> CachedPlan:
+        """Insert a ready plan produced elsewhere (a replicated peer plan
+        or a plan decoded from the durable store).
 
         Counts as an insert, enforces the byte budget, and returns the
         resident plan — the existing one if a concurrent multiply already
         populated this key locally.
+
+        The replica is **verified, not trusted**: when it carries a
+        compat key that mismatches ``expected_compat``, or a Plan IR
+        checksum that no longer matches its content, adoption raises
+        :class:`PlanIntegrityError` and the rejection is counted in the
+        cache stats.  Plans without a checksum (built outside a service)
+        skip content verification.
         """
         if not plan.ready:
             raise ValueError("only populated plans can be adopted")
+        if (
+            expected_compat is not None
+            and plan.compat is not None
+            and plan.compat != expected_compat
+        ):
+            with self._lock:
+                self.rejects += 1
+            raise PlanIntegrityError(
+                f"replica compat {plan.compat!r} does not match this "
+                f"service's {expected_compat!r}",
+                reason="compat",
+            )
+        if plan.checksum is not None:
+            from .plan_ir import plan_checksum  # local: avoids an import cycle
+
+            if plan_checksum(plan) != plan.checksum:
+                with self._lock:
+                    self.rejects += 1
+                raise PlanIntegrityError(
+                    "replica content does not match its Plan IR checksum",
+                    reason="checksum",
+                )
         with self._lock:
             existing = self._plans.get(plan.key)
             if existing is not None and existing.ready:
@@ -273,6 +357,8 @@ class PlanCache:
                 misses=self.misses,
                 evictions=self.evictions,
                 inserts=self.inserts,
+                rejects=self.rejects,
+                refines=self.refines,
                 bytes_cached=self._bytes_locked(),
                 entries=len(self._plans),
                 per_key_hits=per_key,

@@ -1,0 +1,319 @@
+"""The versioned, checksummed Plan IR: cached plans as bytes.
+
+A :class:`~repro.serve.plan_cache.CachedPlan` is exactly the artifact
+spECK's lightweight analysis exists to amortise — the O(NNZ_A) row
+statistics, the binning decisions, both block plans and the symbolic
+pass record.  Keeping it process-local means every restart throws the
+fleet back to cold analysis; this module gives the plan a stable
+*interchange representation* so it can be persisted by the
+:class:`~repro.serve.plan_store.PlanStore`, replicated between cluster
+peers, and verified end to end.
+
+Frame layout (all integers big-endian)::
+
+    +------+---------+-------------+------------------+-----------+
+    | SPIR | version | payload len | blake2b(payload) |  payload  |
+    | 4 B  |  u16    |    u64      |      16 B        |  var      |
+    +------+---------+-------------+------------------+-----------+
+
+The payload is a JSON header (scalars, decisions, the device/params
+*compat key*, and one descriptor per array) followed by the raw
+``tobytes()`` buffers of every numpy array in descriptor order.  Numeric
+scalars ride in the JSON header — Python's ``repr``-based float
+serialisation round-trips ``float64`` exactly, and the arrays are copied
+bit for bit — so ``decode_plan(encode_plan(p)) == p`` down to dtypes.
+
+The digest covers the whole payload, which makes the frame self-
+verifying: a bit flip anywhere (disk corruption, torn append, a peer
+replica damaged in transit) surfaces as :class:`PlanIRError` with
+``reason="checksum"`` instead of a silently wrong plan.  The same digest
+doubles as the plan's identity for :meth:`PlanCache.adopt`'s integrity
+check (:func:`plan_checksum`).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import struct
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..core.analysis import RowAnalysis
+from ..core.global_lb import BlockPlan
+from ..core.params import SpeckParams
+from ..core.passes import PassResult
+from ..gpu import DeviceSpec
+from .plan_cache import CachedPlan
+
+__all__ = [
+    "PLAN_IR_VERSION",
+    "PlanIRError",
+    "compat_key",
+    "encode_plan",
+    "decode_plan",
+    "plan_checksum",
+]
+
+PLAN_IR_MAGIC = b"SPIR"
+PLAN_IR_VERSION = 1
+
+#: Frame prefix: magic, version, payload length, 16-byte blake2b digest.
+_HEADER_STRUCT = struct.Struct(">4sHQ16s")
+
+
+class PlanIRError(ValueError):
+    """A frame that cannot be decoded.  ``reason`` classifies the defect:
+    ``"truncated"`` (frame shorter than declared), ``"magic"`` (not a
+    Plan IR frame at all), ``"version"`` (produced by an incompatible
+    writer), ``"checksum"`` (bit rot — the payload digest mismatches),
+    or ``"corrupt"`` (digest matched but the payload is malformed, e.g.
+    a buggy writer)."""
+
+    def __init__(self, message: str, *, reason: str = "corrupt") -> None:
+        super().__init__(message)
+        self.reason = reason
+
+
+def compat_key(device: DeviceSpec, params: SpeckParams) -> str:
+    """The device+params compatibility key plans are valid under.
+
+    Binning thresholds and kernel configurations are device-derived, so
+    a plan only transfers (or warm-restarts) between services whose
+    engines would have made identical decisions.  The format matches
+    what the cluster layer has always used for replica gating.
+    """
+    return f"{device.name}|{params!r}"
+
+
+# ---------------------------------------------------------------------------
+# Encoding
+# ---------------------------------------------------------------------------
+def _block_plan_header(
+    bp: BlockPlan, prefix: str, arrays: List[np.ndarray], descs: List[dict]
+) -> dict:
+    for field in ("row_order", "block_ptr", "block_config"):
+        arr = np.ascontiguousarray(getattr(bp, field))
+        descs.append(
+            {"name": f"{prefix}.{field}", "dtype": arr.dtype.str, "shape": list(arr.shape)}
+        )
+        arrays.append(arr)
+    return {"used_global_lb": bool(bp.used_global_lb)}
+
+
+def _pass_header(
+    pr: PassResult, prefix: str, arrays: List[np.ndarray], descs: List[dict]
+) -> dict:
+    gs = np.ascontiguousarray(pr.group_sizes)
+    descs.append(
+        {"name": f"{prefix}.group_sizes", "dtype": gs.dtype.str, "shape": list(gs.shape)}
+    )
+    arrays.append(gs)
+    return {
+        "time_s": float(pr.time_s),
+        # JSON objects key on strings; configuration indices are ints, so
+        # ship them as sorted pairs to keep types and order exact.
+        "kernel_times": [
+            [int(k), float(v)] for k, v in sorted(pr.kernel_times.items())
+        ],
+        "accum_blocks": {
+            str(k): int(v) for k, v in sorted(pr.accum_blocks.items())
+        },
+        "radix_entries": int(pr.radix_entries),
+        "global_hash_blocks": int(pr.global_hash_blocks),
+        "global_hash_max_entries": int(pr.global_hash_max_entries),
+        "mean_utilization": float(pr.mean_utilization),
+    }
+
+
+def _payload(plan: CachedPlan, compat: str) -> bytes:
+    if not plan.ready:
+        raise ValueError("only populated plans can be serialized")
+    assert plan.analysis is not None and plan.c_row_nnz is not None
+    assert plan.plan_sym is not None and plan.plan_num is not None
+    assert plan.sym is not None
+
+    arrays: List[np.ndarray] = []
+    descs: List[dict] = []
+    for field in (
+        "products",
+        "max_ref_row",
+        "col_min",
+        "col_max",
+        "a_row_nnz",
+        "adjacency",
+    ):
+        arr = np.ascontiguousarray(getattr(plan.analysis, field))
+        descs.append(
+            {
+                "name": f"analysis.{field}",
+                "dtype": arr.dtype.str,
+                "shape": list(arr.shape),
+            }
+        )
+        arrays.append(arr)
+    c_nnz = np.ascontiguousarray(plan.c_row_nnz)
+    descs.append(
+        {"name": "c_row_nnz", "dtype": c_nnz.dtype.str, "shape": list(c_nnz.shape)}
+    )
+    arrays.append(c_nnz)
+
+    header: Dict[str, object] = {
+        "version": PLAN_IR_VERSION,
+        "compat": compat,
+        "key": list(plan.key),
+        "mode": plan.mode,
+        "use_lb_symbolic": bool(plan.use_lb_symbolic),
+        "use_lb_numeric": bool(plan.use_lb_numeric),
+        "ratio_symbolic": float(plan.ratio_symbolic),
+        "ratio_numeric": float(plan.ratio_numeric),
+        "plan_sym": _block_plan_header(plan.plan_sym, "plan_sym", arrays, descs),
+        "plan_num": _block_plan_header(plan.plan_num, "plan_num", arrays, descs),
+        "sym": _pass_header(plan.sym, "sym", arrays, descs),
+        "num": (
+            _pass_header(plan.num, "num", arrays, descs)
+            if plan.num is not None
+            else None
+        ),
+    }
+    header["arrays"] = descs
+    head = json.dumps(header, sort_keys=True).encode("utf-8")
+    parts = [struct.pack(">I", len(head)), head]
+    parts.extend(arr.tobytes() for arr in arrays)
+    return b"".join(parts)
+
+
+def encode_plan(plan: CachedPlan, compat: str = "") -> bytes:
+    """Serialize a populated plan into one self-verifying frame."""
+    payload = _payload(plan, compat or plan.compat or "")
+    digest = hashlib.blake2b(payload, digest_size=16).digest()
+    return (
+        _HEADER_STRUCT.pack(PLAN_IR_MAGIC, PLAN_IR_VERSION, len(payload), digest)
+        + payload
+    )
+
+
+def plan_checksum(plan: CachedPlan, compat: str = "") -> str:
+    """The plan's payload digest (hex) — its content identity.
+
+    Computed over the same canonical payload :func:`encode_plan` frames,
+    so a plan decoded from disk or adopted from a peer can be verified
+    against the checksum stamped at population time without re-framing.
+    """
+    payload = _payload(plan, compat or plan.compat or "")
+    return hashlib.blake2b(payload, digest_size=16).hexdigest()
+
+
+# ---------------------------------------------------------------------------
+# Decoding
+# ---------------------------------------------------------------------------
+def _read_arrays(descs: List[dict], buf: memoryview) -> Dict[str, np.ndarray]:
+    """Materialise every described array from the buffer (writable copies)."""
+    out: Dict[str, np.ndarray] = {}
+    offset = 0
+    for d in descs:
+        dtype = np.dtype(str(d["dtype"]))
+        shape = tuple(int(s) for s in d["shape"])
+        count = int(np.prod(shape, dtype=np.int64)) if shape else 1
+        nbytes = dtype.itemsize * count
+        if offset + nbytes > len(buf):
+            raise PlanIRError(
+                f"array {d['name']!r} runs past the payload", reason="corrupt"
+            )
+        arr = np.frombuffer(buf[offset : offset + nbytes], dtype=dtype)
+        out[str(d["name"])] = arr.reshape(shape).copy()
+        offset += nbytes
+    return out
+
+
+def _sub(arrays: Dict[str, np.ndarray], prefix: str) -> Dict[str, np.ndarray]:
+    return {
+        name[len(prefix):]: arr
+        for name, arr in arrays.items()
+        if name.startswith(prefix)
+    }
+
+
+def _decode_pass(head: dict, group_sizes: np.ndarray) -> PassResult:
+    return PassResult(
+        time_s=float(head["time_s"]),
+        kernel_times={int(k): float(v) for k, v in head["kernel_times"]},
+        accum_blocks={str(k): int(v) for k, v in head["accum_blocks"].items()},
+        radix_entries=int(head["radix_entries"]),
+        global_hash_blocks=int(head["global_hash_blocks"]),
+        global_hash_max_entries=int(head["global_hash_max_entries"]),
+        group_sizes=group_sizes,
+        mean_utilization=float(head["mean_utilization"]),
+    )
+
+
+def decode_plan(data: bytes) -> Tuple[CachedPlan, str]:
+    """Parse one frame back into a ready plan; returns ``(plan, compat)``.
+
+    Raises :class:`PlanIRError` (see its ``reason`` taxonomy) on any
+    defect; never returns a partially-reconstructed plan.
+    """
+    if len(data) < _HEADER_STRUCT.size:
+        raise PlanIRError(
+            f"frame is {len(data)} B, shorter than the {_HEADER_STRUCT.size} B "
+            "header",
+            reason="truncated",
+        )
+    magic, version, length, digest = _HEADER_STRUCT.unpack_from(data)
+    if magic != PLAN_IR_MAGIC:
+        raise PlanIRError(f"bad magic {magic!r}", reason="magic")
+    if version != PLAN_IR_VERSION:
+        raise PlanIRError(
+            f"plan IR version {version}, this reader speaks {PLAN_IR_VERSION}",
+            reason="version",
+        )
+    payload = data[_HEADER_STRUCT.size:]
+    if len(payload) != length:
+        raise PlanIRError(
+            f"payload is {len(payload)} B, header declared {length} B",
+            reason="truncated",
+        )
+    if hashlib.blake2b(payload, digest_size=16).digest() != digest:
+        raise PlanIRError("payload digest mismatch (bit rot)", reason="checksum")
+
+    try:
+        (head_len,) = struct.unpack_from(">I", payload)
+        header = json.loads(payload[4 : 4 + head_len].decode("utf-8"))
+        buf = memoryview(payload)[4 + head_len:]
+        arrays = _read_arrays(list(header["arrays"]), buf)
+        analysis_arrays = _sub(arrays, "analysis.")
+        sym_bp = _sub(arrays, "plan_sym.")
+        num_bp = _sub(arrays, "plan_num.")
+
+        key_list = [str(k) for k in header["key"]]
+        plan = CachedPlan(key=(key_list[0], key_list[1]))
+        plan.mode = str(header.get("mode", "full"))
+        plan.populate(
+            analysis=RowAnalysis(**analysis_arrays),
+            c_row_nnz=arrays["c_row_nnz"],
+            use_lb_symbolic=bool(header["use_lb_symbolic"]),
+            use_lb_numeric=bool(header["use_lb_numeric"]),
+            ratio_symbolic=float(header["ratio_symbolic"]),
+            ratio_numeric=float(header["ratio_numeric"]),
+            plan_sym=BlockPlan(
+                used_global_lb=bool(header["plan_sym"]["used_global_lb"]), **sym_bp
+            ),
+            plan_num=BlockPlan(
+                used_global_lb=bool(header["plan_num"]["used_global_lb"]), **num_bp
+            ),
+            sym=_decode_pass(header["sym"], arrays["sym.group_sizes"]),
+            num=(
+                _decode_pass(header["num"], arrays["num.group_sizes"])
+                if header["num"] is not None
+                else None
+            ),
+        )
+        compat = str(header["compat"])
+    except PlanIRError:
+        raise
+    except Exception as exc:  # malformed-but-checksummed payload
+        raise PlanIRError(f"malformed payload: {exc}", reason="corrupt") from exc
+    plan.compat = compat
+    plan.checksum = hashlib.blake2b(payload, digest_size=16).hexdigest()
+    return plan, compat

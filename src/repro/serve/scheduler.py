@@ -31,7 +31,12 @@ from ..core.context import device_csr_bytes
 from ..faults import FailureInfo, FaultPlan
 from ..matrices.csr import CSR
 from ..result import SpGEMMResult
-from .admission import AdmissionController, AdmissionPolicy, ServiceReject
+from .admission import (
+    AdmissionController,
+    AdmissionPolicy,
+    BrownoutInfo,
+    ServiceReject,
+)
 from .service import SpGEMMService
 
 __all__ = ["Request", "RequestOutcome", "ServeScheduler"]
@@ -74,6 +79,8 @@ class RequestOutcome:
     finish_s: float = 0.0
     cache_hit: bool = False
     attempts: int = 0
+    #: Brownout rung the dispatch planned under ("full" when unloaded).
+    brownout_mode: str = "full"
     result: Optional[SpGEMMResult] = None
     reject: Optional[ServiceReject] = None
     info: Optional[FailureInfo] = None
@@ -199,12 +206,17 @@ class ServeScheduler:
             idle = [w for w in range(self.n_workers) if workers[w] <= now]
             while idle and queue:
                 w = idle.pop()
+                # Degradation rung of this dispatch: pressure is measured
+                # when the work *starts*, not when it was admitted.
+                brownout = self.admission.brownout_mode(
+                    queue_depth=len(queue), committed_bytes=committed
+                )
                 batch = self._take_batch(queue, now)
                 if not batch:
                     break
                 t = now
                 for req in batch:
-                    out = self._execute(req, start_s=t)
+                    out = self._execute(req, start_s=t, brownout=brownout)
                     if out is None:  # re-queued for retry
                         continue
                     if out.ok and out.result is not None:
@@ -319,13 +331,20 @@ class ServeScheduler:
             )
         )
 
-    def _execute(self, req: Request, *, start_s: float) -> Optional[RequestOutcome]:
+    def _execute(
+        self,
+        req: Request,
+        *,
+        start_s: float,
+        brownout: Optional[BrownoutInfo] = None,
+    ) -> Optional[RequestOutcome]:
         """Run one request; ``None`` means it was re-queued for retry."""
         res = self.service.multiply(
             req.a,
             req.b,
             faults=self.faults,
             case_name=req.case_name,
+            brownout=brownout,
         )
         hit = res.decisions.get("plan_cache") == "hit"
         if res.valid:
@@ -337,6 +356,7 @@ class ServeScheduler:
                 start_s=start_s,
                 cache_hit=hit,
                 attempts=req.attempts,
+                brownout_mode=brownout.mode if brownout is not None else "full",
                 result=res,
             )
         retryable = bool(res.failure_info and res.failure_info.retryable)

@@ -17,7 +17,7 @@ from __future__ import annotations
 
 import threading
 from collections import OrderedDict
-from typing import Optional, Tuple
+from typing import TYPE_CHECKING, Dict, Optional, Tuple
 
 from ..core.context import MultiplyContext
 from ..core.params import DEFAULT_PARAMS, SpeckParams
@@ -27,10 +27,31 @@ from ..gpu import DeviceSpec, TITAN_V
 from ..gpu.trace import Trace
 from ..matrices.csr import CSR
 from ..result import SpGEMMResult
+from .admission import BROWNOUT_MODES, BrownoutInfo
 from .metrics import MetricsRegistry
 from .plan_cache import PlanCache
+from .plan_ir import compat_key, plan_checksum
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from .plan_store import PlanStore
 
 __all__ = ["SpGEMMService"]
+
+#: Per-rung planning overrides of the brownout ladder.  ``lb_fallback``
+#: skips the binning decision entirely (both passes take the global-LB
+#: fallback path the engine already uses after a failed attempt);
+#: ``minimal`` plans dense-free with no load balancing and no block
+#: merging — the cheapest plan that still multiplies correctly.
+BROWNOUT_OVERRIDES = {
+    "lb_fallback": dict(force_lb_symbolic=True, force_lb_numeric=True),
+    "minimal": dict(
+        force_lb_symbolic=False,
+        force_lb_numeric=False,
+        global_lb_mode="never",
+        enable_dense=False,
+        enable_block_merge=False,
+    ),
+}
 
 
 class SpGEMMService:
@@ -62,9 +83,20 @@ class SpGEMMService:
         metrics: Optional[MetricsRegistry] = None,
         context_cache_entries: int = 32,
         name: str = "spECK",
+        plan_store: Optional["PlanStore"] = None,
     ) -> None:
         self.device = device
         self.engine = SpeckEngine(device, params, name=name)
+        #: Device/params compatibility key of every plan this service
+        #: populates (stamped on plans for replication and persistence).
+        self.compat = compat_key(device, params)
+        # One engine per brownout rung; they share the device's kernel
+        # configurations and the fault-scope name, only params differ.
+        self._engines: Dict[str, SpeckEngine] = {"full": self.engine}
+        for rung, overrides in BROWNOUT_OVERRIDES.items():
+            self._engines[rung] = SpeckEngine(
+                device, params.with_overrides(**overrides), name=name
+            )
         self.plans = PlanCache(max_bytes=plan_cache_bytes)
         self.metrics = metrics or MetricsRegistry()
         self._contexts: "OrderedDict[Tuple[str, str], MultiplyContext]" = (
@@ -72,6 +104,21 @@ class SpGEMMService:
         )
         self._context_cache_entries = max(1, int(context_cache_entries))
         self._ctx_lock = threading.Lock()
+        self.plan_store: Optional["PlanStore"] = None
+        if plan_store is not None:
+            self.attach_plan_store(plan_store)
+
+    # ------------------------------------------------------------------
+    def attach_plan_store(self, store: "PlanStore") -> int:
+        """Bind a durable store: warm the cache from it now, persist every
+        plan this service populates from here on.  Returns the number of
+        compatible plans adopted (the warm-restart win)."""
+        self.plan_store = store
+        warmed = store.warm(self.plans, self.compat)
+        self.metrics.counter(
+            "service.warm_plans", "plans adopted from the durable store"
+        ).inc(warmed)
+        return warmed
 
     # ------------------------------------------------------------------
     def context_for(self, a: CSR, b: CSR) -> MultiplyContext:
@@ -104,14 +151,27 @@ class SpGEMMService:
         trace: Optional[Trace] = None,
         faults: Optional[FaultPlan] = None,
         case_name: str = "",
+        brownout: Optional[BrownoutInfo] = None,
     ) -> SpGEMMResult:
         """Run ``C = A · B`` through the engine with plan reuse.
 
         Returns the engine's :class:`~repro.result.SpGEMMResult`; a failed
         run comes back invalid (never raises — the service is the boundary
         where structured failures stop propagating).
+
+        ``brownout`` carries the dispatch-time degradation decision (see
+        :meth:`~repro.serve.admission.AdmissionController.brownout_mode`).
+        A cache hit is served from the stored plan regardless — reuse is
+        already the cheap path — while a cold request plans through the
+        rung's engine: progressively lighter pipelines whose output is
+        bit-identical, only the modelled planning effort differs.
         """
-        plan, hit = self.plans.get_or_create(a, b)
+        rung = brownout.mode if brownout is not None else "full"
+        if rung not in self._engines:
+            raise ValueError(
+                f"unknown brownout mode {rung!r}; have {BROWNOUT_MODES}"
+            )
+        plan, hit = self.plans.get_or_create(a, b, mode=rung)
         if ctx is None:
             ctx = self.context_for(a, b)
         # Set unconditionally: cached contexts outlive requests, and a
@@ -119,9 +179,15 @@ class SpGEMMService:
         ctx.faults = faults
         if case_name:
             ctx.case_name = case_name
-        res = self.engine.multiply(a, b, ctx=ctx, mode=mode, trace=trace, plan=plan)
+        engine = self.engine if hit else self._engines[rung]
+        res = engine.multiply(a, b, ctx=ctx, mode=mode, trace=trace, plan=plan)
         if not hit and plan.ready:
+            # Stamp identity before anything persists or replicates it.
+            plan.compat = self.compat
+            plan.checksum = plan_checksum(plan)
             self.plans.note_populated(plan)
+            if self.plan_store is not None:
+                self.plan_store.put(plan)
 
         m = self.metrics
         m.counter("service.requests", "multiplies accepted by the core").inc()
@@ -129,6 +195,17 @@ class SpGEMMService:
             m.counter("service.plan_hits", "plan cache hits").inc()
         else:
             m.counter("service.plan_misses", "plan cache misses").inc()
+        if brownout is not None and rung != "full":
+            res.decisions["brownout"] = brownout.as_dict()
+            m.counter(
+                f"service.brownout_{rung}",
+                f"dispatches planned in {rung} mode",
+            ).inc()
+            if not hit:
+                m.counter(
+                    "service.brownout_cold_plans",
+                    "cold plans computed degraded (refined later)",
+                ).inc()
         if res.valid:
             m.histogram(
                 "service.latency_s", "modelled service time, all requests"
@@ -144,6 +221,12 @@ class SpGEMMService:
             m.counter("service.engine_retries", "engine fallback attempts").inc(
                 res.retries
             )
+            retry_s = float(res.stage_times.get("retry", 0.0))
+            if retry_s > 0.0:
+                m.histogram(
+                    "service.retry_s",
+                    "seconds charged to wasted attempts and backoff",
+                ).observe(retry_s)
         stats = self.plans.stats()
         m.gauge("service.cache_bytes", "bytes held by the plan cache").set(
             stats.bytes_cached
@@ -165,10 +248,14 @@ class SpGEMMService:
             "misses": stats.misses,
             "evictions": stats.evictions,
             "inserts": stats.inserts,
+            "rejects": stats.rejects,
+            "refines": stats.refines,
             "bytes_cached": stats.bytes_cached,
             "entries": stats.entries,
             "hit_rate": stats.hit_rate,
             # Hottest structures first; bounded so snapshots stay small.
             "per_key_hits": dict(list(stats.per_key_hits.items())[:16]),
         }
+        if self.plan_store is not None:
+            snap["plan_store"] = self.plan_store.stats()
         return snap

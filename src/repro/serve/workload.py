@@ -152,6 +152,14 @@ class BenchReport:
     #: cold mean / hit mean (higher = caching helps more).
     hit_speedup: float = 0.0
     cache: Dict[str, object] = field(default_factory=dict)
+    #: Plan-cache hit rate over the first 100 served requests (request-id
+    #: order) — the warm-restart signal: a store-warmed service hits from
+    #: request one, a cold one pays a miss per distinct structure.
+    first_100_hit_rate: float = 0.0
+    #: Plans adopted from a durable store at startup (0 without a store).
+    warm_plans: int = 0
+    #: Dispatches per brownout rung (full / lb_fallback / minimal).
+    brownouts: Dict[str, int] = field(default_factory=dict)
     #: Bit-identical verification of hit vs cold output (always checked).
     bit_identical: bool = False
     metrics: Dict[str, object] = field(default_factory=dict)
@@ -192,8 +200,17 @@ class BenchReport:
             f"service time: hit mean {self.hit_latency_mean_s * 1e3:.3f} ms vs "
             f"cold mean {self.cold_latency_mean_s * 1e3:.3f} ms "
             f"(speedup {self.hit_speedup:.2f}x)",
+            f"first 100 served: hit rate {self.first_100_hit_rate * 100:.1f}%"
+            + (f" (warm-started with {self.warm_plans} plans)"
+               if self.warm_plans else ""),
             f"hit/cold outputs bit-identical: {self.bit_identical}",
         ]
+        degraded = {k: v for k, v in self.brownouts.items() if k != "full"}
+        if degraded:
+            lines.append(
+                "brownout dispatches: "
+                + ", ".join(f"{k}={v}" for k, v in sorted(degraded.items()))
+            )
         return "\n".join(lines)
 
 
@@ -233,15 +250,28 @@ def run_serve_bench(
     plan_cache_bytes: int = 256 * 1024 * 1024,
     policy: Optional[AdmissionPolicy] = None,
     faults: Optional[FaultPlan] = None,
+    plan_store_dir: Optional[str] = None,
 ) -> BenchReport:
-    """Drive the service with the synthetic workload; return the report."""
+    """Drive the service with the synthetic workload; return the report.
+
+    With ``plan_store_dir`` the service binds a durable
+    :class:`~repro.serve.plan_store.PlanStore` there: plans persisted by
+    earlier runs warm the cache before the first request, and every plan
+    this run computes is persisted for the next one.
+    """
     cases = list(cases) if cases is not None else serve_corpus()
     spec = spec or WorkloadSpec()
+    store = None
+    if plan_store_dir is not None:
+        from .plan_store import PlanStore
+
+        store = PlanStore(plan_store_dir, faults=faults)
     service = SpGEMMService(
         device,
         params,
         plan_cache_bytes=plan_cache_bytes,
         context_cache_entries=max(32, len(cases)),
+        plan_store=store,
     )
     scheduler = ServeScheduler(
         service,
@@ -276,6 +306,12 @@ def summarize(
     hit_mean = float(hists.get("service.latency_hit_s", {}).get("mean", 0.0))
     cold_mean = float(hists.get("service.latency_cold_s", {}).get("mean", 0.0))
     completed = sum(1 for o in outcomes if o.ok)
+    first = sorted((o for o in outcomes if o.ok), key=lambda o: o.request_id)
+    first = first[:100]
+    first_100 = (
+        sum(1 for o in first if o.cache_hit) / len(first) if first else 0.0
+    )
+    warm_plans = int(snap.get("counters", {}).get("service.warm_plans", 0))
     report = BenchReport(
         config={
             "rate": spec.rate,
@@ -285,6 +321,9 @@ def summarize(
             "seed": spec.seed,
             "n_workers": scheduler.n_workers,
             "max_queue_depth": scheduler.admission.policy.max_queue_depth,
+            # A boolean, never the path: reports stay byte-identical
+            # across machines and temp directories.
+            "plan_store": service.plan_store is not None,
         },
         offered=len(outcomes),
         completed=completed,
@@ -300,6 +339,9 @@ def summarize(
         cold_latency_mean_s=cold_mean,
         hit_speedup=cold_mean / hit_mean if hit_mean > 0 else 0.0,
         cache=snap.get("plan_cache", {}),
+        first_100_hit_rate=first_100,
+        warm_plans=warm_plans,
+        brownouts=dict(sorted(scheduler.admission.brownout_modes.items())),
         bit_identical=bit_identical,
         metrics=snap,
     )

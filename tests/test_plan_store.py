@@ -1,0 +1,476 @@
+"""Durability, degradation and failover: Plan IR, PlanStore, brownout
+ladder, circuit breakers and the retry budget.
+
+The crash-safety tests exercise the exact failure geometry a WAL must
+survive: truncation at *every* byte boundary of the final record, plus
+the injected ``disk_corrupt`` / ``disk_torn_write`` fault sites; recovery
+must quarantine cleanly and never lose an earlier record.
+"""
+
+import json
+import os
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+
+from repro.eval.suite import MatrixCase
+from repro.faults import parse_fault_spec
+from repro.matrices import generators as gen
+from repro.serve.admission import AdmissionController, BrownoutPolicy
+from repro.serve.plan_cache import PlanCache, PlanIntegrityError
+from repro.serve.plan_ir import (
+    PlanIRError,
+    compat_key,
+    decode_plan,
+    encode_plan,
+    plan_checksum,
+)
+from repro.serve.plan_store import PlanStore
+from repro.serve.service import SpGEMMService
+from repro.serve.workload import WorkloadSpec, run_serve_bench
+from repro.cluster.bench import ClusterSpec, run_cluster_bench
+from repro.cluster.router import BreakerPolicy, CircuitBreaker, RetryBudget
+from repro.gpu import TITAN_V
+
+from conftest import csr_matrices
+
+
+def _cold_plan(a, b=None, svc=None):
+    """A populated, checksum-stamped plan for (a, b) via one cold run."""
+    svc = svc or SpGEMMService()
+    b = b if b is not None else a
+    res = svc.multiply(a, b)
+    assert res.valid
+    plan = svc.plans.peek((a.fingerprint(), b.fingerprint()))
+    assert plan is not None and plan.ready
+    return plan, svc
+
+
+# ---------------------------------------------------------------------------
+# Plan IR serialization
+# ---------------------------------------------------------------------------
+@settings(max_examples=25, deadline=None)
+@given(m=csr_matrices(square=True, max_rows=12, max_nnz=40))
+def test_plan_ir_roundtrip_bit_exact(m):
+    plan, _ = _cold_plan(m)
+    frame = encode_plan(plan, plan.compat or "")
+    decoded, compat = decode_plan(frame)
+    assert compat == (plan.compat or "")
+    # Re-encoding the decoded plan must reproduce the frame byte for
+    # byte — the strongest round-trip statement (covers every array,
+    # scalar and flag the IR carries).
+    assert encode_plan(decoded, compat) == frame
+    # Dtypes survive, not just values.
+    assert decoded.analysis.products.dtype == plan.analysis.products.dtype
+    assert decoded.c_row_nnz.dtype == plan.c_row_nnz.dtype
+    assert np.array_equal(decoded.c_row_nnz, plan.c_row_nnz)
+    assert decoded.sym.kernel_times == plan.sym.kernel_times
+    # Decoded arrays are writable copies, not frozen buffer views.
+    assert decoded.c_row_nnz.flags.writeable
+
+
+def test_plan_ir_detects_corruption():
+    plan, _ = _cold_plan(gen.rmat(6, 8, seed=3))
+    frame = bytearray(encode_plan(plan))
+    frame[len(frame) // 2] ^= 0xFF
+    with pytest.raises(PlanIRError) as exc:
+        decode_plan(bytes(frame))
+    assert exc.value.reason == "checksum"
+
+
+def test_plan_ir_rejects_truncation_and_bad_magic():
+    plan, _ = _cold_plan(gen.rmat(6, 8, seed=3))
+    frame = encode_plan(plan)
+    with pytest.raises(PlanIRError):
+        decode_plan(frame[: len(frame) // 2])
+    with pytest.raises(PlanIRError) as exc:
+        decode_plan(b"XXXX" + frame[4:])
+    assert exc.value.reason == "magic"
+
+
+def test_plan_checksum_matches_service_stamp():
+    a = gen.rmat(6, 8, seed=5)
+    plan, svc = _cold_plan(a)
+    assert plan.checksum == plan_checksum(plan)
+    assert plan.compat == compat_key(svc.device, svc.engine.params)
+
+
+# ---------------------------------------------------------------------------
+# Adopt-time integrity checks (cache hardening)
+# ---------------------------------------------------------------------------
+def test_adopt_rejects_checksum_mismatch():
+    plan, _ = _cold_plan(gen.rmat(6, 8, seed=7))
+    plan.checksum = "0" * 32  # simulated bit rot after stamping
+    cache = PlanCache()
+    with pytest.raises(PlanIntegrityError) as exc:
+        cache.adopt(plan)
+    assert exc.value.reason == "checksum"
+    assert cache.stats().rejects == 1
+
+
+def test_adopt_rejects_compat_mismatch():
+    plan, _ = _cold_plan(gen.rmat(6, 8, seed=7))
+    cache = PlanCache()
+    with pytest.raises(PlanIntegrityError) as exc:
+        cache.adopt(plan, expected_compat="other-device|params")
+    assert exc.value.reason == "compat"
+    assert cache.stats().rejects == 1
+    # The genuine compat passes.
+    cache.adopt(plan, expected_compat=plan.compat)
+    assert cache.stats().rejects == 1
+
+
+# ---------------------------------------------------------------------------
+# PlanStore: WAL, snapshots, quarantine
+# ---------------------------------------------------------------------------
+def test_plan_store_roundtrip_and_warm(tmp_path):
+    d = str(tmp_path / "store")
+    svc = SpGEMMService(plan_store=PlanStore(d))
+    mats = [gen.rmat(6, 8, seed=s) for s in (1, 2, 3)]
+    for m in mats:
+        svc.multiply(m, m)
+    assert svc.plan_store.appended == 3
+
+    svc2 = SpGEMMService(plan_store=PlanStore(d))
+    for m in mats:
+        res = svc2.multiply(m, m)
+        assert res.decisions.get("plan_cache") == "hit"
+    assert svc2.plan_store.warmed == 3
+    assert svc2.plans.stats().misses == 0
+
+
+def test_plan_store_compaction_is_atomic_and_lossless(tmp_path):
+    d = str(tmp_path / "store")
+    store = PlanStore(d)
+    svc = SpGEMMService(plan_store=store)
+    for s in (1, 2, 3):
+        m = gen.rmat(6, 8, seed=s)
+        svc.multiply(m, m)
+    assert store.compact() == 3
+    assert os.path.getsize(store.wal_path) == 0
+    load = PlanStore(d).load()
+    assert len(load.plans) == 3 and load.quarantined == 0
+    # Repeated keys: the last record wins, compaction dedups.
+    m = gen.rmat(6, 8, seed=1)
+    svc.multiply(m, m)  # hit: no new WAL record
+    store.put(svc.plans.peek((m.fingerprint(), m.fingerprint())))
+    assert store.compact() == 3
+
+
+def test_wal_truncated_at_every_byte_boundary(tmp_path):
+    """Crash-mid-write: for every prefix of the last WAL record the load
+    must recover the first record, quarantine the tear, and repair the
+    tail so the next append starts clean."""
+    d = str(tmp_path / "store")
+    store = PlanStore(d)
+    svc = SpGEMMService(plan_store=store)
+    # Tiny matrices keep the WAL lines short enough to sweep every byte.
+    for s in (1, 2):
+        m = gen.rmat(3, 4, seed=s)
+        svc.multiply(m, m)
+    with open(store.wal_path, "rb") as fh:
+        full = fh.read()
+    head, last = full[:-1].rsplit(b"\n", 1)
+    head += b"\n"
+    assert head.count(b"\n") == 1 and full == head + last + b"\n"
+
+    for cut in range(len(last) + 1):
+        with open(store.wal_path, "wb") as fh:
+            fh.write(head + last[:cut])
+        load = PlanStore(d).load()
+        torn = 0 < cut < len(last)
+        assert len(load.plans) == (1 if torn or cut == 0 else 2), cut
+        assert load.quarantined_torn == (1 if torn else 0), cut
+        assert load.quarantined_corrupt == 0, cut
+        # The tail is terminated: the next append cannot glue onto it.
+        with open(store.wal_path, "rb") as fh:
+            data = fh.read()
+        assert data.endswith(b"\n")
+
+
+def test_fault_sites_corrupt_and_tear_records(tmp_path):
+    d = str(tmp_path / "store")
+    faults = parse_fault_spec("disk_corrupt@s:n=2;disk_torn_write@s:n=3")
+    store = PlanStore(d, name="s", faults=faults)
+    svc = SpGEMMService(plan_store=store)
+    for s in (1, 2, 3):
+        m = gen.rmat(6, 8, seed=s)
+        svc.multiply(m, m)
+    assert store.corrupt_writes == 1 and store.torn_writes == 1
+
+    load = PlanStore(d).load()
+    assert len(load.plans) == 1
+    assert load.quarantined_corrupt == 1 and load.quarantined_torn == 1
+    # Quarantined records are preserved for forensics, not deleted.
+    q = str(tmp_path / "store" / "quarantine.jsonl")
+    with open(q, "r", encoding="utf-8") as fh:
+        assert len(fh.readlines()) == 2
+
+
+def test_torn_write_does_not_swallow_next_append(tmp_path):
+    d = str(tmp_path / "store")
+    faults = parse_fault_spec("disk_torn_write@s:n=1")
+    store = PlanStore(d, name="s", faults=faults)
+    svc = SpGEMMService(plan_store=store)
+    for s in (1, 2):
+        m = gen.rmat(6, 8, seed=s)
+        svc.multiply(m, m)
+    # Record 1 was torn; record 2 must survive on its own line.  The
+    # tear was tail-repaired before append 2, so at load time it reads
+    # as a complete-but-unparsable line — quarantined as corrupt.
+    load = PlanStore(d).load()
+    assert len(load.plans) == 1 and load.quarantined == 1
+
+
+def test_warm_skips_incompatible_and_rejects_damaged(tmp_path):
+    d = str(tmp_path / "store")
+    store = PlanStore(d)
+    plan, svc = _cold_plan(gen.rmat(6, 8, seed=9))
+    store.put(plan)
+    # A foreign-compat record: stored fine, skipped silently at warm.
+    foreign, _ = _cold_plan(gen.rmat(5, 8, seed=10))
+    foreign.compat = "other-device|params"
+    foreign.checksum = plan_checksum(foreign)
+    store.put(foreign)
+
+    cache = PlanCache()
+    assert store.warm(cache, compat=plan.compat) == 1
+    assert cache.stats().entries == 1
+
+
+# ---------------------------------------------------------------------------
+# Brownout ladder
+# ---------------------------------------------------------------------------
+def test_brownout_mode_rungs():
+    ctrl = AdmissionController(TITAN_V, brownout=BrownoutPolicy(0.5, 0.8))
+    depth = ctrl.policy.max_queue_depth
+    assert ctrl.brownout_mode(queue_depth=0, committed_bytes=0).mode == "full"
+    assert (
+        ctrl.brownout_mode(queue_depth=depth // 2, committed_bytes=0).mode
+        == "lb_fallback"
+    )
+    assert (
+        ctrl.brownout_mode(
+            queue_depth=0, committed_bytes=int(0.9 * ctrl.memory_limit)
+        ).mode
+        == "minimal"
+    )
+    assert ctrl.brownout_modes == {"full": 1, "lb_fallback": 1, "minimal": 1}
+
+
+def test_brownout_policy_validates():
+    with pytest.raises(ValueError):
+        BrownoutPolicy(lb_fallback_frac=0.9, minimal_frac=0.5)
+
+
+def test_brownout_rungs_bit_identical_in_execute_mode():
+    a = gen.rmat(7, 8, seed=11)
+    ctrl = AdmissionController(TITAN_V)
+    outs = {}
+    for mode, depth in (("full", 0), ("lb_fallback", 140), ("minimal", 230)):
+        svc = SpGEMMService()
+        info = ctrl.brownout_mode(queue_depth=depth, committed_bytes=0)
+        assert info.mode == mode
+        res = svc.multiply(a, a, mode="execute", brownout=info)
+        assert res.valid
+        outs[mode] = res
+    base = outs["full"].c
+    for mode in ("lb_fallback", "minimal"):
+        c = outs[mode].c
+        assert np.array_equal(base.indptr, c.indptr)
+        assert np.array_equal(base.indices, c.indices)
+        assert np.array_equal(base.data, c.data)
+    # Degraded results carry the structured decision record.
+    assert outs["minimal"].decisions["brownout"]["mode"] == "minimal"
+    assert "brownout" not in outs["full"].decisions
+
+
+def test_degraded_plan_refined_on_full_request():
+    a = gen.rmat(6, 8, seed=12)
+    svc = SpGEMMService()
+    ctrl = AdmissionController(TITAN_V)
+    info = ctrl.brownout_mode(queue_depth=230, committed_bytes=0)
+    assert info.mode == "minimal"
+    svc.multiply(a, a, brownout=info)  # cold, planned minimally
+    key = (a.fingerprint(), a.fingerprint())
+    assert svc.plans.peek(key).mode == "minimal"
+    # A full-pressure request re-plans (refines) rather than serving the
+    # degraded plan forever.
+    res = svc.multiply(a, a)
+    assert res.decisions["plan_cache"] == "miss"
+    assert svc.plans.stats().refines == 1
+    assert svc.plans.peek(key).mode == "full"
+    # And from here on it hits.
+    assert svc.multiply(a, a).decisions["plan_cache"] == "hit"
+
+
+# ---------------------------------------------------------------------------
+# Circuit breaker + retry budget units
+# ---------------------------------------------------------------------------
+def test_breaker_opens_after_threshold_failures():
+    brk = CircuitBreaker(BreakerPolicy(window=8, failure_threshold=3, cooldown_s=0.1))
+    now = 0.0
+    for _ in range(2):
+        brk.record(False, now)
+    assert brk.state == "closed" and brk.can_accept(now)
+    brk.record(False, now)
+    assert brk.state == "open"
+    assert not brk.can_accept(now + 0.05)
+    assert brk.can_accept(now + 0.1)
+
+
+def test_breaker_half_open_probe_closes_or_reopens():
+    pol = BreakerPolicy(window=4, failure_threshold=2, cooldown_s=0.1)
+    brk = CircuitBreaker(pol)
+    brk.record(False, 0.0)
+    brk.record(False, 0.0)
+    assert brk.state == "open"
+    brk.on_dispatch(0.15)
+    assert brk.state == "half_open" and brk.probe_inflight
+    assert not brk.can_accept(0.15)  # one probe at a time
+    brk.record(True, 0.16)
+    assert brk.state == "closed"
+    assert brk.transitions == {"open": 1, "half_open": 1, "closed": 1}
+
+    brk.record(False, 0.2)
+    brk.record(False, 0.2)
+    brk.on_dispatch(0.35)
+    brk.record(False, 0.36)  # failed probe re-opens for another cooldown
+    assert brk.state == "open" and not brk.can_accept(0.4)
+
+
+def test_breaker_window_is_rolling():
+    brk = CircuitBreaker(BreakerPolicy(window=4, failure_threshold=3))
+    outcomes = [False, False, True, True, True, False, False]
+    for ok in outcomes:
+        brk.record(ok, 0.0)
+    # Only 2 failures inside the last 4 outcomes: still closed.
+    assert brk.state == "closed"
+
+
+def test_retry_budget_caps_and_grows_with_traffic():
+    budget = RetryBudget(min_tokens=2, ratio=0.5)
+    assert budget.try_spend() and budget.try_spend()
+    assert not budget.try_spend()
+    assert budget.denied == 1
+    for _ in range(4):
+        budget.note_request()
+    assert budget.allowance == 4
+    assert budget.try_spend() and budget.try_spend()
+    assert not budget.try_spend()
+    assert budget.snapshot() == {"allowance": 4, "spent": 4, "denied": 2}
+
+
+# ---------------------------------------------------------------------------
+# Baseline retry backoff (seeded jitter)
+# ---------------------------------------------------------------------------
+def test_baseline_retry_charges_backoff_deterministically():
+    from repro.baselines.nsparse import Nsparse
+    from repro.core.context import MultiplyContext
+
+    a = gen.rmat(6, 8, seed=13)
+
+    def run_once():
+        ctx = MultiplyContext(a, a)
+        ctx.faults = parse_fault_spec("alloc@nsparse:transient")
+        ctx.case_name = "jitter"
+        return Nsparse().run(ctx)
+
+    r1, r2 = run_once(), run_once()
+    assert r1.valid and r1.retries == 1
+    assert r1.decisions["attempts"] == 2
+    assert r1.decisions["retry_backoff_s"] > 0
+    assert r1.stage_times["retry"] > r1.decisions["retry_backoff_s"]
+    # Deterministic: same run, same jitter, bit-equal times.
+    assert r1.time_s == r2.time_s
+    assert r1.decisions["retry_backoff_s"] == r2.decisions["retry_backoff_s"]
+
+
+# ---------------------------------------------------------------------------
+# Warm restart through serve-bench
+# ---------------------------------------------------------------------------
+def _small_cases():
+    def case(name, fn, *args, **kw):
+        return MatrixCase(name=name, family="t", build_a=lambda: fn(*args, **kw))
+
+    return [
+        case("r7", gen.rmat, 7, 8, seed=1),
+        case("r8", gen.rmat, 8, 6, seed=2),
+        case("mesh", gen.poisson2d, 12),
+        case("er", gen.random_uniform, 300, 300, 6.0, seed=3),
+    ]
+
+
+def test_warm_restart_beats_cold_start(tmp_path):
+    d = str(tmp_path / "store")
+    spec = WorkloadSpec(rate=4000.0, duration_s=0.05, seed=4)
+    cold = run_serve_bench(cases=_small_cases(), spec=spec, plan_store_dir=d)
+    warm = run_serve_bench(cases=_small_cases(), spec=spec, plan_store_dir=d)
+    assert cold.warm_plans == 0
+    assert warm.warm_plans == len(_small_cases())
+    assert warm.first_100_hit_rate > cold.first_100_hit_rate
+    assert warm.first_100_hit_rate == 1.0
+    assert warm.config["plan_store"] is True
+
+
+# ---------------------------------------------------------------------------
+# Cluster chaos: crash + corruption + degrade, deterministically
+# ---------------------------------------------------------------------------
+_CHAOS_FAULTS = "node_crash@node-1:n=40;node_degrade@node-2;disk_corrupt@node-0:n=2"
+
+
+def _chaos_run(store_dir):
+    spec = WorkloadSpec(rate=20_000.0, duration_s=0.1, timeout_s=0.25, seed=3)
+    cluster = ClusterSpec(queue_depth=16, plan_store_dir=store_dir)
+    return run_cluster_bench(
+        spec=spec,
+        cluster=cluster,
+        faults=parse_fault_spec(_CHAOS_FAULTS),
+        compare_single=False,
+    )
+
+
+def test_cluster_chaos_correct_and_deterministic(tmp_path):
+    r1 = _chaos_run(str(tmp_path / "a"))
+    # Zero wrong results under crash + corruption + degradation.
+    assert r1.wrong_results == 0 and r1.bit_identical
+    assert r1.conservation_ok
+    assert r1.crashes >= 1 and r1.degrades >= 1
+    # The persistent degrade opens node-2's breaker.
+    assert r1.breaker_opens >= 1
+    assert r1.breakers["node-2"]["opens"] >= 1
+    # The injected corruption reached node-0's WAL.
+    assert r1.plan_store["corrupt_writes"] >= 1
+    # Byte-identical report across two runs of the same seed.
+    r2 = _chaos_run(str(tmp_path / "b"))
+    assert r1.to_json() == r2.to_json()
+
+
+def test_cluster_warm_restart_and_quarantine(tmp_path):
+    d = str(tmp_path / "store")
+    first = _chaos_run(d)
+    assert first.plan_store["appended"] >= 1
+    second = _chaos_run(d)
+    # The restarted fleet warm-adopts surviving plans and quarantines the
+    # record the first run corrupted.
+    assert second.warm_plans >= 1
+    assert second.plan_store["quarantined_corrupt"] >= 1
+    assert second.first_100_hit_rate > first.first_100_hit_rate
+    assert second.wrong_results == 0 and second.conservation_ok
+
+
+def test_cluster_brownout_fires_under_pressure():
+    # Narrow queues + a slow single node: queue_frac crosses the ladder.
+    spec = WorkloadSpec(rate=30_000.0, duration_s=0.05, timeout_s=0.25, seed=5)
+    cluster = ClusterSpec(
+        n_nodes=2, queue_depth=10, spill_queue_depth=12, max_retries=2
+    )
+    report = run_cluster_bench(
+        spec=spec, cluster=cluster, compare_single=False
+    )
+    degraded = sum(
+        v for k, v in report.brownouts.items() if k != "full"
+    )
+    assert degraded > 0
+    assert report.wrong_results == 0 and report.conservation_ok
