@@ -109,6 +109,47 @@ def bench_model(cases, repeats: int) -> Dict[str, object]:
     return {"total_s": total, "cases": len(prepared)}
 
 
+def bench_estimate(cases, repeats: int) -> Dict[str, object]:
+    """Sampled estimation vs exact analysis wall-clock over the corpus.
+
+    This entry is a *regression guard* on the host cost of the sampling
+    kernel, not the headline claim — the estimator's win is in modelled
+    virtual time (it replaces analysis *and* the symbolic pass on the
+    cold path; see ``serve-bench --speculative``).  ``speedup`` (exact
+    analysis / sampled estimation, machine-independent) is reported for
+    context and can be < 1 on tiny corpus matrices where the fixed
+    sampling overhead dominates.
+    """
+    from repro.core.analysis import analyze
+    from repro.estimate import estimate_multiply
+
+    prepared = []
+    for case in cases:
+        a, b = case.matrices()
+        prepared.append((a, b))
+
+    def run_estimate():
+        for a, b in prepared:
+            estimate_multiply(a, b, seed=0)
+
+    def run_analyze():
+        for a, b in prepared:
+            analyze(a, b)
+
+    run_estimate()  # warm-up (imports, fingerprint caches)
+    run_analyze()
+    estimate_s = _best_of(run_estimate, repeats)
+    analyze_s = _best_of(run_analyze, repeats)
+    for case in cases:
+        case.release()
+    return {
+        "estimate_s": estimate_s,
+        "analyze_s": analyze_s,
+        "speedup": analyze_s / estimate_s if estimate_s > 0 else float("inf"),
+        "cases": len(prepared),
+    }
+
+
 def bench_suite(make_cases, workers: int) -> Dict[str, object]:
     """End-to-end ``run_suite`` wall-clock, sequential and parallel."""
     t0 = time.perf_counter()
@@ -243,6 +284,7 @@ def main(argv: List[str] | None = None) -> int:
         },
         "execute": bench_execute(make_cases(), args.repeats),
         "model": bench_model(make_cases(), args.repeats),
+        "estimate": bench_estimate(make_cases(), args.repeats),
         "suite": bench_suite(make_cases, args.workers),
     }
 
@@ -255,6 +297,9 @@ def main(argv: List[str] | None = None) -> int:
     print(f"execute: scalar {ex['scalar_s']:.3f}s, batched {ex['batched_s']:.3f}s "
           f"-> {ex['speedup']:.1f}x")
     print(f"model:   {report['model']['total_s']:.3f}s over {report['model']['cases']} cases")
+    es = report["estimate"]
+    print(f"estimate: sampled {es['estimate_s']:.4f}s vs exact analysis "
+          f"{es['analyze_s']:.4f}s -> {es['speedup']:.1f}x")
     print(f"suite:   sequential {su['sequential_s']:.3f}s, "
           f"workers={su['workers']} {su['parallel_s']:.3f}s -> {su['speedup']:.2f}x "
           f"({report['config']['cpu_count']} CPUs)")
@@ -276,6 +321,16 @@ def main(argv: List[str] | None = None) -> int:
             print("error: batched execute wall-clock regressed beyond the "
                   "allowed factor", file=sys.stderr)
             return 1
+        # Older baselines predate the estimate entry: skip, don't fail.
+        base_estimate = base.get("estimate", {}).get("estimate_s")
+        if base_estimate:
+            eratio = es["estimate_s"] / float(base_estimate)
+            print(f"regression check: sampled estimation {eratio:.2f}x of "
+                  f"baseline (limit {args.max_regress:.2f}x)")
+            if eratio > args.max_regress:
+                print("error: sampled estimation wall-clock regressed "
+                      "beyond the allowed factor", file=sys.stderr)
+                return 1
     return serve_rc
 
 

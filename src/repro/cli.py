@@ -142,6 +142,13 @@ def build_parser() -> argparse.ArgumentParser:
                     help="durable plan store directory: warm-start from "
                          "plans persisted by earlier runs, persist this "
                          "run's plans for the next one")
+    sb.add_argument("--estimate", action="store_true",
+                    help="sampled row/nnz estimation for admission "
+                         "footprints and cost-aware queue ordering")
+    sb.add_argument("--speculative", action="store_true",
+                    help="plan cold requests from sampled estimates "
+                         "(bound-verified at execute time, exact-analysis "
+                         "fallback on violation; implies --estimate)")
     sb.add_argument("--json", metavar="PATH",
                     help="write the full report + metrics JSON here")
 
@@ -187,6 +194,13 @@ def build_parser() -> argparse.ArgumentParser:
                     help="durable plan stores: each node persists plans "
                          "under DIR/<node-name> and warm-starts from what "
                          "a previous run left there")
+    cb.add_argument("--estimate", action="store_true",
+                    help="per-node sampled footprint bounds for admission "
+                         "and router spill decisions")
+    cb.add_argument("--speculative", action="store_true",
+                    help="nodes plan cold requests from sampled estimates "
+                         "(exact-analysis fallback on bound violation; "
+                         "implies --estimate)")
     cb.add_argument("--json", metavar="PATH",
                     help="write the full report + fleet metrics JSON here")
 
@@ -392,12 +406,16 @@ def _cmd_serve_bench(args) -> int:
         policy=AdmissionPolicy(max_queue_depth=args.queue_depth),
         faults=_fault_plan(args),
         plan_store_dir=args.plan_store,
+        estimate=args.estimate,
+        speculative=args.speculative,
     )
     print(report.render())
     if args.json:
         with open(args.json, "w", encoding="utf-8") as fh:
             fh.write(report.to_json())
         print(f"wrote {args.json}")
+    if report.wrong_results or not report.bit_identical:
+        return 1
     return 0
 
 
@@ -430,6 +448,8 @@ def _cmd_cluster_bench(args) -> int:
         replicate_plans=not args.no_replication,
         seed=args.seed,
         plan_store_dir=args.plan_store,
+        estimate=args.estimate,
+        speculative=args.speculative,
     )
     report = run_cluster_bench(
         spec=spec,

@@ -72,6 +72,14 @@ class ClusterSpec:
     #: ``plan_store_dir/<node-name>`` and warm-starts from what it finds
     #: there.  ``None`` keeps the fleet memory-only.
     plan_store_dir: Optional[str] = None
+    #: Give every node a :class:`~repro.estimate.RowEstimator`: admission
+    #: and router spill decisions use sampled footprint bounds instead of
+    #: the blind ``output_factor`` heuristic.
+    estimate: bool = False
+    #: Nodes additionally plan cold requests from the sampled estimates
+    #: (implies ``estimate``); bound violations fall back to exact
+    #: analysis and are counted in the report.
+    speculative: bool = False
 
     def __post_init__(self) -> None:
         if self.n_nodes < 1:
@@ -104,6 +112,8 @@ def build_fleet(
             n_workers=spec.workers_per_node,
             plan_cache_bytes=int(spec.plan_cache_mb * 1e6),
             policy=AdmissionPolicy(max_queue_depth=spec.queue_depth),
+            estimate=spec.estimate,
+            speculative=spec.speculative,
         )
     return nodes
 
@@ -250,11 +260,17 @@ def _run_fleet(
             )
             return
         fleet.placement(how)
+        footprint = (
+            node.estimator.footprint_bound_bytes(req.a, req.b)
+            if node.estimator is not None
+            else None
+        )
         reject = node.admission.admit(
             req.id,
             queue_depth=node.queue_depth,
             input_bytes=req.input_bytes(),
             committed_bytes=node.committed,
+            footprint=footprint,
         )
         if reject is not None:
             fleet.shed()
@@ -271,7 +287,9 @@ def _run_fleet(
                 )
             )
             return
-        node.enqueue(req, node.admission.estimate_bytes(req.input_bytes()))
+        node.enqueue(
+            req, node.admission.estimate_bytes(req.input_bytes(), footprint)
+        )
 
     def retry(req: Request, reason: str) -> None:
         if req.attempts >= spec.max_retries:
@@ -534,6 +552,12 @@ class ClusterBenchReport:
     scaling_vs_single: float = 0.0
     bit_identical: bool = False
     wrong_results: int = 0
+    #: Fleet-wide cold requests planned from sampled estimates.
+    speculative_cold: int = 0
+    #: Speculative runs that fell back to exact analysis (bound violated).
+    fallbacks: int = 0
+    #: ``fallbacks / speculative_cold`` (0.0 when nothing speculated).
+    fallback_rate: float = 0.0
     #: Every offered request reached exactly one terminal state.
     conservation_ok: bool = False
     metrics: Dict[str, object] = field(default_factory=dict)
@@ -602,6 +626,12 @@ class ClusterBenchReport:
                 f"({self.single_node.get('throughput_rps', 0.0):.1f} req/s) "
                 f"-> fleet scaling {self.scaling_vs_single:.2f}x"
             )
+        if self.speculative_cold:
+            lines.append(
+                f"speculative: {self.speculative_cold} cold plans from "
+                f"sampled estimates, {self.fallbacks} bound-violation "
+                f"fallbacks ({self.fallback_rate * 100:.1f}%)"
+            )
         lines.append(
             f"outputs bit-identical to single-node reference: "
             f"{self.bit_identical} ({self.wrong_results} wrong)"
@@ -653,6 +683,8 @@ def run_cluster_bench(
             replicate_plans=cluster.replicate_plans,
             max_retries=cluster.max_retries,
             seed=cluster.seed,
+            estimate=cluster.estimate,
+            speculative=cluster.speculative,
         )
         single_nodes = build_fleet(single_cluster, params)
         single_run = _run_fleet(
@@ -683,6 +715,12 @@ def run_cluster_bench(
         sum(1 for o in first if o.cache_hit) / len(first) if first else 0.0
     )
     breakers = snap.get("breakers", {})
+    spec_cold = int(
+        fleet_stats["node_counters"].get("service.speculative_cold", 0)
+    )
+    fallbacks = int(
+        fleet_stats["node_counters"].get("service.speculative_fallbacks", 0)
+    )
     report = ClusterBenchReport(
         config={
             "n_nodes": cluster.n_nodes,
@@ -704,6 +742,8 @@ def run_cluster_bench(
             # A boolean, never the path: the JSON report stays
             # byte-identical across machines and temp directories.
             "plan_store": cluster.plan_store_dir is not None,
+            "estimate": cluster.estimate or cluster.speculative,
+            "speculative": cluster.speculative,
         },
         offered=len(requests),
         completed=completed,
@@ -740,6 +780,9 @@ def run_cluster_bench(
             and _verify_execute_identical(cases[0], cluster.devices[0], params)
         ),
         wrong_results=run.wrong_results,
+        speculative_cold=spec_cold,
+        fallbacks=fallbacks,
+        fallback_rate=fallbacks / spec_cold if spec_cold else 0.0,
         conservation_ok=len(outcomes) == len(requests),
         metrics=snap,
     )

@@ -20,6 +20,7 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional
 
 from ..core.params import DEFAULT_PARAMS, SpeckParams
+from ..estimate import RowEstimator
 from ..faults import FaultPlan, FaultScope, null_scope
 from ..gpu import DeviceSpec
 from ..result import SpGEMMResult
@@ -51,6 +52,10 @@ class ClusterNode:
     Parameters mirror :class:`~repro.serve.service.SpGEMMService` /
     :class:`~repro.serve.admission.AdmissionPolicy`; ``n_workers`` is the
     number of simulated device streams draining this node's queue.
+    ``estimate`` gives the node a :class:`~repro.estimate.RowEstimator`
+    (sampled footprint bounds for admission and routing);
+    ``speculative`` additionally plans cold requests from the estimates
+    (and implies ``estimate``).
     """
 
     def __init__(
@@ -63,16 +68,23 @@ class ClusterNode:
         plan_cache_bytes: int = 256 * 1024 * 1024,
         policy: Optional[AdmissionPolicy] = None,
         context_cache_entries: int = 32,
+        estimate: bool = False,
+        speculative: bool = False,
     ) -> None:
         if n_workers < 1:
             raise ValueError("a node needs at least one worker")
         self.name = name
         self.device = device
+        self.estimator = (
+            RowEstimator(device) if (estimate or speculative) else None
+        )
         self.service = SpGEMMService(
             device,
             params,
             plan_cache_bytes=plan_cache_bytes,
             context_cache_entries=context_cache_entries,
+            speculative=speculative,
+            estimator=self.estimator,
         )
         self.admission = AdmissionController(device, policy)
         self.workers: List[float] = [0.0] * int(n_workers)
@@ -138,6 +150,20 @@ class ClusterNode:
         """Earliest future worker-free time, ``None`` if all idle."""
         busy = [t for t in self.workers if t > now]
         return min(busy) if busy else None
+
+    def est_bytes_for(self, req: Request) -> int:
+        """Admission/routing footprint of one request on this node.
+
+        With an estimator this is the sampled footprint bound (usually
+        far tighter than the blind ``output_factor`` multiple, so
+        estimator-equipped fleets shed and spill less on memory
+        pressure); without one, the controller's blind heuristic."""
+        footprint = (
+            self.estimator.footprint_bound_bytes(req.a, req.b)
+            if self.estimator is not None
+            else None
+        )
+        return self.admission.estimate_bytes(req.input_bytes(), footprint)
 
     def enqueue(self, req: Request, est_bytes: int) -> None:
         self.queue.append(req)

@@ -292,7 +292,10 @@ class ClusterRouter:
         if not alive:
             return None, "no_nodes"
         home = self.nodes[self.ring.route(request_key(req))]
-        est = home.admission.estimate_bytes(req.input_bytes())
+        # Sampled footprint bound when the node carries an estimator,
+        # the blind output_factor heuristic otherwise: tighter estimates
+        # mean fewer spurious memory-pressure spills off the home node.
+        est = home.est_bytes_for(req)
         if self.healthy(home, now, est):
             self.home_placements += 1
             self.breakers[home.name].on_dispatch(now)

@@ -25,6 +25,7 @@ from typing import TYPE_CHECKING, Optional
 import numpy as np
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (serve uses core)
+    from ..estimate.sampler import MultiplyEstimate
     from ..serve.plan_cache import CachedPlan
 
 from ..faults import FaultScope, SpGEMMError
@@ -35,7 +36,7 @@ from ..result import SpGEMMResult
 from .analysis import analysis_time_s
 from .config import KernelConfig, build_configs, config_index_for_entries
 from .batch_execute import execute_batched, execute_scalar
-from .context import MultiplyContext
+from .context import MultiplyContext, device_csr_bytes
 from .global_lb import balanced_plan, load_balance_time_s, uniform_plan
 from .params import DEFAULT_PARAMS, SpeckParams
 from .passes import radix_sort_time_s, run_pass
@@ -89,6 +90,7 @@ class SpeckEngine:
         mode: str = "model",
         trace: Optional[Trace] = None,
         plan: Optional["CachedPlan"] = None,
+        estimate: Optional["MultiplyEstimate"] = None,
     ) -> SpGEMMResult:
         """Run the full pipeline on ``C = A · B``.
 
@@ -102,6 +104,17 @@ class SpeckEngine:
         the plan was keyed on — so the cost model charges only the numeric
         pass, sorting, and call overhead.  An unready plan is populated
         from the cold run's artifacts as a side effect.
+
+        Pass a :class:`~repro.estimate.MultiplyEstimate` to plan
+        *speculatively* on a cold run: the estimation kernel's modelled
+        time replaces the exact analysis and symbolic stages, the output
+        is allocated at the estimate's confidence bound, and the
+        load-balancing decisions come from the sampled ratios.  The
+        realized stats are verified against the bounds; a violation
+        charges the full exact pipeline into ``stage_times["fallback"]``
+        and re-derives every decision exactly.  The executed result is
+        bit-identical either way (ignored when a ready plan is supplied —
+        a hit is cheaper than any estimate).
 
         Resilience policy: a retryable failure (device OOM, injected
         transient fault) triggers one fallback attempt with global load
@@ -124,7 +137,7 @@ class SpeckEngine:
         try:
             return self._attempt(
                 ctx, mode, trace, self.params, self.configs, scope,
-                retry_s=0.0, plan=plan,
+                retry_s=0.0, plan=plan, estimate=estimate,
             )
         except SpGEMMError as err:
             wasted = err.partial_time_s + self.device.malloc_s
@@ -149,7 +162,8 @@ class SpeckEngine:
                 )
             try:
                 # The fallback recomputes from scratch (forced LB and a
-                # reduced config set invalidate any cached plan).
+                # reduced config set invalidate any cached plan; the retry
+                # runs exact — re-speculating after a failure is pointless).
                 res = self._attempt(
                     ctx, mode, trace, retry_params, retry_configs, scope,
                     retry_s=wasted, plan=None,
@@ -172,6 +186,7 @@ class SpeckEngine:
         scope: FaultScope,
         retry_s: float,
         plan: Optional["CachedPlan"] = None,
+        estimate: Optional["MultiplyEstimate"] = None,
     ) -> SpGEMMResult:
         """One full pipeline attempt; raises :class:`SpGEMMError` on
         failure with the simulated time already spent attached."""
@@ -211,19 +226,37 @@ class SpeckEngine:
                 # methodology, included in peak memory).
                 ledger.alloc(ctx.output_bytes, "C")
             else:
-                # ---- 1. row analysis ---------------------------------
-                scope.enter_stage("analysis")
-                scope.on_launch("analysis")
-                stage_times["analysis"] = analysis_time_s(a, device)
+                speculative = estimate is not None
+                if speculative:
+                    # ---- 1+3 replaced: sampled estimation -------------
+                    # The estimation kernel stands in for the exact
+                    # analysis and symbolic passes; its bounds are
+                    # verified below once the realized structure is known.
+                    scope.enter_stage("estimate")
+                    scope.on_launch("estimate")
+                    skew = scope.estimate_skew()
+                    est = estimate if skew is None else estimate.skewed(skew)
+                    if skew is not None:
+                        decisions["estimate_skew"] = float(skew)
+                    stage_times["estimate"] = est.time_s
+                    stage_times["analysis"] = 0.0
+                    ratio_sym = float(est.ratio_symbolic)
+                    sym_cfg_driver = int(est.prod_max.bound)
+                else:
+                    # ---- 1. row analysis -----------------------------
+                    scope.enter_stage("analysis")
+                    scope.on_launch("analysis")
+                    stage_times["analysis"] = analysis_time_s(a, device)
+                    mean_prod = max(analysis.mean_products(), 1e-9)
+                    ratio_sym = analysis.prod_max / mean_prod
+                    sym_cfg_driver = analysis.prod_max
 
                 # ---- 2. symbolic load balancing -----------------------
                 scope.enter_stage("symbolic_lb")
                 sym_entries = analysis.products
-                mean_prod = max(analysis.mean_products(), 1e-9)
-                ratio_sym = analysis.prod_max / mean_prod
                 largest_cfg_sym = int(
                     config_index_for_entries(
-                        np.array([analysis.prod_max]), configs, "symbolic"
+                        np.array([sym_cfg_driver]), configs, "symbolic"
                     )[0]
                 )
                 use_lb_sym = _lb_decision(
@@ -247,52 +280,162 @@ class SpeckEngine:
 
                 # ---- 3. symbolic SpGEMM -------------------------------
                 scope.enter_stage("symbolic")
-                scope.on_launch("symbolic")
                 c_row_nnz = ctx.c_row_nnz
-                sym = sym_pristine = run_pass(
-                    "symbolic", analysis, plan_sym, c_row_nnz, configs, params, device
-                )
-                if scope.force_spill("symbolic") and not sym.global_hash_blocks:
-                    # Injected scratchpad overflow: at least one block's hash map
-                    # outgrew its scratch capacity and continues in global memory.
-                    # Copy-on-write keeps any cached plan's record pristine.
-                    sym = replace(
-                        sym,
-                        global_hash_blocks=1,
-                        global_hash_max_entries=max(
-                            int(c_row_nnz.max()) if c_row_nnz.size else 1, 1
-                        ),
+                if speculative:
+                    # The symbolic kernel is skipped: C is allocated at
+                    # the estimate's confidence bound and the numeric
+                    # kernels emit row sizes directly into it.  run_pass
+                    # stays host-side pure, so the record still populates
+                    # the plan; no symbolic kernels run (hence no launch
+                    # or spill sites).
+                    sym = sym_pristine = run_pass(
+                        "symbolic", analysis, plan_sym, c_row_nnz, configs,
+                        params, device,
                     )
-                    decisions["forced_spill_symbolic"] = True
-                if sym.global_hash_blocks:
-                    pool = min(
-                        device.concurrency(
-                            configs[-1].threads, configs[-1].scratch_bytes
-                        ),
-                        sym.global_hash_blocks,
-                    )
+                    stage_times["symbolic"] = 0.0
                     ledger.alloc(
-                        pool * sym.global_hash_max_entries * 8, "symbolic global maps"
+                        device_csr_bytes(a.rows, int(est.c_nnz.bound)),
+                        "C (speculative bound)",
                     )
-                stage_times["symbolic"] = sym.time_s
+                    realized_c = int(c_row_nnz.sum())
+                    decisions["speculative"] = True
+                    decisions["estimate_sample_size"] = est.sample_size
+                    bound_ok = (
+                        analysis.prod_max <= est.prod_max.bound
+                        and realized_c <= est.c_nnz.bound
+                        and analysis.prod_total <= est.products.bound
+                    )
+                    if not bound_ok:
+                        # ---- fallback: the realized stats exceed the
+                        # estimate's bounds — run the full exact analysis
+                        # and symbolic pass after the fact, re-deriving
+                        # every decision exactly, and charge it all into
+                        # stage_times["fallback"].  The wasted estimation
+                        # time and oversized/undersized C stay charged too.
+                        scope.enter_stage("fallback")
+                        scope.on_launch("analysis")
+                        fallback_s = analysis_time_s(a, device)
+                        mean_prod = max(analysis.mean_products(), 1e-9)
+                        ratio_sym = analysis.prod_max / mean_prod
+                        largest_cfg_sym = int(
+                            config_index_for_entries(
+                                np.array([analysis.prod_max]), configs, "symbolic"
+                            )[0]
+                        )
+                        exact_lb_sym = _lb_decision(
+                            "symbolic", params, ratio_sym, a.rows,
+                            largest_cfg_sym, n_cfg,
+                        )
+                        if exact_lb_sym:
+                            scope.on_launch("symbolic_lb")
+                            if not use_lb_sym:
+                                ledger.alloc(
+                                    8 * a.rows + 64 * n_cfg, "symbolic bins"
+                                )
+                            plan_sym = balanced_plan(
+                                sym_entries,
+                                configs,
+                                "symbolic",
+                                merge_smallest=params.enable_block_merge,
+                            )
+                            fallback_s += load_balance_time_s(a.rows, n_cfg, device)
+                        elif use_lb_sym:
+                            plan_sym = uniform_plan(sym_entries, configs, "symbolic")
+                        use_lb_sym = exact_lb_sym
+                        scope.on_launch("symbolic")
+                        sym = sym_pristine = run_pass(
+                            "symbolic", analysis, plan_sym, c_row_nnz, configs,
+                            params, device,
+                        )
+                        if scope.force_spill("symbolic") and not sym.global_hash_blocks:
+                            sym = replace(
+                                sym,
+                                global_hash_blocks=1,
+                                global_hash_max_entries=max(
+                                    int(c_row_nnz.max()) if c_row_nnz.size else 1, 1
+                                ),
+                            )
+                            decisions["forced_spill_symbolic"] = True
+                        if sym.global_hash_blocks:
+                            pool = min(
+                                device.concurrency(
+                                    configs[-1].threads, configs[-1].scratch_bytes
+                                ),
+                                sym.global_hash_blocks,
+                            )
+                            ledger.alloc(
+                                pool * sym.global_hash_max_entries * 8,
+                                "symbolic global maps",
+                            )
+                        fallback_s += sym.time_s
+                        stage_times["fallback"] = fallback_s
+                        ledger.alloc(ctx.output_bytes, "C")
+                        decisions["speculative_fallback"] = True
+                        if plan is not None:
+                            # The fallback computed the full exact pipeline:
+                            # the captured plan is as good as a full-mode one.
+                            plan.mode = "full"
+                        speculative = False
+                else:
+                    scope.on_launch("symbolic")
+                    sym = sym_pristine = run_pass(
+                        "symbolic", analysis, plan_sym, c_row_nnz, configs,
+                        params, device,
+                    )
+                    if scope.force_spill("symbolic") and not sym.global_hash_blocks:
+                        # Injected scratchpad overflow: at least one block's
+                        # hash map outgrew its scratch capacity and continues
+                        # in global memory.  Copy-on-write keeps any cached
+                        # plan's record pristine.
+                        sym = replace(
+                            sym,
+                            global_hash_blocks=1,
+                            global_hash_max_entries=max(
+                                int(c_row_nnz.max()) if c_row_nnz.size else 1, 1
+                            ),
+                        )
+                        decisions["forced_spill_symbolic"] = True
+                    if sym.global_hash_blocks:
+                        pool = min(
+                            device.concurrency(
+                                configs[-1].threads, configs[-1].scratch_bytes
+                            ),
+                            sym.global_hash_blocks,
+                        )
+                        ledger.alloc(
+                            pool * sym.global_hash_max_entries * 8,
+                            "symbolic global maps",
+                        )
+                    stage_times["symbolic"] = sym.time_s
 
-                # Output allocation (excluded from time per the paper's
-                # methodology, included in peak memory).
-                ledger.alloc(ctx.output_bytes, "C")
+                    # Output allocation (excluded from time per the paper's
+                    # methodology, included in peak memory).
+                    ledger.alloc(ctx.output_bytes, "C")
 
                 # ---- 4. numeric load balancing ------------------------
                 scope.enter_stage("numeric_lb")
-                num_entries = np.ceil(
-                    c_row_nnz / max(params.numeric_max_fill, 1e-9)
-                ).astype(np.int64)
-                max_c = int(c_row_nnz.max()) if c_row_nnz.size else 0
-                mean_c = max(float(c_row_nnz.mean()) if c_row_nnz.size else 0.0, 1e-9)
-                ratio_num = max_c / mean_c
+                fill = max(params.numeric_max_fill, 1e-9)
+                if speculative:
+                    # Conservative speculative sizing: bin capacities from
+                    # the per-row product counts (always >= the output row
+                    # sizes the exact path would use), decision ratio from
+                    # the sampled output stats.
+                    num_entries = np.ceil(sym_entries / fill).astype(np.int64)
+                    ratio_num = float(est.ratio_numeric)
+                    num_cfg_driver = int(np.ceil(est.c_row_max.bound / fill))
+                else:
+                    num_entries = np.ceil(c_row_nnz / fill).astype(np.int64)
+                    max_c = int(c_row_nnz.max()) if c_row_nnz.size else 0
+                    mean_c = max(
+                        float(c_row_nnz.mean()) if c_row_nnz.size else 0.0, 1e-9
+                    )
+                    ratio_num = max_c / mean_c
+                    num_cfg_driver = (
+                        int(num_entries.max()) if num_entries.size else 0
+                    )
                 largest_cfg_num = int(
                     config_index_for_entries(
-                        np.array([int(num_entries.max()) if num_entries.size else 0]),
-                        configs,
-                        "numeric",
+                        np.array([num_cfg_driver]), configs, "numeric"
                     )[0]
                 )
                 use_lb_num = _lb_decision(
@@ -365,7 +508,22 @@ class SpeckEngine:
             if plan_hit:
                 trace.mark("plan cache hit", key=plan.key)
             else:
-                trace.record("analysis", stage_times["analysis"], category="stage")
+                if "estimate" in stage_times:
+                    trace.record(
+                        "estimate (sampled)", stage_times["estimate"],
+                        category="stage",
+                        meta={"sample": decisions.get("estimate_sample_size")},
+                    )
+                if stage_times["analysis"] > 0.0:
+                    trace.record(
+                        "analysis", stage_times["analysis"], category="stage"
+                    )
+                if "fallback" in stage_times:
+                    trace.record(
+                        "fallback (exact)", stage_times["fallback"],
+                        category="stage",
+                        meta={"cause": "estimate bound exceeded"},
+                    )
                 if use_lb_sym:
                     trace.record(
                         "symbolic LB", stage_times["symbolic_lb"], category="stage",

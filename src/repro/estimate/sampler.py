@@ -1,0 +1,335 @@
+"""Sampling-based row/nnz estimation (OCEAN-style lightweight analysis).
+
+spECK's row analysis is exact but still O(NNZ_A); OCEAN (PAPERS.md) shows
+that a *sampled* subset of A's rows is enough to size allocations and pick
+accumulator bins for most matrices.  This module implements the sampler:
+
+* a seeded, deterministic row sample of A — the sample is a pure function
+  of ``(A.fingerprint(), B.fingerprint(), seed)``, so repeated estimation
+  of the same structure pair yields bit-identical results regardless of
+  process, thread or call order;
+* for each sampled row, the *exact* intermediate-product count (sum of
+  referenced B-row lengths) and the *exact* output-row nnz (distinct
+  output columns — a mini symbolic pass restricted to the sample);
+* one-sided upper confidence bounds on the population totals via the
+  normal approximation with a finite-population correction, clamped by
+  cheap hard caps (``nnz(A) * max_row(B)`` for products; per-row
+  ``max_row(A) * max_row(B)`` for the row maximum, which therefore always
+  holds);
+* a modelled kernel time for the estimation pass, proportional to the
+  sampled share of the matrix — the quantity the speculative planner
+  charges instead of the full analysis + symbolic stages.
+
+Every estimate carries its bound, sample size and seed explicitly
+(:class:`Estimate`), so consumers can decide how much to trust it and the
+engine can verify the bound after the fact and fall back to exact
+analysis when it was violated.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import math
+from dataclasses import dataclass, replace
+from typing import Optional, Tuple
+
+import numpy as np
+
+from ..gpu import BlockWork, DeviceSpec, block_cycles, kernel_time_s
+from ..matrices.csr import CSR, expand_ranges
+
+__all__ = [
+    "Estimate",
+    "MultiplyEstimate",
+    "estimate_multiply",
+    "estimation_time_s",
+]
+
+#: Threads per block of the (simulated) estimation kernel.
+_ESTIMATE_BLOCK = 256
+
+
+def _norm_quantile(p: float) -> float:
+    """Standard-normal quantile via Acklam's rational approximation.
+
+    Accurate to ~1e-9 over (0, 1); keeps the estimator dependency-free
+    (scipy stays confined to the baseline adapters).
+    """
+    if not (0.0 < p < 1.0):
+        raise ValueError(f"confidence must be in (0, 1), got {p}")
+    a = (-3.969683028665376e01, 2.209460984245205e02, -2.759285104469687e02,
+         1.383577518672690e02, -3.066479806614716e01, 2.506628277459239e00)
+    b = (-5.447609879822406e01, 1.615858368580409e02, -1.556989798598866e02,
+         6.680131188771972e01, -1.328068155288572e01)
+    c = (-7.784894002430293e-03, -3.223964580411365e-01, -2.400758277161838e00,
+         -2.549732539343734e00, 4.374664141464968e00, 2.938163982698783e00)
+    d = (7.784695709041462e-03, 3.224671290700398e-01, 2.445134137142996e00,
+         3.754408661907416e00)
+    p_low = 0.02425
+    if p < p_low:
+        q = math.sqrt(-2.0 * math.log(p))
+        return (((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q + c[5]) / (
+            (((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1.0
+        )
+    if p <= 1.0 - p_low:
+        q = p - 0.5
+        r = q * q
+        return (((((a[0] * r + a[1]) * r + a[2]) * r + a[3]) * r + a[4]) * r + a[5]) * q / (
+            ((((b[0] * r + b[1]) * r + b[2]) * r + b[3]) * r + b[4]) * r + 1.0
+        )
+    q = math.sqrt(-2.0 * math.log(1.0 - p))
+    return -(((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q + c[5]) / (
+        (((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1.0
+    )
+
+
+@dataclass(frozen=True)
+class Estimate:
+    """One estimated quantity with its explicit uncertainty contract.
+
+    Attributes
+    ----------
+    value:
+        Point estimate (Horvitz–Thompson scale-up of the sample mean, or
+        the exact value when the sample covers the whole population).
+    bound:
+        One-sided upper bound.  For statistically bounded quantities it
+        holds with probability >= ``confidence``; for hard-capped
+        quantities (the per-row product maximum) it always holds.
+    sample_size:
+        Rows of A inspected to produce this estimate.
+    seed:
+        Sampler seed — together with the operand fingerprints this fully
+        determines the estimate.
+    confidence:
+        Stated coverage level of ``bound``.
+    """
+
+    value: float
+    bound: float
+    sample_size: int
+    seed: int
+    confidence: float
+
+    def scaled_bound(self, factor: float) -> "Estimate":
+        """Copy with the bound multiplied by ``factor`` (fault injection)."""
+        return replace(self, bound=float(self.bound * factor))
+
+
+@dataclass(frozen=True)
+class MultiplyEstimate:
+    """Bundle of estimates for one ``A @ B`` product.
+
+    Deterministic per ``(A.fingerprint(), B.fingerprint(), seed)``; the
+    ``key`` field carries that identity so memo layers need not recompute
+    fingerprints.
+    """
+
+    #: ``(A.fingerprint(), B.fingerprint())``.
+    key: Tuple[str, str]
+    seed: int
+    #: Rows of A (the sampled population).
+    rows: int
+    #: Rows actually sampled.
+    sample_size: int
+    #: Total intermediate products (statistical bound, hard-capped).
+    products: Estimate
+    #: Per-row product maximum (hard bound: ``max_row(A) * max_row(B)``).
+    prod_max: Estimate
+    #: Output nnz (statistical bound, capped by the products bound).
+    c_nnz: Estimate
+    #: Per-row output-nnz maximum (shares the ``prod_max`` hard cap).
+    c_row_max: Estimate
+    #: Device memory footprint: inputs + bound-sized C + sort scratch.
+    footprint_bytes: Estimate
+    #: Sampled ``prod_max / mean`` — drives the symbolic LB decision.
+    ratio_symbolic: float
+    #: Sampled ``c_max / c_mean`` — drives the numeric LB decision.
+    ratio_numeric: float
+    #: Modelled wall time of the estimation kernel (0 without a device).
+    time_s: float
+
+    @property
+    def cost_hint(self) -> float:
+        """Scalar work proxy for scheduler ordering (estimated products)."""
+        return self.products.value
+
+    def skewed(self, factor: float) -> "MultiplyEstimate":
+        """Copy with every confidence bound multiplied by ``factor``.
+
+        The ``estimate_skew`` fault site uses this to deterministically
+        deflate (force fallback) or inflate (oversize allocations) the
+        estimator's output; point values are left untouched.
+        """
+        return replace(
+            self,
+            products=self.products.scaled_bound(factor),
+            prod_max=self.prod_max.scaled_bound(factor),
+            c_nnz=self.c_nnz.scaled_bound(factor),
+            c_row_max=self.c_row_max.scaled_bound(factor),
+            footprint_bytes=self.footprint_bytes.scaled_bound(factor),
+        )
+
+
+def estimation_time_s(
+    sampled_nnz: int, sampled_products: int, device: DeviceSpec
+) -> float:
+    """Simulated wall time of the estimation kernel.
+
+    One thread per sampled non-zero of A, same per-entry cost structure as
+    the full analysis kernel, plus a hash-insert term per sampled
+    intermediate product for the distinct-column count.  Because both
+    terms scale with the *sampled* share of the matrix, the stage costs a
+    few percent of analysis + symbolic for the default 5% sample.
+    """
+    nnz = max(1, int(sampled_nnz))
+    per_product = float(sampled_products) / nnz
+    n_blocks = (nnz + _ESTIMATE_BLOCK - 1) // _ESTIMATE_BLOCK
+    per_block = np.full(n_blocks, _ESTIMATE_BLOCK, dtype=np.float64)
+    per_block[-1] = nnz - _ESTIMATE_BLOCK * (n_blocks - 1)
+    work = BlockWork(
+        mem_bytes=per_block * 12.0,                   # sampled A entries
+        random_bytes=per_block * (24.0 + per_product * 4.0),  # B rows + cols
+        iops=per_block * (12.0 + per_product * 2.0),
+        scratch_atomics=per_block * (4.0 + per_product),      # hash inserts
+        utilization=per_block / _ESTIMATE_BLOCK,
+    )
+    cycles = block_cycles(device, _ESTIMATE_BLOCK, 0, work)
+    return kernel_time_s(cycles, _ESTIMATE_BLOCK, 0, device)
+
+
+def _one_sided_upper(
+    sample: np.ndarray, rows: int, z: float, hard_total: float
+) -> Tuple[float, float]:
+    """(scaled point estimate, one-sided upper bound) for a population sum.
+
+    Normal-approximation bound on the mean with the finite-population
+    correction for sampling without replacement, scaled to the population
+    and clamped by ``hard_total``.  A full sample returns the exact total
+    for both (the bound degenerates to equality).
+    """
+    k = int(sample.size)
+    if k == 0:
+        return 0.0, 0.0
+    if k >= rows:
+        exact = float(int(sample.sum()))
+        return exact, exact
+    mean = float(sample.mean())
+    sd = float(sample.std(ddof=1)) if k > 1 else 0.0
+    fpc = math.sqrt((rows - k) / max(rows - 1, 1))
+    margin = z * sd / math.sqrt(k) * fpc
+    value = min(rows * mean, float(hard_total))
+    bound = min(float(hard_total), rows * (mean + margin))
+    return value, bound
+
+
+def estimate_multiply(
+    a: CSR,
+    b: CSR,
+    *,
+    seed: int = 0,
+    sample_frac: float = 0.05,
+    min_sample: int = 64,
+    confidence: float = 0.9,
+    device: Optional[DeviceSpec] = None,
+) -> MultiplyEstimate:
+    """Estimate row statistics and output size of ``A @ B`` from a sample.
+
+    Samples ``max(min_sample, sample_frac * rows)`` rows of A without
+    replacement (the whole matrix when it is small enough — the estimate
+    is then exact and every bound degenerates to equality) and computes
+    exact per-row products and output nnz for the sampled rows only.
+    """
+    if a.cols != b.rows:
+        raise ValueError(f"dimension mismatch: A is {a.shape}, B is {b.shape}")
+    rows = a.rows
+    key = (a.fingerprint(), b.fingerprint())
+    digest = hashlib.blake2b(
+        f"{key[0]}|{key[1]}|{int(seed)}".encode("ascii"), digest_size=8
+    ).digest()
+    rng = np.random.default_rng(int.from_bytes(digest, "big"))
+
+    a_row_nnz = a.row_nnz()
+    b_row_nnz = b.row_nnz()
+    amax = int(a_row_nnz.max()) if rows else 0
+    bmax = int(b_row_nnz.max()) if b.rows else 0
+    #: No row of C can exceed this many products (hence output entries).
+    hard_row = amax * bmax
+    hard_products = a.nnz * bmax
+
+    k = rows if rows <= min_sample else min(
+        rows, max(min_sample, int(math.ceil(sample_frac * rows)))
+    )
+    if k >= rows:
+        sample_rows = np.arange(rows, dtype=np.int64)
+        k = rows
+    else:
+        sample_rows = np.sort(
+            rng.choice(rows, size=k, replace=False).astype(np.int64)
+        )
+
+    counts = a_row_nnz[sample_rows]
+    gather = expand_ranges(a.indptr[sample_rows], counts)
+    ref_rows = a.indices[gather]
+    per_entry = b_row_nnz[ref_rows]
+    seg = np.zeros(k + 1, dtype=np.int64)
+    np.cumsum(counts, out=seg[1:])
+    cs = np.zeros(per_entry.size + 1, dtype=np.int64)
+    np.cumsum(per_entry, out=cs[1:])
+    prods = cs[seg[1:]] - cs[seg[:-1]]
+
+    # Exact distinct output columns per sampled row (mini symbolic pass).
+    b_gather = expand_ranges(b.indptr[ref_rows], per_entry)
+    out_cols = b.indices[b_gather]
+    out_tags = np.repeat(np.arange(k, dtype=np.int64), prods)
+    if out_cols.size:
+        width = np.int64(max(b.cols, 1))
+        uniq = np.unique(out_tags * width + out_cols)
+        c_sample = np.bincount((uniq // width).astype(np.int64), minlength=k)
+    else:
+        c_sample = np.zeros(k, dtype=np.int64)
+
+    z = _norm_quantile(confidence)
+    p_value, p_bound = _one_sided_upper(prods, rows, z, hard_products)
+    c_value, c_bound = _one_sided_upper(c_sample, rows, z, hard_products)
+    c_bound = min(c_bound, p_bound)
+
+    pmax_value = float(prods.max()) if k else 0.0
+    pmax_bound = pmax_value if k >= rows else float(hard_row)
+    cmax_value = float(c_sample.max()) if k else 0.0
+    cmax_bound = cmax_value if k >= rows else float(hard_row)
+
+    def est(value: float, bound: float) -> Estimate:
+        return Estimate(
+            value=float(value), bound=float(bound), sample_size=k,
+            seed=int(seed), confidence=float(confidence),
+        )
+
+    from ..core.context import device_csr_bytes  # local: avoid import cycle
+
+    input_bytes = device_csr_bytes(a.rows, a.nnz) + device_csr_bytes(b.rows, b.nnz)
+    fp_value = input_bytes + device_csr_bytes(rows, int(c_value))
+    # Bound covers the bound-sized C plus its radix-sort key scratch.
+    fp_bound = input_bytes + device_csr_bytes(rows, int(c_bound)) + 8 * int(c_bound)
+
+    ratio_sym = pmax_value / max(float(prods.mean()), 1e-9) if k else 0.0
+    ratio_num = cmax_value / max(float(c_sample.mean()), 1e-9) if k else 0.0
+
+    time_s = 0.0
+    if device is not None:
+        time_s = estimation_time_s(int(counts.sum()), int(prods.sum()), device)
+
+    return MultiplyEstimate(
+        key=key,
+        seed=int(seed),
+        rows=rows,
+        sample_size=k,
+        products=est(p_value, p_bound),
+        prod_max=est(pmax_value, pmax_bound),
+        c_nnz=est(c_value, c_bound),
+        c_row_max=est(cmax_value, cmax_bound),
+        footprint_bytes=est(float(fp_value), float(fp_bound)),
+        ratio_symbolic=float(ratio_sym),
+        ratio_numeric=float(ratio_num),
+        time_s=float(time_s),
+    )

@@ -53,7 +53,12 @@ __all__ = [
 #: (the rule's *method* glob matches the node name);
 #: ``disk_corrupt``/``disk_torn_write`` are durability sites consulted by
 #: the :class:`~repro.serve.plan_store.PlanStore` once per WAL append
-#: (the method glob matches the store owner's name, e.g. the node name).
+#: (the method glob matches the store owner's name, e.g. the node name);
+#: ``estimate_skew`` is consulted once per speculative estimation by the
+#: engine (the method glob matches the matrix/case name) and multiplies
+#: the estimator's confidence bounds by the rule's ``factor`` — deflating
+#: (< 1) forces the exact-analysis fallback path, inflating (> 1) makes
+#: the speculative allocation oversized.
 SITES = (
     "alloc",
     "launch",
@@ -62,6 +67,7 @@ SITES = (
     "node_degrade",
     "disk_corrupt",
     "disk_torn_write",
+    "estimate_skew",
 )
 
 
@@ -210,6 +216,10 @@ class FaultRule:
     probability: float = 1.0
     #: Transient faults clear after firing once per scope (retry succeeds).
     transient: bool = False
+    #: ``estimate_skew`` only: multiplier applied to the estimator's
+    #: confidence bounds (< 1 deflates → forces fallback; > 1 inflates).
+    #: ``None`` uses the site's default deflation of 0.25.
+    factor: Optional[float] = None
 
     def __post_init__(self) -> None:
         if self.site not in SITES:
@@ -220,6 +230,8 @@ class FaultRule:
             raise FaultSpecError("probability must be within [0, 1]")
         if self.after_n is not None and self.after_n < 1:
             raise FaultSpecError("after_n is 1-based and must be >= 1")
+        if self.factor is not None and self.factor <= 0.0:
+            raise FaultSpecError("factor must be > 0")
 
     def matches(
         self, site: str, method: str, matrix: str, tag: str, counter: int,
@@ -313,18 +325,27 @@ class FaultScope:
         """Record the active pipeline stage (carried on failures)."""
         self.stage = stage
 
-    def _consult(self, site: str, tag: str, nbytes: Optional[int]) -> Optional[FaultRule]:
+    def _consult(
+        self,
+        site: str,
+        tag: str,
+        nbytes: Optional[int],
+        method: Optional[str] = None,
+    ) -> Optional[FaultRule]:
         if self.plan is None or not self.plan.rules:
             return None
+        consulted_method = self.method if method is None else method
         counter = self._counters.get(site, 0) + 1
         self._counters[site] = counter
         for idx, rule in enumerate(self.plan.rules):
-            if not rule.matches(site, self.method, self.matrix, tag, counter, nbytes):
+            if not rule.matches(
+                site, consulted_method, self.matrix, tag, counter, nbytes
+            ):
                 continue
             if rule.transient and self._fired.get(idx, 0) >= 1:
                 continue  # cleared: the retry proceeds
             if rule.probability < 1.0:
-                draw = self.plan.chance(idx, self.method, self.matrix, counter)
+                draw = self.plan.chance(idx, consulted_method, self.matrix, counter)
                 if draw >= rule.probability:
                     continue
             self._fired[idx] = self._fired.get(idx, 0) + 1
@@ -405,6 +426,23 @@ class FaultScope:
             self._consult("disk_torn_write", tag or self.method, None) is not None
         )
 
+    # -- estimation sites --------------------------------------------------
+    def estimate_skew(self, tag: str = "") -> Optional[float]:
+        """Consulted by the engine once per speculative estimation: a
+        firing rule returns the multiplier to apply to the estimator's
+        confidence bounds (``factor``, default 0.25).  Deflating the
+        bounds (< 1) makes the realized stats exceed them, deterministically
+        exercising the exact-analysis fallback path; inflating (> 1)
+        oversizes the speculative allocation.  Unlike engine-level sites,
+        the rule's *method* glob is matched against the matrix/case name
+        (mirroring how node sites match node names), so
+        ``estimate_skew@rmat_*`` targets those cases directly."""
+        case = self.matrix or self.method
+        rule = self._consult("estimate_skew", tag or case, None, method=case)
+        if rule is None:
+            return None
+        return 0.25 if rule.factor is None else float(rule.factor)
+
 
 #: Shared inert scope for algorithms running without a fault plan.
 def null_scope(method: str = "", matrix: str = "") -> FaultScope:
@@ -429,11 +467,14 @@ def parse_fault_spec(spec: str) -> FaultPlan:
                 | "disk_corrupt" | "disk_torn_write"
                                                   -- plan-store WAL appends;
                                                   -- method-glob = store owner
+                | "estimate_skew"                 -- speculative estimation;
+                                                  -- method-glob = case name
         option::= "n=" INT        -- fire on the Nth site event (1-based)
                 | "bytes=" INT    -- alloc only: requests >= this size
                 | "matrix=" GLOB  -- restrict to matching case names
                 | "tag=" GLOB     -- restrict to matching tags/stages
                 | "p=" FLOAT      -- seeded firing probability
+                | "factor=" FLOAT -- estimate_skew only: bound multiplier
                 | "transient"     -- clears after one firing (retry succeeds)
 
     Examples::
@@ -446,6 +487,8 @@ def parse_fault_spec(spec: str) -> FaultPlan:
         node_degrade@node-*:p=0.001:transient  # rare transient slowdowns
         disk_corrupt@node-0:n=2         # node-0's 2nd WAL append bit-flips
         disk_torn_write@node-*:p=0.01   # 1% of appends die mid-write
+        estimate_skew@skew_*:factor=0.2 # deflate bounds on skew_* cases:
+                                        # speculative plans fall back
     """
     rules: List[FaultRule] = []
     seed = 0
@@ -484,6 +527,8 @@ def parse_fault_spec(spec: str) -> FaultPlan:
                     kwargs["tag"] = value
                 elif key == "p":
                     kwargs["probability"] = float(value)
+                elif key == "factor":
+                    kwargs["factor"] = float(value)
                 else:
                     raise FaultSpecError(
                         f"unknown option {key!r} in {entry!r}"

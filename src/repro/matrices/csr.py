@@ -270,7 +270,8 @@ class CSR:
         (``m.data = new_vals``) or build a new :class:`CSR` — both
         invalidate the cache.  Mutating elements of the existing array in
         place (``m.data[i] = x``) is *not* tracked and would serve a stale
-        digest; make a copy instead.
+        digest; either make a copy or call :meth:`invalidate_values_cache`
+        immediately after the mutation.
         """
         cached = self._fp_values
         if cached is not None and cached[0] == id(self.data):
@@ -281,6 +282,18 @@ class CSR:
         digest = h.hexdigest()
         self._fp_values = (id(self.data), digest)
         return digest
+
+    def invalidate_values_cache(self) -> None:
+        """Drop the cached value digest after an in-place ``data`` mutation.
+
+        :meth:`fingerprint_values` keys its cache on ``id(self.data)``, so
+        element assignments (``m.data[i] = x``) leave the cached digest
+        stale.  Call this right after such a mutation and the next
+        :meth:`fingerprint_values` recomputes from the current contents.
+        Structural arrays remain immutable-by-convention; only the value
+        cache is affected.
+        """
+        self._fp_values = None
 
     # ------------------------------------------------------------------
     # Structural operations

@@ -174,8 +174,23 @@ class AdmissionController:
         self.brownout_modes: Dict[str, int] = {}
 
     # ------------------------------------------------------------------
-    def estimate_bytes(self, input_bytes: int) -> int:
-        """Conservative device footprint of one request."""
+    def estimate_bytes(
+        self, input_bytes: int, footprint: Optional[int] = None
+    ) -> int:
+        """Conservative device footprint of one request.
+
+        Without ``footprint`` this is the blind ``output_factor`` multiple
+        of the input bytes.  Callers holding a sampled estimate
+        (:meth:`repro.estimate.RowEstimator.footprint_bound_bytes`) pass
+        its confidence bound instead — it already covers inputs, the
+        bound-sized output and sort scratch, and is usually far tighter
+        than the blind multiple, so estimator-driven admission sheds less
+        on memory pressure while staying safe at the bound's confidence.
+        The input bytes remain a floor: no request is smaller than its
+        operands.
+        """
+        if footprint is not None:
+            return max(int(footprint), int(input_bytes))
         return int(self.policy.output_factor * input_bytes)
 
     @property
@@ -193,9 +208,15 @@ class AdmissionController:
         queue_depth: int,
         input_bytes: int,
         committed_bytes: int,
+        footprint: Optional[int] = None,
     ) -> Optional[ServiceReject]:
-        """``None`` to admit, a :class:`ServiceReject` to shed."""
-        est = self.estimate_bytes(input_bytes)
+        """``None`` to admit, a :class:`ServiceReject` to shed.
+
+        ``footprint`` optionally replaces the blind ``output_factor``
+        heuristic with a sampled footprint bound (see
+        :meth:`estimate_bytes`).
+        """
+        est = self.estimate_bytes(input_bytes, footprint)
         if est > self.memory_limit:
             return self._shed(
                 request_id,

@@ -87,10 +87,13 @@ class CachedPlan:
     #: Times this plan was reused after population.
     hits: int = 0
     #: Planning mode that produced this plan: ``"full"`` for the complete
-    #: pipeline, or a brownout rung (``"lb_fallback"``, ``"minimal"``)
-    #: when it was computed cheaply under pressure.  A non-full plan
-    #: still serves requests bit-correctly; a later full-mode request
-    #: *refines* it (recomputes the full plan in place of the entry).
+    #: pipeline, a brownout rung (``"lb_fallback"``, ``"minimal"``) when
+    #: it was computed cheaply under pressure, or ``"speculative"`` when
+    #: its decisions came from sampled estimates rather than exact
+    #: analysis.  A non-full plan still serves requests bit-correctly; a
+    #: later full-mode request *refines* it (recomputes the full plan in
+    #: place of the entry).  A speculative run whose bounds were violated
+    #: falls back to the exact pipeline and re-tags its plan ``"full"``.
     mode: str = "full"
     #: Device/params compatibility key stamped by the owning service
     #: (see :func:`repro.serve.plan_ir.compat_key`); ``None`` for plans
@@ -196,11 +199,15 @@ class PlanCache:
         self.inserts = 0
         self.rejects = 0
         self.refines = 0
+        #: Registrations refused up front because the *estimated* plan
+        #: size exceeded the whole budget (see ``get_or_create``).
+        self.budget_rejects = 0
         self._key_hits: Dict[str, int] = {}
 
     # ------------------------------------------------------------------
     def get_or_create(
-        self, a: CSR, b: CSR, mode: str = "full"
+        self, a: CSR, b: CSR, mode: str = "full",
+        est_nbytes: Optional[int] = None,
     ) -> Tuple[CachedPlan, bool]:
         """Look up the plan for ``(A, B)``; returns ``(plan, hit)``.
 
@@ -217,6 +224,15 @@ class PlanCache:
         plan *refines* it.  The stale brownout entry is replaced by a
         fresh plan the caller's cold multiply populates with the
         complete pipeline ("plan cheaply now, refine later").
+
+        ``est_nbytes`` optionally carries the *estimated* byte size of
+        the plan about to be built (``repro.estimate.estimated_plan_nbytes``).
+        A registration whose estimate exceeds the whole budget is refused
+        up front — the caller still gets a working plan object, it is
+        just never made resident, so the cold run cannot evict the entire
+        cache for a plan that would be dropped at population time anyway.
+        The refusal self-heals on mis-estimates: ``note_populated``
+        re-checks the real size and inserts plans that do fit.
         """
         key = plan_key(a, b)
         with self._lock:
@@ -237,6 +253,9 @@ class PlanCache:
                 return plan, True
             self.misses += 1
             if plan is None:
+                if est_nbytes is not None and est_nbytes > self.max_bytes:
+                    self.budget_rejects += 1
+                    return CachedPlan(key=key, mode=mode), False
                 plan = CachedPlan(key=key)
                 self._plans[key] = plan
             plan.mode = mode
@@ -362,6 +381,11 @@ class PlanCache:
                 bytes_cached=self._bytes_locked(),
                 entries=len(self._plans),
                 per_key_hits=per_key,
+                extra=(
+                    {"budget_rejects": self.budget_rejects}
+                    if self.budget_rejects
+                    else {}
+                ),
             )
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

@@ -29,6 +29,12 @@ replica damaged in transit) surfaces as :class:`PlanIRError` with
 ``reason="checksum"`` instead of a silently wrong plan.  The same digest
 doubles as the plan's identity for :meth:`PlanCache.adopt`'s integrity
 check (:func:`plan_checksum`).
+
+The header's ``mode`` field round-trips the plan's planning rung
+verbatim — including ``"speculative"`` for plans whose decisions came
+from sampled estimates (see :mod:`repro.estimate`).  A persisted
+speculative plan is still bit-correct; a non-speculative service that
+adopts one simply refines it on the next full-mode request.
 """
 
 from __future__ import annotations

@@ -24,10 +24,12 @@ this module raises on a per-request basis.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional
 
 from ..core.context import device_csr_bytes
+from ..estimate import RowEstimator
 from ..faults import FailureInfo, FaultPlan
 from ..matrices.csr import CSR
 from ..result import SpGEMMResult
@@ -121,6 +123,16 @@ class ServeScheduler:
         Queue deadline applied to requests that carry none.
     faults:
         Optional fault plan threaded into every multiply (CI smoke runs).
+    estimator:
+        Optional :class:`~repro.estimate.RowEstimator`.  When set, the
+        admission memory-headroom check uses the sampled footprint bound
+        instead of the blind ``output_factor`` heuristic, and queue
+        ordering gains a coarse estimated-cost hint: within a priority
+        class, cheaper requests dispatch first (bucketed shortest-job-
+        first — the bucket is log2 of estimated products, so arrival
+        order still breaks ties among similar-cost requests and nothing
+        starves).  Absent an estimator, behaviour is bit-identical to
+        before.
     """
 
     def __init__(
@@ -133,6 +145,7 @@ class ServeScheduler:
         max_retries: int = 1,
         default_timeout_s: Optional[float] = None,
         faults: Optional[FaultPlan] = None,
+        estimator: Optional[RowEstimator] = None,
     ) -> None:
         if n_workers < 1:
             raise ValueError("need at least one worker")
@@ -145,7 +158,23 @@ class ServeScheduler:
         self.max_retries = int(max_retries)
         self.default_timeout_s = default_timeout_s
         self.faults = faults
+        self.estimator = estimator
         self.metrics = service.metrics
+
+    # ------------------------------------------------------------------
+    def _footprint(self, req: Request) -> Optional[int]:
+        """Sampled footprint bound for admission; ``None`` without an
+        estimator (the controller falls back to its blind heuristic)."""
+        if self.estimator is None:
+            return None
+        return self.estimator.footprint_bound_bytes(req.a, req.b)
+
+    def _cost_bucket(self, req: Request) -> int:
+        """Coarse estimated-cost class for queue ordering (0 = cheapest)."""
+        if self.estimator is None:
+            return 0
+        hint = self.estimator.estimate(req.a, req.b).cost_hint
+        return int(math.log2(hint + 1.0)) if hint > 0 else 0
 
     # ------------------------------------------------------------------
     def run(self, requests: Iterable[Request]) -> List[RequestOutcome]:
@@ -176,11 +205,13 @@ class ServeScheduler:
                 req = arrivals[i]
                 i += 1
                 m.counter("scheduler.arrivals", "requests offered").inc()
+                footprint = self._footprint(req)
                 reject = self.admission.admit(
                     req.id,
                     queue_depth=len(queue),
                     input_bytes=req.input_bytes(),
                     committed_bytes=committed,
+                    footprint=footprint,
                 )
                 if reject is not None:
                     m.counter("scheduler.shed", "requests shed").inc()
@@ -196,7 +227,7 @@ class ServeScheduler:
                         )
                     )
                     continue
-                est = self.admission.estimate_bytes(req.input_bytes())
+                est = self.admission.estimate_bytes(req.input_bytes(), footprint)
                 inflight_bytes[req.id] = est
                 committed += est
                 queue.append(req)
@@ -274,11 +305,17 @@ class ServeScheduler:
     def _take_batch(self, queue: List[Request], now: float) -> List[Request]:
         """Pop the best request plus queue-mates sharing A's structure.
 
-        Best = lowest (priority, arrival, id).  Same-A requests ride along
+        Best = lowest (priority, arrival, id) — with an estimator, lowest
+        (priority, cost bucket, arrival, id).  Same-A requests ride along
         regardless of their own priority — the whole point of batching is
         that their marginal cost is one numeric pass.
         """
-        queue.sort(key=lambda r: (r.priority, r.arrival_s, r.id))
+        if self.estimator is None:
+            queue.sort(key=lambda r: (r.priority, r.arrival_s, r.id))
+        else:
+            queue.sort(
+                key=lambda r: (r.priority, self._cost_bucket(r), r.arrival_s, r.id)
+            )
         batch: List[Request] = []
         head_fp: Optional[str] = None
         kept: List[Request] = []

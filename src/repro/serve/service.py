@@ -22,6 +22,7 @@ from typing import TYPE_CHECKING, Dict, Optional, Tuple
 from ..core.context import MultiplyContext
 from ..core.params import DEFAULT_PARAMS, SpeckParams
 from ..core.speck import SpeckEngine
+from ..estimate import RowEstimator
 from ..faults import FaultPlan
 from ..gpu import DeviceSpec, TITAN_V
 from ..gpu.trace import Trace
@@ -72,6 +73,19 @@ class SpGEMMService:
         host-side simulation shortcut only (the exact product C that the
         model path reports has to come from somewhere); it never affects
         modelled times, which depend solely on the plan cache.
+    speculative:
+        Plan cold full-rung requests from a sampled estimate instead of
+        exact analysis.  Results stay bit-identical (the engine verifies
+        the bound at execute time and falls back to exact analysis if it
+        was violated, charging the extra work into
+        ``stage_times["fallback"]``); only the modelled latency and the
+        allocation sizing change.  Brownout rungs below ``full`` are
+        already cheaper than estimation, so they keep their own planning.
+    estimator:
+        Optional shared :class:`~repro.estimate.RowEstimator` (the
+        scheduler passes its own so admission, ordering and speculation
+        share one memo).  Auto-created when ``speculative`` is set and
+        none is given.
     """
 
     def __init__(
@@ -84,8 +98,14 @@ class SpGEMMService:
         context_cache_entries: int = 32,
         name: str = "spECK",
         plan_store: Optional["PlanStore"] = None,
+        speculative: bool = False,
+        estimator: Optional[RowEstimator] = None,
     ) -> None:
         self.device = device
+        self.speculative = bool(speculative)
+        self.estimator = estimator
+        if self.speculative and self.estimator is None:
+            self.estimator = RowEstimator(device)
         self.engine = SpeckEngine(device, params, name=name)
         #: Device/params compatibility key of every plan this service
         #: populates (stamped on plans for replication and persistence).
@@ -165,13 +185,30 @@ class SpGEMMService:
         already the cheap path — while a cold request plans through the
         rung's engine: progressively lighter pipelines whose output is
         bit-identical, only the modelled planning effort differs.
+
+        A ``speculative`` service additionally plans cold *full*-rung
+        requests from a sampled estimate (plans tagged ``"speculative"``;
+        subsequent speculative requests hit them without refining).
+        Brownout rungs keep their own, already-cheap planning.
         """
         rung = brownout.mode if brownout is not None else "full"
         if rung not in self._engines:
             raise ValueError(
                 f"unknown brownout mode {rung!r}; have {BROWNOUT_MODES}"
             )
-        plan, hit = self.plans.get_or_create(a, b, mode=rung)
+        speculate = self.speculative and rung == "full"
+        plan_mode = "speculative" if speculate else rung
+        est_nbytes = (
+            self.estimator.plan_nbytes(a)
+            if self.estimator is not None
+            else None
+        )
+        plan, hit = self.plans.get_or_create(
+            a, b, mode=plan_mode, est_nbytes=est_nbytes
+        )
+        estimate = (
+            self.estimator.estimate(a, b) if speculate and not hit else None
+        )
         if ctx is None:
             ctx = self.context_for(a, b)
         # Set unconditionally: cached contexts outlive requests, and a
@@ -180,7 +217,10 @@ class SpGEMMService:
         if case_name:
             ctx.case_name = case_name
         engine = self.engine if hit else self._engines[rung]
-        res = engine.multiply(a, b, ctx=ctx, mode=mode, trace=trace, plan=plan)
+        res = engine.multiply(
+            a, b, ctx=ctx, mode=mode, trace=trace, plan=plan,
+            estimate=estimate,
+        )
         if not hit and plan.ready:
             # Stamp identity before anything persists or replicates it.
             plan.compat = self.compat
@@ -195,6 +235,17 @@ class SpGEMMService:
             m.counter("service.plan_hits", "plan cache hits").inc()
         else:
             m.counter("service.plan_misses", "plan cache misses").inc()
+        if estimate is not None:
+            m.counter(
+                "service.speculative_cold",
+                "cold requests planned from a sampled estimate",
+            ).inc()
+            if res.decisions.get("speculative_fallback"):
+                m.counter(
+                    "service.speculative_fallbacks",
+                    "speculative runs whose bound was violated (exact "
+                    "analysis re-run, charged to stage_times['fallback'])",
+                ).inc()
         if brownout is not None and rung != "full":
             res.decisions["brownout"] = brownout.as_dict()
             m.counter(

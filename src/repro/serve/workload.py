@@ -22,9 +22,11 @@ from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
+from ..core.context import MultiplyContext
 from ..core.params import DEFAULT_PARAMS, SpeckParams
+from ..estimate import RowEstimator
 from ..eval.suite import MatrixCase
-from ..faults import FaultPlan
+from ..faults import FaultPlan, FaultRule
 from ..gpu import DeviceSpec, TITAN_V
 from ..matrices import generators as gen
 from .admission import AdmissionPolicy
@@ -160,8 +162,21 @@ class BenchReport:
     warm_plans: int = 0
     #: Dispatches per brownout rung (full / lb_fallback / minimal).
     brownouts: Dict[str, int] = field(default_factory=dict)
-    #: Bit-identical verification of hit vs cold output (always checked).
+    #: Bit-identical verification of hit vs cold output (always checked;
+    #: with ``--speculative`` it additionally covers speculative and
+    #: bound-violation-fallback executes against the exact pipeline).
     bit_identical: bool = False
+    #: Cold requests planned from a sampled estimate (0 without
+    #: ``--speculative``).
+    speculative_cold: int = 0
+    #: Speculative runs whose confidence bound was violated at execute
+    #: time — the engine re-ran exact analysis (``stage_times["fallback"]``).
+    fallbacks: int = 0
+    #: ``fallbacks / speculative_cold`` (0.0 when nothing speculated).
+    fallback_rate: float = 0.0
+    #: Completed results whose C mismatched the exact reference product
+    #: (only computed under ``--estimate``/``--speculative``; must be 0).
+    wrong_results: int = 0
     metrics: Dict[str, object] = field(default_factory=dict)
 
     @property
@@ -205,6 +220,13 @@ class BenchReport:
                if self.warm_plans else ""),
             f"hit/cold outputs bit-identical: {self.bit_identical}",
         ]
+        if self.speculative_cold:
+            lines.append(
+                f"speculative: {self.speculative_cold} cold plans from "
+                f"sampled estimates, {self.fallbacks} bound-violation "
+                f"fallbacks ({self.fallback_rate * 100:.1f}%), "
+                f"{self.wrong_results} wrong results"
+            )
         degraded = {k: v for k, v in self.brownouts.items() if k != "full"}
         if degraded:
             lines.append(
@@ -218,11 +240,16 @@ def _verify_bit_identical(
     cases: Sequence[MatrixCase],
     device: DeviceSpec,
     params: SpeckParams,
+    *,
+    speculative: bool = False,
 ) -> bool:
     """Cold multiply vs plan-cache-hit multiply must agree bit for bit.
 
     Uses ``mode="execute"`` so C really flows through the adaptive
-    accumulators both times rather than the shared exact engine.
+    accumulators both times rather than the shared exact engine.  With
+    ``speculative`` the check widens: a speculative cold execute *and* a
+    bound-violation fallback execute (bounds deflated via the
+    ``estimate_skew`` fault site) must both match the exact pipeline.
     """
     case = cases[0]
     a, b = case.matrices()
@@ -233,11 +260,52 @@ def _verify_bit_identical(
         return False
     if hit.decisions.get("plan_cache") != "hit":
         return False
-    return (
-        np.array_equal(cold.c.indptr, hit.c.indptr)
-        and np.array_equal(cold.c.indices, hit.c.indices)
-        and np.array_equal(cold.c.data, hit.c.data)
+    others = [hit.c]
+    if speculative:
+        spec = SpGEMMService(device, params, speculative=True).multiply(
+            a, b, mode="execute", case_name=case.name
+        )
+        # Deflate the bounds so the execute-time check trips and the
+        # engine takes the exact-analysis fallback — output must still
+        # match the exact pipeline bit for bit.
+        skew = FaultPlan([FaultRule(site="estimate_skew", factor=0.01)])
+        fb = SpGEMMService(device, params, speculative=True).multiply(
+            a, b, mode="execute", faults=skew, case_name=case.name
+        )
+        if spec.c is None or fb.c is None:
+            return False
+        if not fb.decisions.get("speculative_fallback"):
+            return False
+        others += [spec.c, fb.c]
+    return all(
+        np.array_equal(cold.c.indptr, c.indptr)
+        and np.array_equal(cold.c.indices, c.indices)
+        and np.array_equal(cold.c.data, c.data)
+        for c in others
     )
+
+
+def _count_wrong_results(
+    outcomes: Sequence[RequestOutcome], cases: Sequence[MatrixCase]
+) -> int:
+    """Completed results whose C differs from an independently computed
+    exact reference product (structure or values)."""
+    refs: Dict[str, tuple] = {}
+    for case in cases:
+        a, b = case.matrices()
+        c = MultiplyContext(a, b).c
+        refs[case.name] = (c.fingerprint(), c.fingerprint_values())
+    wrong = 0
+    for o in outcomes:
+        if not o.ok or o.result is None or o.result.c is None:
+            continue
+        ref = refs.get(o.case_name)
+        if ref is None:
+            continue
+        c = o.result.c
+        if (c.fingerprint(), c.fingerprint_values()) != ref:
+            wrong += 1
+    return wrong
 
 
 def run_serve_bench(
@@ -251,6 +319,8 @@ def run_serve_bench(
     policy: Optional[AdmissionPolicy] = None,
     faults: Optional[FaultPlan] = None,
     plan_store_dir: Optional[str] = None,
+    estimate: bool = False,
+    speculative: bool = False,
 ) -> BenchReport:
     """Drive the service with the synthetic workload; return the report.
 
@@ -258,20 +328,30 @@ def run_serve_bench(
     :class:`~repro.serve.plan_store.PlanStore` there: plans persisted by
     earlier runs warm the cache before the first request, and every plan
     this run computes is persisted for the next one.
+
+    ``estimate`` wires a shared :class:`~repro.estimate.RowEstimator`
+    into admission (sampled footprint bounds) and queue ordering
+    (bucketed shortest-job-first); ``speculative`` additionally plans
+    cold requests from the estimates (and implies ``estimate``).  Either
+    flag also turns on the exact-reference ``wrong_results`` check.
     """
     cases = list(cases) if cases is not None else serve_corpus()
     spec = spec or WorkloadSpec()
+    estimate = bool(estimate or speculative)
     store = None
     if plan_store_dir is not None:
         from .plan_store import PlanStore
 
         store = PlanStore(plan_store_dir, faults=faults)
+    estimator = RowEstimator(device) if estimate else None
     service = SpGEMMService(
         device,
         params,
         plan_cache_bytes=plan_cache_bytes,
         context_cache_entries=max(32, len(cases)),
         plan_store=store,
+        speculative=speculative,
+        estimator=estimator,
     )
     scheduler = ServeScheduler(
         service,
@@ -279,6 +359,7 @@ def run_serve_bench(
         policy=policy,
         default_timeout_s=spec.timeout_s,
         faults=faults,
+        estimator=estimator,
     )
     requests = build_requests(cases, spec)
     outcomes = scheduler.run(requests)
@@ -287,7 +368,14 @@ def run_serve_bench(
         service,
         scheduler,
         spec,
-        bit_identical=_verify_bit_identical(cases, device, params),
+        bit_identical=_verify_bit_identical(
+            cases, device, params, speculative=speculative
+        ),
+        estimate=estimate,
+        speculative=speculative,
+        wrong_results=(
+            _count_wrong_results(outcomes, cases) if estimate else 0
+        ),
     )
 
 
@@ -298,6 +386,9 @@ def summarize(
     spec: WorkloadSpec,
     *,
     bit_identical: bool,
+    estimate: bool = False,
+    speculative: bool = False,
+    wrong_results: int = 0,
 ) -> BenchReport:
     """Fold outcomes + metrics into a :class:`BenchReport`."""
     snap = service.snapshot()
@@ -311,7 +402,10 @@ def summarize(
     first_100 = (
         sum(1 for o in first if o.cache_hit) / len(first) if first else 0.0
     )
-    warm_plans = int(snap.get("counters", {}).get("service.warm_plans", 0))
+    counters = snap.get("counters", {})
+    warm_plans = int(counters.get("service.warm_plans", 0))
+    spec_cold = int(counters.get("service.speculative_cold", 0))
+    fallbacks = int(counters.get("service.speculative_fallbacks", 0))
     report = BenchReport(
         config={
             "rate": spec.rate,
@@ -324,6 +418,8 @@ def summarize(
             # A boolean, never the path: reports stay byte-identical
             # across machines and temp directories.
             "plan_store": service.plan_store is not None,
+            "estimate": bool(estimate),
+            "speculative": bool(speculative),
         },
         offered=len(outcomes),
         completed=completed,
@@ -343,6 +439,10 @@ def summarize(
         warm_plans=warm_plans,
         brownouts=dict(sorted(scheduler.admission.brownout_modes.items())),
         bit_identical=bit_identical,
+        speculative_cold=spec_cold,
+        fallbacks=fallbacks,
+        fallback_rate=fallbacks / spec_cold if spec_cold else 0.0,
+        wrong_results=int(wrong_results),
         metrics=snap,
     )
     return report
