@@ -97,8 +97,9 @@ def build_parser() -> argparse.ArgumentParser:
     )
     bench.add_argument(
         "--workers", type=int, default=1, metavar="N",
-        help="evaluate up to N cases concurrently in a process pool "
-             "(records are identical to a sequential sweep)",
+        help="evaluate cases on a persistent pool of N forked workers "
+             "(clamped to the CPU count; operands travel via shared "
+             "memory and records are identical to a sequential sweep)",
     )
 
     tune = sub.add_parser("tune", help="auto-tune thresholds (Table 2)")
@@ -120,7 +121,9 @@ def build_parser() -> argparse.ArgumentParser:
     sb.add_argument("--duration", type=float, default=5.0,
                     help="virtual seconds of arrivals")
     sb.add_argument("--workers", type=int, default=2,
-                    help="simulated device streams draining the queue")
+                    help="simulated device streams draining the queue "
+                         "(virtual concurrency, unrelated to the bench "
+                         "suite's OS worker pool)")
     sb.add_argument("--alpha", type=float, default=1.1,
                     help="Zipf skew of operand popularity")
     sb.add_argument("--timeout", type=float, default=1.0,
@@ -162,7 +165,9 @@ def build_parser() -> argparse.ArgumentParser:
                     help="comma-separated device presets, cycled across "
                          "nodes (heterogeneous fleets)")
     cb.add_argument("--workers", type=int, default=2,
-                    help="simulated device streams per node")
+                    help="simulated device streams per node (virtual "
+                         "concurrency, unrelated to the bench suite's "
+                         "OS worker pool)")
     cb.add_argument("--rate", type=float, default=80_000.0,
                     help="mean arrival rate, requests per virtual second "
                          "(default ~4x one node's capacity)")

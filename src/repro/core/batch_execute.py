@@ -39,11 +39,12 @@ zero-initialised scatter-add).  Column extraction is ascending in both.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import lru_cache
 from typing import List, Optional, Tuple
 
 import numpy as np
 
-from ..matrices.csr import CSR, INDEX_DTYPE, VALUE_DTYPE, expand_ranges
+from ..matrices.csr import CSR, INDEX_DTYPE, VALUE_DTYPE, cached_arange, expand_ranges
 from .analysis import RowAnalysis
 from .config import KernelConfig, config_index_for_entries
 from .exec_accumulators import (
@@ -114,6 +115,25 @@ class ExecuteStats:
 # ---------------------------------------------------------------------------
 # Routing: the per-row method decision, vectorised
 # ---------------------------------------------------------------------------
+@lru_cache(maxsize=64)
+def _capacity_arrays(
+    configs: Tuple[KernelConfig, ...], stage: str
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Per-configuration (hash capacity, dense window) tables, memoised.
+
+    Routing rebuilt these list comprehensions on every multiply even
+    though the configuration ladder is device-derived and effectively
+    constant — the same hoist as ``passes._config_arrays``.
+    """
+    caps = np.array([c.hash_entries(stage) for c in configs], dtype=np.int64)
+    dense = np.array(
+        [max(c.dense_entries(stage), 1) for c in configs], dtype=np.int64
+    )
+    caps.flags.writeable = False
+    dense.flags.writeable = False
+    return caps, dense
+
+
 def _route_rows(
     analysis: RowAnalysis,
     c_row_nnz: np.ndarray,
@@ -152,9 +172,7 @@ def _route_rows(
     method[dense] = METHOD_DENSE
     method[is_hash] = METHOD_HASH
 
-    caps_per_cfg = np.array(
-        [c.hash_entries("numeric") for c in configs], dtype=np.int64
-    )
+    caps_per_cfg, dense_per_cfg = _capacity_arrays(tuple(configs), "numeric")
     capacity = caps_per_cfg[cfg_idx]
     # Global hash-map fallback: rows outgrowing even their configuration's
     # scratchpad map get a 2x-sized global map, exactly as the scalar loop.
@@ -162,9 +180,6 @@ def _route_rows(
     capacity = np.where(spill, 2 * c_row_nnz + 1, capacity)
     capacity[~is_hash] = 0
 
-    dense_per_cfg = np.array(
-        [max(c.dense_entries("numeric"), 1) for c in configs], dtype=np.int64
-    )
     window = dense_per_cfg[cfg_idx]
     return cfg_idx, method, capacity, window, analysis.col_min
 
@@ -205,9 +220,7 @@ def _expand_products(
     gb = expand_ranges(b.indptr[ak], bc)
     pvals = np.repeat(av, bc) * b.data[gb]
     pcols = b.indices[gb]
-    prow = np.repeat(
-        np.arange(rows.size, dtype=np.int64), products[rows]
-    )
+    prow = np.repeat(cached_arange(rows.size), products[rows])
     return prow, pcols, pvals
 
 
@@ -247,9 +260,8 @@ def _simulate_probing(
         n_local = hi - lo
         sel = slice(int(row_start[lo]), int(row_start[hi]))
         local_r = row_of_key[sel] - lo
-        tpos = (
-            np.arange(row_start[lo], row_start[hi], dtype=np.int64)
-            - row_start[row_of_key[sel]]
+        tpos = cached_arange(int(row_start[hi] - row_start[lo])) + (
+            row_start[lo] - row_start[row_of_key[sel]]
         )
         kmat = np.full((n_local, m_max), -1, dtype=np.int64)
         kmat[local_r, tpos] = keys[sel]

@@ -20,7 +20,7 @@ from typing import List, Sequence, Tuple
 
 import numpy as np
 
-from ..matrices.csr import CSR
+from ..matrices.csr import CSR, cached_arange
 from .exec_accumulators import HASH_PRIME
 
 __all__ = [
@@ -127,7 +127,7 @@ class BlockHashMap:
         # searchsorted on the sorted rows yields each row's slice bounds.
         order = np.lexsort((cols, rows))
         rows, cols, vals = rows[order], cols[order], vals[order]
-        starts = np.searchsorted(rows, np.arange(n_rows + 1))
+        starts = np.searchsorted(rows, cached_arange(n_rows + 1))
         return [
             (cols[starts[r] : starts[r + 1]], vals[starts[r] : starts[r + 1]])
             for r in range(n_rows)

@@ -31,15 +31,18 @@ def choose_group_size(
     avg_len: np.ndarray,
     max_len: np.ndarray,
     nnz_a: np.ndarray,
-    threads: int,
+    threads: "int | np.ndarray",
 ) -> np.ndarray:
     """Dynamic group size ``g`` per block (vectorised over blocks).
 
     Parameters mirror the analysis outputs aggregated per block: average
     and maximum length of the referenced rows of B, and the number of
-    non-zeros of A the block processes.
+    non-zeros of A the block processes.  ``threads`` may be a scalar (one
+    kernel configuration) or a per-block array (a mixed-configuration
+    plan priced in one call); every step below is elementwise, so the
+    array form returns exactly the per-configuration results.
     """
-    if threads < 1:
+    if np.any(np.asarray(threads) < 1):
         raise ValueError(f"threads must be >= 1, got {threads}")
     # Exact-zero statistics (empty blocks, rows of B with no entries) are
     # legal inputs; the floor of one non-zero / one unit of length is

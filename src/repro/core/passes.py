@@ -27,6 +27,7 @@ from ..gpu import (
     DeviceSpec,
     block_cycles,
     coalescing_efficiency,
+    grouped_kernel_times,
     kernel_time_s,
 )
 from .accumulators import hash_fill, probe_cost_amortized
@@ -78,7 +79,7 @@ def seg_min(values: np.ndarray, ptr: np.ndarray, fill=None) -> np.ndarray:
 @lru_cache(maxsize=64)
 def _config_arrays(
     configs: Tuple[KernelConfig, ...], stage: str
-) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
     """Per-configuration lookup arrays, computed once per config list.
 
     ``KernelConfig`` is a frozen (hashable) dataclass, so a tuple of
@@ -87,11 +88,12 @@ def _config_arrays(
     frozen read-only because callers fancy-index them (which copies).
     """
     threads = np.array([c.threads for c in configs], dtype=np.int64)
+    scratch = np.array([c.scratch_bytes for c in configs], dtype=np.int64)
     hash_caps = np.array([c.hash_entries(stage) for c in configs], dtype=np.float64)
     dense_caps = np.array([c.dense_entries(stage) for c in configs], dtype=np.float64)
-    for arr in (threads, hash_caps, dense_caps):
+    for arr in (threads, scratch, hash_caps, dense_caps):
         arr.setflags(write=False)
-    return threads, hash_caps, dense_caps
+    return threads, scratch, hash_caps, dense_caps
 
 
 @dataclass
@@ -147,8 +149,11 @@ def run_pass(
     col_range = np.maximum(col_hi - col_lo + 1, 1)
     rows_in_block = np.diff(ptr)
     cfg_idx = plan.block_config
-    threads_all, hash_all, dense_all = _config_arrays(tuple(configs), stage)
+    threads_all, scratch_all, hash_all, dense_all = _config_arrays(
+        tuple(configs), stage
+    )
     threads_arr = threads_all[cfg_idx]
+    scratch_arr = scratch_all[cfg_idx]
     hash_caps = hash_all[cfg_idx]
     dense_caps = dense_all[cfg_idx]
     largest_cap = configs[-1].hash_entries(stage)
@@ -184,14 +189,11 @@ def run_pass(
     avg_len = prods / np.maximum(nnz_a, 1.0)
     if params.fixed_group_size is None:
         # choose_group_size depends on the block's thread count, which the
-        # configuration determines; vectorise per configuration.
-        g = np.empty(cfg_idx.size, dtype=np.int64)
-        for c in range(n_cfg):
-            m = cfg_idx == c
-            if m.any():
-                g[m] = choose_group_size(
-                    avg_len[m], np.maximum(max_ref[m], 1), nnz_a[m], configs[c].threads
-                )
+        # configuration determines; the per-block thread array vectorises
+        # the choice across every configuration in one elementwise sweep.
+        g = choose_group_size(
+            avg_len, np.maximum(max_ref, 1), nnz_a, threads_arr
+        )
     else:
         g = np.minimum(
             np.full(cfg_idx.size, int(params.fixed_group_size), dtype=np.int64),
@@ -320,31 +322,27 @@ def run_pass(
         result.radix_entries = int(out_nnz[mid & (cfg_idx >= 3)].sum())
     result.mean_utilization = float(util.mean())
 
-    total = 0.0
-    for c in range(n_cfg):
-        m = cfg_idx == c
-        if not m.any():
-            continue
-        work = BlockWork(
-            mem_bytes=mem[m],
-            coalescing=coal[m],
-            random_bytes=rand[m],
-            flops=flops[m],
-            iops=iops[m],
-            scratch_ops=scratch[m],
-            scratch_atomics=scratch_atomic[m],
-            global_atomics=global_atomic[m],
-            utilization=util[m],
-        )
-        cycles = block_cycles(
-            device, configs[c].threads, configs[c].scratch_bytes, work
-        )
-        t = kernel_time_s(
-            cycles, configs[c].threads, configs[c].scratch_bytes, device
-        )
-        result.kernel_times[c] = t
-        total += t
-    result.time_s = total
+    # One flat block_cycles sweep prices every block of every configuration
+    # (per-block thread/scratch arrays; each block's grid is the number of
+    # blocks sharing its kernel launch), then the scheduler recovers the
+    # identical per-configuration makespans from the flat array.
+    work = BlockWork(
+        mem_bytes=mem,
+        coalescing=coal,
+        random_bytes=rand,
+        flops=flops,
+        iops=iops,
+        scratch_ops=scratch,
+        scratch_atomics=scratch_atomic,
+        global_atomics=global_atomic,
+        utilization=util,
+    )
+    grid_sizes = np.bincount(cfg_idx, minlength=n_cfg)
+    cycles = block_cycles(
+        device, threads_arr, scratch_arr, work, grid=grid_sizes[cfg_idx]
+    )
+    result.kernel_times = grouped_kernel_times(cycles, cfg_idx, configs, device)
+    result.time_s = float(sum(result.kernel_times.values()))
     return result
 
 

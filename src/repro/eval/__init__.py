@@ -13,8 +13,16 @@ from .figures import (
     figure14_global_lb_ablation,
     figure15_per_matrix_gflops,
 )
-from .harness import EvalResult, MatrixRecord, RunRecord, evaluate_case, run_suite
+from .harness import (
+    EvalResult,
+    MatrixRecord,
+    RunRecord,
+    effective_workers,
+    evaluate_case,
+    run_suite,
+)
 from .metrics import PRODUCT_CUTOFF, MethodStats, best_times, compute_table3
+from .shm import SharedCSR, SharedCSRHandle
 from .suite import MatrixCase, common_matrices, full_corpus, small_corpus
 from .tables import render_table3, render_table4, table3, table4
 
@@ -29,6 +37,9 @@ __all__ = [
     "RunRecord",
     "run_suite",
     "evaluate_case",
+    "effective_workers",
+    "SharedCSR",
+    "SharedCSRHandle",
     "MatrixCase",
     "full_corpus",
     "small_corpus",

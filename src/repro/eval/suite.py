@@ -51,6 +51,31 @@ class MatrixCase:
         """Drop the cached matrices (keeps corpus sweeps memory-bounded)."""
         self._cache = None
 
+    @classmethod
+    def from_matrices(
+        cls,
+        name: str,
+        family: str,
+        a: CSR,
+        b: CSR,
+        tags: Tuple[str, ...] = (),
+    ) -> "MatrixCase":
+        """A case over already-materialised operands.
+
+        Used by the worker pool, which receives (A, B) as shared-memory
+        views rather than rebuilding them from a generator closure; the
+        pair is pre-cached so :meth:`matrices` never runs ``build_a``.
+        """
+        case = cls(
+            name=name,
+            family=family,
+            build_a=lambda: a,
+            rectangular=False,
+            tags=tags,
+        )
+        case._cache = (a, b)
+        return case
+
 
 def _case(
     name: str,

@@ -3,7 +3,12 @@
 from .cost import BlockWork, block_cycles, coalescing_efficiency
 from .device import TITAN_V, XEON_I7, CpuSpec, DeviceSpec
 from .memory import DeviceOOM, MemoryLedger
-from .schedule import KernelLaunch, kernel_time_s, makespan_cycles
+from .schedule import (
+    KernelLaunch,
+    grouped_kernel_times,
+    kernel_time_s,
+    makespan_cycles,
+)
 
 __all__ = [
     "DeviceSpec",
@@ -17,5 +22,6 @@ __all__ = [
     "DeviceOOM",
     "KernelLaunch",
     "kernel_time_s",
+    "grouped_kernel_times",
     "makespan_cycles",
 ]

@@ -88,27 +88,45 @@ def coalescing_efficiency(
 
 def block_cycles(
     device: DeviceSpec,
-    threads: int,
-    scratch_bytes: int,
+    threads: "int | np.ndarray",
+    scratch_bytes: "int | np.ndarray",
     work: BlockWork,
+    *,
+    grid: "int | np.ndarray | None" = None,
 ) -> np.ndarray:
     """Per-block cycle cost for a kernel configuration.
 
     The block cannot go faster than either its memory pipeline or its issue
     pipeline; the two overlap on real hardware, so the cost is their
     maximum plus a small serial fraction of the minor component.
+
+    ``threads``/``scratch_bytes`` may be per-block arrays — one call then
+    prices blocks running under different kernel configurations, with
+    identical elementwise arithmetic to per-configuration scalar calls.
+    In that form ``grid`` must carry each block's launch grid size (the
+    number of blocks sharing its kernel); for the scalar form it defaults
+    to the broadcast work size, as before.
     """
-    r = device.blocks_per_sm(threads, scratch_bytes)
-    # A grid smaller than the device leaves SMs with a single resident
-    # block, which then enjoys the full per-SM bandwidth share.
-    grid = int(
-        np.broadcast(
-            work.mem_bytes, work.flops, work.iops, work.scratch_ops
-        ).size
-    )
-    if grid:
-        r = min(r, max(1, -(-grid // device.num_sms)))
-    issue_share = threads / device.max_threads_per_sm
+    threads_in = np.asarray(threads)
+    if threads_in.ndim:
+        if grid is None:
+            raise ValueError("array-form block_cycles requires explicit grid")
+        r = device.blocks_per_sm_array(threads_in, np.asarray(scratch_bytes))
+        # A grid smaller than the device leaves SMs with a single resident
+        # block, which then enjoys the full per-SM bandwidth share.
+        r = np.minimum(r, np.maximum(1, -(-np.asarray(grid) // device.num_sms)))
+        issue_share = threads_in / device.max_threads_per_sm
+    else:
+        r = device.blocks_per_sm(int(threads), int(scratch_bytes))
+        if grid is None:
+            grid = int(
+                np.broadcast(
+                    work.mem_bytes, work.flops, work.iops, work.scratch_ops
+                ).size
+            )
+        if grid:
+            r = min(r, max(1, -(-int(grid) // device.num_sms)))
+        issue_share = int(threads) / device.max_threads_per_sm
 
     util = np.maximum(np.asarray(work.utilization, dtype=np.float64), 1e-3)
     coal = np.clip(np.asarray(work.coalescing, dtype=np.float64), 1e-3, 1.0)

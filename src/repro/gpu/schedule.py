@@ -16,12 +16,18 @@ from __future__ import annotations
 
 import heapq
 from dataclasses import dataclass
+from typing import Dict, Sequence
 
 import numpy as np
 
 from .device import DeviceSpec
 
-__all__ = ["KernelLaunch", "makespan_cycles", "kernel_time_s"]
+__all__ = [
+    "KernelLaunch",
+    "makespan_cycles",
+    "kernel_time_s",
+    "grouped_kernel_times",
+]
 
 #: Above this many blocks the exact heap simulation is replaced by the
 #: analytic bound (the two agree to <1% for large uniform-ish launches).
@@ -86,6 +92,41 @@ class KernelLaunch:
             device,
             include_launch=include_launch,
         )
+
+
+def grouped_kernel_times(
+    block_cycles: np.ndarray,
+    cfg_of_block: np.ndarray,
+    configs: Sequence,
+    device: DeviceSpec,
+    *,
+    include_launch: bool = True,
+) -> Dict[int, float]:
+    """Per-configuration kernel times from one flat per-block cycle array.
+
+    ``block_cycles[i]`` is the cost of block ``i`` and ``cfg_of_block[i]``
+    names the kernel configuration it launches under.  Each configuration
+    with at least one block is scheduled separately — blocks in original
+    index order, exactly as if its cycles had been computed in a dedicated
+    per-configuration call — so callers can price a whole mixed plan with
+    a single :func:`~repro.gpu.cost.block_cycles` sweep and still get the
+    identical per-launch makespans.
+    """
+    block_cycles = np.asarray(block_cycles, dtype=np.float64)
+    cfg_of_block = np.asarray(cfg_of_block)
+    times: Dict[int, float] = {}
+    for c, cfg in enumerate(configs):
+        mask = cfg_of_block == c
+        if not mask.any():
+            continue
+        times[c] = kernel_time_s(
+            block_cycles[mask],
+            cfg.threads,
+            cfg.scratch_bytes,
+            device,
+            include_launch=include_launch,
+        )
+    return times
 
 
 def kernel_time_s(

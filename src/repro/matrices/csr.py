@@ -20,7 +20,14 @@ from typing import Iterable, Tuple
 
 import numpy as np
 
-__all__ = ["CSR", "csr_from_dense", "csr_zeros", "csr_identity", "expand_ranges"]
+__all__ = [
+    "CSR",
+    "csr_from_dense",
+    "csr_zeros",
+    "csr_identity",
+    "expand_ranges",
+    "cached_arange",
+]
 
 # Index dtype used everywhere.  The paper uses 32-bit compound indices with a
 # 64-bit fallback; we standardise on int64 for correctness and simplicity —
@@ -47,7 +54,10 @@ class CSR:
         When true (default), validate the invariants on construction.
     """
 
-    __slots__ = ("indptr", "indices", "data", "shape", "_fp_struct", "_fp_values")
+    __slots__ = (
+        "indptr", "indices", "data", "shape",
+        "_fp_struct", "_fp_values", "_row_nnz",
+    )
 
     def __init__(
         self,
@@ -64,6 +74,7 @@ class CSR:
         self.shape = (int(shape[0]), int(shape[1]))
         self._fp_struct: str | None = None
         self._fp_values: Tuple[int, str] | None = None
+        self._row_nnz: np.ndarray | None = None
         if check:
             self.validate()
 
@@ -211,8 +222,18 @@ class CSR:
         return self.shape[1]
 
     def row_nnz(self) -> np.ndarray:
-        """Number of non-zeros in each row (length ``rows``)."""
-        return np.diff(self.indptr)
+        """Number of non-zeros in each row (length ``rows``).
+
+        The array is computed once and cached (``indptr`` is
+        immutable-by-convention, like the other structural arrays); it is
+        returned read-only so accidental in-place mutation cannot poison
+        later callers.
+        """
+        if self._row_nnz is None:
+            rn = np.diff(self.indptr)
+            rn.flags.writeable = False
+            self._row_nnz = rn
+        return self._row_nnz
 
     def row(self, i: int) -> Tuple[np.ndarray, np.ndarray]:
         """Views of the column indices and values of row ``i``."""
@@ -393,16 +414,37 @@ def _expand_ranges(starts: np.ndarray, counts: np.ndarray) -> np.ndarray:
     if total == 0:
         return np.empty(0, dtype=INDEX_DTYPE)
     # Each output element is its range's start plus its offset inside the
-    # range: repeat the starts, then subtract the running start position of
-    # each range from a global arange to recover the intra-range offset.
-    rep_starts = np.repeat(starts, counts)
-    range_begin = np.cumsum(counts) - counts
-    offsets = np.arange(total, dtype=INDEX_DTYPE) - np.repeat(range_begin, counts)
-    return rep_starts + offsets
+    # range.  Precomputing ``start - running_begin`` per range (an O(ranges)
+    # op) lets one repeat plus one in-place add over a global arange recover
+    # ``start + intra_range_offset`` — two O(total) passes instead of four.
+    adj = starts - (np.cumsum(counts) - counts)
+    out = np.arange(total, dtype=INDEX_DTYPE)
+    out += np.repeat(adj, counts)
+    return out
 
 
 #: Public alias — the variable-length gather is used across the code base.
 expand_ranges = _expand_ranges
+
+
+#: Grow-only backing store for :func:`cached_arange`.
+_ARANGE_CACHE = np.empty(0, dtype=INDEX_DTYPE)
+
+
+def cached_arange(n: int) -> np.ndarray:
+    """A read-only view of ``np.arange(n)`` served from a shared buffer.
+
+    Hot paths (hash-probe simulation, block extraction scans, capacity
+    routing) rebuild small index tables on every call; serving them from
+    one grow-only cache removes the repeated allocation.  The view is
+    immutable — copy before mutating.
+    """
+    global _ARANGE_CACHE
+    if n > _ARANGE_CACHE.size:
+        fresh = np.arange(max(int(n), 2 * _ARANGE_CACHE.size), dtype=INDEX_DTYPE)
+        fresh.flags.writeable = False
+        _ARANGE_CACHE = fresh
+    return _ARANGE_CACHE[:n]
 
 
 def csr_from_dense(dense: np.ndarray) -> CSR:

@@ -21,8 +21,12 @@ from .plan_cache import CachedPlan, PlanCache, PlanIntegrityError, plan_key
 from .plan_ir import (
     PlanIRError,
     compat_key,
+    decode_frame,
     decode_plan,
+    decode_record,
+    encode_frame,
     encode_plan,
+    encode_record,
     plan_checksum,
 )
 from .plan_store import PlanStore, PlanStoreLoad
@@ -53,8 +57,12 @@ __all__ = [
     "plan_key",
     "PlanIRError",
     "compat_key",
+    "decode_frame",
     "decode_plan",
+    "decode_record",
+    "encode_frame",
     "encode_plan",
+    "encode_record",
     "plan_checksum",
     "PlanStore",
     "PlanStoreLoad",

@@ -57,6 +57,10 @@ __all__ = [
     "PLAN_IR_VERSION",
     "PlanIRError",
     "compat_key",
+    "encode_frame",
+    "decode_frame",
+    "encode_record",
+    "decode_record",
     "encode_plan",
     "decode_plan",
     "plan_checksum",
@@ -91,6 +95,73 @@ def compat_key(device: DeviceSpec, params: SpeckParams) -> str:
     what the cluster layer has always used for replica gating.
     """
     return f"{device.name}|{params!r}"
+
+
+# ---------------------------------------------------------------------------
+# Framing (shared by plans and generic records)
+# ---------------------------------------------------------------------------
+def encode_frame(payload: bytes) -> bytes:
+    """Wrap raw ``payload`` bytes in one self-verifying SPIR frame."""
+    digest = hashlib.blake2b(payload, digest_size=16).digest()
+    return (
+        _HEADER_STRUCT.pack(PLAN_IR_MAGIC, PLAN_IR_VERSION, len(payload), digest)
+        + payload
+    )
+
+
+def decode_frame(data: bytes) -> bytes:
+    """Verify one SPIR frame and return its payload bytes.
+
+    Raises :class:`PlanIRError` with the standard ``reason`` taxonomy
+    (``"truncated"``/``"magic"``/``"version"``/``"checksum"``) on any
+    framing defect.
+    """
+    if len(data) < _HEADER_STRUCT.size:
+        raise PlanIRError(
+            f"frame is {len(data)} B, shorter than the {_HEADER_STRUCT.size} B "
+            "header",
+            reason="truncated",
+        )
+    magic, version, length, digest = _HEADER_STRUCT.unpack_from(data)
+    if magic != PLAN_IR_MAGIC:
+        raise PlanIRError(f"bad magic {magic!r}", reason="magic")
+    if version != PLAN_IR_VERSION:
+        raise PlanIRError(
+            f"plan IR version {version}, this reader speaks {PLAN_IR_VERSION}",
+            reason="version",
+        )
+    payload = data[_HEADER_STRUCT.size:]
+    if len(payload) != length:
+        raise PlanIRError(
+            f"payload is {len(payload)} B, header declared {length} B",
+            reason="truncated",
+        )
+    if hashlib.blake2b(payload, digest_size=16).digest() != digest:
+        raise PlanIRError("payload digest mismatch (bit rot)", reason="checksum")
+    return payload
+
+
+def encode_record(obj: object) -> bytes:
+    """Frame one JSON-serialisable record for cross-process transport.
+
+    This is what the suite worker pool ships over its result queue
+    instead of pickling record objects: a canonical JSON payload inside
+    the same checksummed frame the plan store uses, so torn or damaged
+    transfers surface as :class:`PlanIRError` rather than silently wrong
+    evaluation records.  JSON round-trips ``float`` via ``repr`` exactly
+    and preserves object key order, so ``decode_record(encode_record(d))``
+    reproduces ``d`` value- and order-identically.
+    """
+    return encode_frame(json.dumps(obj).encode("utf-8"))
+
+
+def decode_record(data: bytes) -> object:
+    """Inverse of :func:`encode_record` (raises :class:`PlanIRError`)."""
+    payload = decode_frame(data)
+    try:
+        return json.loads(payload.decode("utf-8"))
+    except Exception as exc:
+        raise PlanIRError(f"malformed record payload: {exc}", reason="corrupt") from exc
 
 
 # ---------------------------------------------------------------------------
@@ -192,12 +263,7 @@ def _payload(plan: CachedPlan, compat: str) -> bytes:
 
 def encode_plan(plan: CachedPlan, compat: str = "") -> bytes:
     """Serialize a populated plan into one self-verifying frame."""
-    payload = _payload(plan, compat or plan.compat or "")
-    digest = hashlib.blake2b(payload, digest_size=16).digest()
-    return (
-        _HEADER_STRUCT.pack(PLAN_IR_MAGIC, PLAN_IR_VERSION, len(payload), digest)
-        + payload
-    )
+    return encode_frame(_payload(plan, compat or plan.compat or ""))
 
 
 def plan_checksum(plan: CachedPlan, compat: str = "") -> str:
@@ -260,28 +326,7 @@ def decode_plan(data: bytes) -> Tuple[CachedPlan, str]:
     Raises :class:`PlanIRError` (see its ``reason`` taxonomy) on any
     defect; never returns a partially-reconstructed plan.
     """
-    if len(data) < _HEADER_STRUCT.size:
-        raise PlanIRError(
-            f"frame is {len(data)} B, shorter than the {_HEADER_STRUCT.size} B "
-            "header",
-            reason="truncated",
-        )
-    magic, version, length, digest = _HEADER_STRUCT.unpack_from(data)
-    if magic != PLAN_IR_MAGIC:
-        raise PlanIRError(f"bad magic {magic!r}", reason="magic")
-    if version != PLAN_IR_VERSION:
-        raise PlanIRError(
-            f"plan IR version {version}, this reader speaks {PLAN_IR_VERSION}",
-            reason="version",
-        )
-    payload = data[_HEADER_STRUCT.size:]
-    if len(payload) != length:
-        raise PlanIRError(
-            f"payload is {len(payload)} B, header declared {length} B",
-            reason="truncated",
-        )
-    if hashlib.blake2b(payload, digest_size=16).digest() != digest:
-        raise PlanIRError("payload digest mismatch (bit rot)", reason="checksum")
+    payload = decode_frame(data)
 
     try:
         (head_len,) = struct.unpack_from(">I", payload)

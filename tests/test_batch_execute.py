@@ -170,7 +170,7 @@ class TestParallelSuite:
 
     def test_workers2_record_identical(self):
         m1, r1 = self._dicts(run_suite(small_corpus(), workers=1))
-        m2, r2 = self._dicts(run_suite(small_corpus(), workers=2))
+        m2, r2 = self._dicts(run_suite(small_corpus(), workers=2, clamp=False))
         assert json.dumps(m1) == json.dumps(m2)
         assert json.dumps(r1) == json.dumps(r2)
 
@@ -180,7 +180,7 @@ class TestParallelSuite:
             run_suite(small_corpus(), workers=1, faults=parse_fault_spec(spec))
         )
         m2, r2 = self._dicts(
-            run_suite(small_corpus(), workers=2, faults=parse_fault_spec(spec))
+            run_suite(small_corpus(), workers=2, clamp=False, faults=parse_fault_spec(spec))
         )
         assert json.dumps(m1) == json.dumps(m2)
         assert json.dumps(r1) == json.dumps(r2)
@@ -189,7 +189,7 @@ class TestParallelSuite:
 
     def test_parallel_checkpoint_resumes(self, tmp_path):
         cp = os.path.join(tmp_path, "sweep.jsonl")
-        run_suite(small_corpus(), workers=2, checkpoint=cp)
+        run_suite(small_corpus(), workers=2, clamp=False, checkpoint=cp)
         with open(cp, "r", encoding="utf-8") as fh:
             entries = [json.loads(line) for line in fh if line.strip()]
         assert len(entries) == len(small_corpus())
@@ -204,7 +204,7 @@ class TestParallelSuite:
             runs = [r.as_dict() for r in seq.runs if r.matrix == name]
             assert entry["runs"] == runs
         # Resuming skips everything and reproduces the full result set.
-        resumed = run_suite(small_corpus(), workers=2, checkpoint=cp)
+        resumed = run_suite(small_corpus(), workers=2, clamp=False, checkpoint=cp)
         assert set(resumed.matrices) == set(seq.matrices)
         assert len(resumed.runs) == len(seq.runs)
 
