@@ -206,6 +206,25 @@ def build_parser() -> argparse.ArgumentParser:
                     help="nodes plan cold requests from sampled estimates "
                          "(exact-analysis fallback on bound violation; "
                          "implies --estimate)")
+    cb.add_argument("--autoscale", action="store_true",
+                    help="elastic fleet: --nodes is the initial size; an "
+                         "SLO-driven autoscaler resizes the fleet within "
+                         "[--min-nodes, --max-nodes] in virtual time")
+    cb.add_argument("--min-nodes", type=int, default=1,
+                    help="autoscaler floor on fleet size")
+    cb.add_argument("--max-nodes", type=int, default=8,
+                    help="autoscaler ceiling on fleet size")
+    cb.add_argument("--no-warm-join", action="store_true",
+                    help="joining nodes start cold instead of hydrating "
+                         "from the plan store / plan index before traffic")
+    cb.add_argument("--scale-interval", type=float, default=0.02,
+                    help="virtual seconds between autoscaler evaluations")
+    cb.add_argument("--target-p99", type=float, default=0.2,
+                    help="latency SLO the autoscaler defends (fleet p99, "
+                         "virtual seconds)")
+    cb.add_argument("--replicate-top-k", type=int, default=4,
+                    help="hottest plans proactively pushed to their spill "
+                         "targets each autoscaler tick")
     cb.add_argument("--json", metavar="PATH",
                     help="write the full report + fleet metrics JSON here")
 
@@ -443,19 +462,30 @@ def _cmd_cluster_bench(args) -> int:
         timeout_s=args.timeout if args.timeout > 0 else None,
         seed=args.seed,
     )
-    cluster = ClusterSpec(
-        n_nodes=args.nodes,
-        devices=devices,
-        workers_per_node=args.workers,
-        plan_cache_mb=args.cache_mb,
-        queue_depth=args.queue_depth,
-        spill_queue_depth=args.spill_depth,
-        replicate_plans=not args.no_replication,
-        seed=args.seed,
-        plan_store_dir=args.plan_store,
-        estimate=args.estimate,
-        speculative=args.speculative,
-    )
+    try:
+        cluster = ClusterSpec(
+            n_nodes=args.nodes,
+            devices=devices,
+            workers_per_node=args.workers,
+            plan_cache_mb=args.cache_mb,
+            queue_depth=args.queue_depth,
+            spill_queue_depth=args.spill_depth,
+            replicate_plans=not args.no_replication,
+            seed=args.seed,
+            plan_store_dir=args.plan_store,
+            estimate=args.estimate,
+            speculative=args.speculative,
+            autoscale=args.autoscale,
+            min_nodes=args.min_nodes,
+            max_nodes=args.max_nodes,
+            warm_join=not args.no_warm_join,
+            scale_interval_s=args.scale_interval,
+            target_p99_s=args.target_p99,
+            replicate_top_k=args.replicate_top_k,
+        )
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
     report = run_cluster_bench(
         spec=spec,
         cluster=cluster,

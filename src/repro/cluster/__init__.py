@@ -15,11 +15,15 @@ its own :class:`~repro.gpu.device.DeviceSpec`.  The cluster layer adds:
   retry of stranded work onto survivors (:mod:`repro.cluster.bench`);
 - fleet metrics aggregating every node's registry into one snapshot
   (:mod:`repro.cluster.metrics`);
+- SLO-driven elasticity — an autoscaler resizing the fleet through the
+  ring's join/leave machinery, warm-hydrating joiners and proactively
+  replicating the hottest plans (:mod:`repro.cluster.autoscaler`);
 - the ``repro cluster-bench`` workload driver, which verifies every
   completed response bit-identical to a single-node reference while
   measuring throughput scaling (:func:`run_cluster_bench`).
 """
 
+from .autoscaler import AutoscalePolicy, Autoscaler, ScaleEvent
 from .bench import ClusterBenchReport, ClusterSpec, build_fleet, run_cluster_bench
 from .metrics import FleetMetrics
 from .node import ClusterNode, InFlight
@@ -35,6 +39,8 @@ from .router import (
 )
 
 __all__ = [
+    "AutoscalePolicy",
+    "Autoscaler",
     "BreakerPolicy",
     "CircuitBreaker",
     "ClusterBenchReport",
@@ -47,6 +53,7 @@ __all__ = [
     "PlanIndex",
     "RetryBudget",
     "RoutingPolicy",
+    "ScaleEvent",
     "build_fleet",
     "plan_transfer_s",
     "request_key",

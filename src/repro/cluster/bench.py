@@ -24,7 +24,7 @@ produces a byte-identical ``--json`` report.
 from __future__ import annotations
 
 import json
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
@@ -38,6 +38,7 @@ from ..serve.admission import AdmissionPolicy
 from ..serve.scheduler import Request, RequestOutcome
 from ..serve.service import SpGEMMService
 from ..serve.workload import WorkloadSpec, build_requests, serve_corpus
+from .autoscaler import AutoscalePolicy, Autoscaler
 from .metrics import FleetMetrics
 from .node import ClusterNode, InFlight
 from .router import ClusterRouter, RoutingPolicy
@@ -80,10 +81,34 @@ class ClusterSpec:
     #: (implies ``estimate``); bound violations fall back to exact
     #: analysis and are counted in the report.
     speculative: bool = False
+    #: Elastic fleet: run an :class:`~repro.cluster.autoscaler.Autoscaler`
+    #: over the event loop.  ``n_nodes`` is then the *initial* size and
+    #: the fleet resizes within ``[min_nodes, max_nodes]``.
+    autoscale: bool = False
+    min_nodes: int = 1
+    max_nodes: int = 8
+    #: Hydrate joining nodes (durable store, then hottest indexed plans
+    #: from peers) before they take traffic.
+    warm_join: bool = True
+    #: Virtual seconds between autoscaler evaluations.
+    scale_interval_s: float = 0.02
+    #: Latency SLO the autoscaler defends (fleet p99, virtual seconds).
+    target_p99_s: float = 0.2
+    #: Hottest plans proactively replicated to spill targets each tick.
+    replicate_top_k: int = 4
 
     def __post_init__(self) -> None:
         if self.n_nodes < 1:
             raise ValueError("need at least one node")
+        if self.autoscale:
+            if not 1 <= self.min_nodes <= self.n_nodes <= self.max_nodes:
+                raise ValueError("need 1 <= min_nodes <= n_nodes <= max_nodes")
+            if self.scale_interval_s <= 0:
+                raise ValueError("scale_interval_s must be positive")
+            if self.target_p99_s <= 0:
+                raise ValueError("target_p99_s must be positive")
+            if self.replicate_top_k < 0:
+                raise ValueError("replicate_top_k must be >= 0")
         if self.workers_per_node < 1:
             raise ValueError("need at least one worker per node")
         if not self.devices:
@@ -97,24 +122,39 @@ class ClusterSpec:
             raise ValueError("max_retries must be >= 0")
 
 
+def _make_node(
+    spec: ClusterSpec,
+    params: SpeckParams,
+    index: int,
+    name: Optional[str] = None,
+) -> ClusterNode:
+    """One fleet node by index: device cycled, policies from the spec.
+
+    Founders and autoscaler joiners are built identically — the joiner
+    just has a later index (and a non-zero ``joined_at_s`` stamped by
+    the autoscaler).
+    """
+    device = PRESETS[spec.devices[index % len(spec.devices)]]
+    return ClusterNode(
+        name or f"node-{index}",
+        device,
+        params,
+        n_workers=spec.workers_per_node,
+        plan_cache_bytes=int(spec.plan_cache_mb * 1e6),
+        policy=AdmissionPolicy(max_queue_depth=spec.queue_depth),
+        estimate=spec.estimate,
+        speculative=spec.speculative,
+    )
+
+
 def build_fleet(
     spec: ClusterSpec, params: SpeckParams = DEFAULT_PARAMS
 ) -> Dict[str, ClusterNode]:
     """Construct the nodes: ``node-0`` … ``node-(N-1)``, devices cycled."""
     nodes: Dict[str, ClusterNode] = {}
     for i in range(spec.n_nodes):
-        device = PRESETS[spec.devices[i % len(spec.devices)]]
-        name = f"node-{i}"
-        nodes[name] = ClusterNode(
-            name,
-            device,
-            params,
-            n_workers=spec.workers_per_node,
-            plan_cache_bytes=int(spec.plan_cache_mb * 1e6),
-            policy=AdmissionPolicy(max_queue_depth=spec.queue_depth),
-            estimate=spec.estimate,
-            speculative=spec.speculative,
-        )
+        node = _make_node(spec, params, i)
+        nodes[node.name] = node
     return nodes
 
 
@@ -194,7 +234,9 @@ class _FleetRun:
     outcomes: List[RequestOutcome]
     router: ClusterRouter
     fleet: FleetMetrics
+    #: The *router's* live node map — covers autoscaler joiners too.
     nodes: Dict[str, ClusterNode]
+    scaler: Optional[Autoscaler] = None
     retried: int = 0
     wrong_results: int = 0
     end_s: float = 0.0
@@ -205,6 +247,7 @@ def _run_fleet(
     nodes: Dict[str, ClusterNode],
     spec: ClusterSpec,
     *,
+    params: SpeckParams = DEFAULT_PARAMS,
     faults: Optional[FaultPlan] = None,
     reference: Optional[Dict[str, str]] = None,
 ) -> _FleetRun:
@@ -218,14 +261,50 @@ def _run_fleet(
         ),
     )
     fleet = FleetMetrics()
-    run = _FleetRun(outcomes=[], router=router, fleet=fleet, nodes=nodes)
-    for node in nodes.values():
+    # The router copies the node map; membership changes (autoscaler
+    # joins, drains) land in router.nodes, so everything downstream —
+    # the loop, aggregation, the report — iterates *that* map.
+    run = _FleetRun(
+        outcomes=[], router=router, fleet=fleet, nodes=router.nodes
+    )
+    for node in router.nodes.values():
         node.bind_faults(faults)
         if spec.plan_store_dir is not None:
             node.attach_plan_store(spec.plan_store_dir, faults)
 
+    scaler: Optional[Autoscaler] = None
+    if spec.autoscale:
+
+        def _factory(name: str, index: int) -> ClusterNode:
+            node = _make_node(spec, params, index, name=name)
+            node.bind_faults(faults)
+            if spec.plan_store_dir is not None:
+                node.attach_plan_store(spec.plan_store_dir, faults)
+            return node
+
+        def _fleet_p99() -> float:
+            snap = fleet.registry.histogram(
+                "cluster.latency_s", "arrival to completion, fleet-wide"
+            ).snapshot()
+            return float(snap.get("p99", 0.0))
+
+        scaler = Autoscaler(
+            router,
+            AutoscalePolicy(
+                min_nodes=spec.min_nodes,
+                max_nodes=spec.max_nodes,
+                interval_s=spec.scale_interval_s,
+                target_p99_s=spec.target_p99_s,
+                warm_join=spec.warm_join,
+                replicate_top_k=spec.replicate_top_k,
+            ),
+            _factory,
+            p99_s=_fleet_p99,
+            metrics=fleet,
+        )
+        run.scaler = scaler
+
     arrivals = sorted(requests, key=lambda r: (r.arrival_s, r.id))
-    node_order = sorted(nodes)
     now = 0.0
     i = 0
 
@@ -385,9 +464,24 @@ def _run_fleet(
     while True:
         progressed = False
 
+        # 0. Autoscaler tick (a deterministic virtual-time event).  Work
+        # stranded by a scale-down drain is *re-placed*, not retried —
+        # a voluntary membership change must not burn the retry budget
+        # or the requests' attempt counts.
+        if scaler is not None and scaler.due(now):
+            for req in sorted(
+                scaler.evaluate(now), key=lambda r: (r.arrival_s, r.id)
+            ):
+                fleet.rebalanced()
+                place(req)
+
+        # Membership is dynamic: re-derive the iteration order each pass
+        # so autoscaler joiners dispatch and drained nodes stop.
+        node_order = sorted(router.nodes)
+
         # 1. Completions due by `now`.
         for name in node_order:
-            node = nodes[name]
+            node = router.nodes[name]
             if not node.inflight:
                 continue
             due = [inf for inf in node.inflight if inf.finish_s <= now]
@@ -406,7 +500,7 @@ def _run_fleet(
 
         # 3. Dispatch on every alive node, in stable name order.
         for name in node_order:
-            node = nodes[name]
+            node = router.nodes[name]
             if not node.alive:
                 continue
             for w in node.idle_workers(now):
@@ -447,6 +541,10 @@ def _run_fleet(
                     brownout=binfo,
                 )
                 router.note_plan(node, req)
+                node.note_served(
+                    hit=res.decisions.get("plan_cache") == "hit",
+                    fetched=fetched,
+                )
                 # Feed the node's circuit breaker: an invalid result or a
                 # degraded (slow) dispatch counts against it, so a
                 # persistently sick node opens its breaker and stops
@@ -501,11 +599,22 @@ def _run_fleet(
         if i < len(arrivals):
             candidates.append(arrivals[i].arrival_s)
         for name in node_order:
-            node = nodes[name]
+            node = router.nodes[name]
             for inf in node.inflight:
                 candidates.append(inf.finish_s)
+            if node.alive and node.queue:
+                # A warm joiner's streams are busy until its hydration
+                # transfer completes — without in-flight records.  Its
+                # queued work must still wake the loop.
+                free_s = node.next_free_s(now)
+                if free_s is not None:
+                    candidates.append(free_s)
         if not candidates:
-            break
+            break  # drained: no arrivals, nothing queued or in flight
+        if scaler is not None:
+            # Tick while work remains; never the *only* pending event,
+            # so an idle fleet terminates instead of ticking forever.
+            candidates.append(scaler.next_eval_s)
         now = max(now, min(candidates))
 
     return run
@@ -558,6 +667,10 @@ class ClusterBenchReport:
     fallbacks: int = 0
     #: ``fallbacks / speculative_cold`` (0.0 when nothing speculated).
     fallback_rate: float = 0.0
+    #: Elastic-fleet summary: scale events, warm joins, proactive plan
+    #: pushes, and each joiner's first-100 local hit rate.  Empty when
+    #: autoscaling is off.
+    autoscale: Dict[str, object] = field(default_factory=dict)
     #: Every offered request reached exactly one terminal state.
     conservation_ok: bool = False
     metrics: Dict[str, object] = field(default_factory=dict)
@@ -632,6 +745,24 @@ class ClusterBenchReport:
                 f"sampled estimates, {self.fallbacks} bound-violation "
                 f"fallbacks ({self.fallback_rate * 100:.1f}%)"
             )
+        if self.autoscale:
+            lines.append(
+                f"autoscale: {self.autoscale.get('scale_ups', 0)} ups, "
+                f"{self.autoscale.get('scale_downs', 0)} downs, "
+                f"{self.autoscale.get('warm_join_plans', 0)} plans "
+                f"warm-joined, "
+                f"{self.autoscale.get('proactive_replications', 0)} "
+                f"proactive plan pushes"
+            )
+            joins = self.autoscale.get("join_first_100") or {}
+            if joins:
+                lines.append(
+                    "joiner first-100 local hit rate: "
+                    + ", ".join(
+                        f"{name}={rate * 100:.0f}%"
+                        for name, rate in sorted(joins.items())
+                    )
+                )
         lines.append(
             f"outputs bit-identical to single-node reference: "
             f"{self.bit_identical} ({self.wrong_results} wrong)"
@@ -667,28 +798,30 @@ def run_cluster_bench(
 
     nodes = build_fleet(cluster, params)
     run = _run_fleet(
-        requests, nodes, cluster, faults=faults, reference=reference
+        requests,
+        nodes,
+        cluster,
+        params=params,
+        faults=faults,
+        reference=reference,
     )
 
     single: Dict[str, float] = {}
     scaling = 0.0
     if compare_single:
-        single_cluster = ClusterSpec(
+        single_cluster = replace(
+            cluster,
             n_nodes=1,
             devices=cluster.devices[:1],
-            workers_per_node=cluster.workers_per_node,
-            plan_cache_mb=cluster.plan_cache_mb,
-            queue_depth=cluster.queue_depth,
-            spill_queue_depth=cluster.spill_queue_depth,
-            replicate_plans=cluster.replicate_plans,
-            max_retries=cluster.max_retries,
-            seed=cluster.seed,
-            estimate=cluster.estimate,
-            speculative=cluster.speculative,
+            plan_store_dir=None,
+            autoscale=False,
         )
         single_nodes = build_fleet(single_cluster, params)
         single_run = _run_fleet(
-            build_requests(cases, spec), single_nodes, single_cluster
+            build_requests(cases, spec),
+            single_nodes,
+            single_cluster,
+            params=params,
         )
         s_completed = sum(1 for o in single_run.outcomes if o.ok)
         single = {
@@ -701,12 +834,23 @@ def run_cluster_bench(
 
     outcomes = run.outcomes
     completed = sum(1 for o in outcomes if o.ok)
+    # Aggregate over the *router's* node map, not the founding fleet:
+    # autoscaler joiners appear with their counters, and drained nodes
+    # stay (state "drained") so their totals survive the rollup.
     snap = run.fleet.aggregate(
-        [nodes[n] for n in sorted(nodes)],
+        [run.nodes[n] for n in sorted(run.nodes)],
         run.router.plan_index,
         run.end_s,
         router=run.router,
     )
+    autoscale_summary: Dict[str, object] = {}
+    if run.scaler is not None:
+        autoscale_summary = run.scaler.snapshot()
+        autoscale_summary["join_first_100"] = {
+            name: run.nodes[name].first_100_hit_rate
+            for name in run.scaler.joined
+            if name in run.nodes
+        }
     lat = snap["cluster"]["histograms"].get("cluster.latency_s", {})
     fleet_stats = snap["fleet"]
     first = sorted((o for o in outcomes if o.ok), key=lambda o: o.request_id)
@@ -744,6 +888,13 @@ def run_cluster_bench(
             "plan_store": cluster.plan_store_dir is not None,
             "estimate": cluster.estimate or cluster.speculative,
             "speculative": cluster.speculative,
+            "autoscale": cluster.autoscale,
+            "min_nodes": cluster.min_nodes,
+            "max_nodes": cluster.max_nodes,
+            "warm_join": cluster.warm_join,
+            "scale_interval_s": cluster.scale_interval_s,
+            "target_p99_s": cluster.target_p99_s,
+            "replicate_top_k": cluster.replicate_top_k,
         },
         offered=len(requests),
         completed=completed,
@@ -783,7 +934,13 @@ def run_cluster_bench(
         speculative_cold=spec_cold,
         fallbacks=fallbacks,
         fallback_rate=fallbacks / spec_cold if spec_cold else 0.0,
-        conservation_ok=len(outcomes) == len(requests),
+        autoscale=autoscale_summary,
+        # Exactly one terminal state per offered request — same count
+        # *and* no request id duplicated or dropped along the way.
+        conservation_ok=(
+            len(outcomes) == len(requests)
+            and len({o.request_id for o in outcomes}) == len(requests)
+        ),
         metrics=snap,
     )
     return report

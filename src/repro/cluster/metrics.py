@@ -96,6 +96,40 @@ class FleetMetrics:
             "cluster.retry_denied", "retries refused by the fleet budget"
         ).inc()
 
+    def scale_up(self) -> None:
+        self.registry.counter(
+            "cluster.scale_ups", "nodes added by the autoscaler"
+        ).inc()
+
+    def scale_down(self) -> None:
+        self.registry.counter(
+            "cluster.scale_downs", "nodes drained out by the autoscaler"
+        ).inc()
+
+    def warm_join(self, plans: int, transfer_s: float) -> None:
+        self.registry.counter(
+            "cluster.warm_join_plans", "plans hydrated into joining nodes"
+        ).inc(plans)
+        if transfer_s > 0.0:
+            self.registry.histogram(
+                "cluster.warm_join_s", "modelled hydration transfer seconds"
+            ).observe(transfer_s)
+
+    def proactive_replication(self, transfer_s: float) -> None:
+        self.registry.counter(
+            "cluster.proactive_replications",
+            "hot plans pushed to spill targets ahead of demand",
+        ).inc()
+        self.registry.histogram(
+            "cluster.plan_fetch_s", "modelled replica transfer seconds"
+        ).observe(transfer_s)
+
+    def rebalanced(self) -> None:
+        self.registry.counter(
+            "cluster.rebalanced",
+            "queued requests re-placed by a controlled scale-down drain",
+        ).inc()
+
     # ------------------------------------------------------------------
     def aggregate(
         self,

@@ -93,10 +93,20 @@ class ClusterNode:
         #: Conservative committed bytes of queued + in-flight requests.
         self.committed = 0
         self.inflight_bytes: Dict[int, int] = {}
-        self.state = "up"  # "up" | "down"
+        self.state = "up"  # "up" | "down" | "drained"
         self.degraded_until = 0.0
         #: Dispatches attempted on this node (the fault sites' counter).
         self.dispatches = 0
+        #: Virtual time this node entered the ring (0.0 for founders).
+        self.joined_at_s = 0.0
+        #: Served-request window for the warm-join signal: of this
+        #: node's first 100 dispatched requests, how many were *local*
+        #: plan hits — a hit served without a just-in-time replica
+        #: fetch.  A warm-joined node starts high (hydration made the
+        #: hot plans local before traffic arrived); a cold joiner pays a
+        #: fetch or a cold plan for each early request.
+        self.first_100_served = 0
+        self.first_100_local_hits = 0
         self.scope: FaultScope = null_scope(name, "cluster")
 
     # ------------------------------------------------------------------
@@ -174,6 +184,19 @@ class ClusterNode:
         """Return a request's committed bytes (on any terminal state)."""
         self.committed -= self.inflight_bytes.pop(request_id, 0)
 
+    def note_served(self, *, hit: bool, fetched: bool) -> None:
+        """Fold one dispatch into the first-100 local-hit window."""
+        if self.first_100_served < 100:
+            self.first_100_served += 1
+            if hit and not fetched:
+                self.first_100_local_hits += 1
+
+    @property
+    def first_100_hit_rate(self) -> float:
+        if self.first_100_served == 0:
+            return 0.0
+        return self.first_100_local_hits / self.first_100_served
+
     def drain_for_failover(self) -> List[Request]:
         """Crash handling: strip all queued + in-flight requests.
 
@@ -199,6 +222,8 @@ class ClusterNode:
             "degraded": self.degraded(now),
             "workers": len(self.workers),
             "dispatches": self.dispatches,
+            "joined_at_s": self.joined_at_s,
+            "first_100_hit_rate": self.first_100_hit_rate,
             "queue_depth": self.queue_depth,
             "sheds": self.admission.sheds,
             "shed_reasons": dict(sorted(self.admission.shed_reasons.items())),

@@ -25,7 +25,7 @@ incompatible peer plan is recomputed, never transferred.
 from __future__ import annotations
 
 from dataclasses import replace
-from typing import Dict, List, Optional, Tuple
+from typing import Callable, Dict, List, Optional, Tuple
 
 from ..extensions.multigpu import LINK_BW, LINK_LATENCY
 from ..serve.plan_cache import CachedPlan, PlanIntegrityError
@@ -56,6 +56,13 @@ class PlanIndex:
         self.misses = 0
         #: Replicas refused at adopt time (checksum or compat mismatch).
         self.integrity_rejects = 0
+        #: Replicas pushed ahead of demand (hot-key replication).
+        self.proactive = 0
+        self.proactive_bytes = 0
+        #: Test-only: applied to every replica just before adoption, so
+        #: planted-bug tests can hand the adopt path a stale or tampered
+        #: frame and assert the checksum/compat verification refuses it.
+        self._replica_hook: Optional[Callable[[CachedPlan], CachedPlan]] = None
 
     # ------------------------------------------------------------------
     def note(self, key: PlanKey, node: str) -> None:
@@ -109,6 +116,8 @@ class PlanIndex:
                 ]
                 continue
             replica = replace(plan, hits=0)
+            if self._replica_hook is not None:
+                replica = self._replica_hook(replica)
             try:
                 adopted = requester.service.plans.adopt(
                     replica, expected_compat=requester.plan_compat
@@ -127,6 +136,81 @@ class PlanIndex:
         self.misses += 1
         return None, 0.0
 
+    # ------------------------------------------------------------------
+    def roll_up_hits(self, nodes: Dict[str, "object"]) -> Dict[PlanKey, int]:
+        """Fleet-wide plan heat: per-key hit counters summed over every
+        node's :class:`~repro.serve.plan_cache.PlanCache`.
+
+        The caches track lifetime hits per fingerprint-pair key
+        (``per_key_hits``); rolling them up here is what turns a local
+        LRU statistic into the cluster's replication signal.  Node order
+        is sorted, so the rollup is deterministic.
+        """
+        totals: Dict[PlanKey, int] = {}
+        for name in sorted(nodes):
+            stats = nodes[name].service.plans.stats()
+            for ks, hits in stats.per_key_hits.items():
+                fp_a, _, fp_b = ks.partition("|")
+                key = (fp_a, fp_b)
+                totals[key] = totals.get(key, 0) + int(hits)
+        return totals
+
+    def hot_keys(
+        self, nodes: Dict[str, "object"], *, k: int, min_hits: int = 1
+    ) -> List[PlanKey]:
+        """The top-``k`` hottest *indexed* plan keys, hottest first.
+
+        Only keys with at least one recorded holder qualify — a key
+        nobody holds any more cannot be replicated or hydrated from.
+        Ties break on the key itself for determinism.
+        """
+        totals = self.roll_up_hits(nodes)
+        ranked = sorted(
+            (
+                (hits, key)
+                for key, hits in totals.items()
+                if hits >= min_hits and self._where.get(key)
+            ),
+            key=lambda kv: (-kv[0], kv[1]),
+        )
+        return [key for _, key in ranked[:k]]
+
+    def replicate(
+        self, key: PlanKey, source: "object", target: "object"
+    ) -> Tuple[bool, float]:
+        """Push a replica of ``key`` from ``source`` onto ``target``.
+
+        The proactive (pre-overload) counterpart of :meth:`fetch`: same
+        compat gate, same checksum-verified adopt, same modelled
+        interconnect charge — only the direction differs.  Returns
+        ``(pushed, transfer_s)``; ``(False, 0.0)`` when the pair is
+        incompatible, the source no longer holds the plan, or the
+        replica fails verification.
+        """
+        if source.plan_compat != target.plan_compat:
+            return False, 0.0
+        plan = source.service.plans.peek(key)
+        if plan is None:
+            self._where[key] = [
+                n for n in self._where.get(key, ()) if n != source.name
+            ]
+            return False, 0.0
+        replica = replace(plan, hits=0)
+        if self._replica_hook is not None:
+            replica = self._replica_hook(replica)
+        try:
+            adopted = target.service.plans.adopt(
+                replica, expected_compat=target.plan_compat
+            )
+        except PlanIntegrityError:
+            self.integrity_rejects += 1
+            return False, 0.0
+        nbytes = adopted.nbytes()
+        self.proactive += 1
+        self.proactive_bytes += nbytes
+        self.note(key, target.name)
+        return True, plan_transfer_s(nbytes)
+
     def snapshot(self) -> Dict[str, object]:
         return {
             "plans_indexed": len(self._where),
@@ -137,4 +221,6 @@ class PlanIndex:
             "fetched_bytes": self.fetched_bytes,
             "misses": self.misses,
             "integrity_rejects": self.integrity_rejects,
+            "proactive": self.proactive,
+            "proactive_bytes": self.proactive_bytes,
         }

@@ -338,14 +338,32 @@ class ClusterRouter:
         }
 
     # ------------------------------------------------------------------
-    def mark_down(self, node: ClusterNode) -> List[Request]:
-        """Remove a crashed node from the fleet.
+    def add_node(self, node: ClusterNode) -> None:
+        """Join a new node: node map, hash ring, circuit breaker.
 
-        The ring rebalances (only the dead node's keys move), the plan
-        index forgets its replicas, and the node's stranded queued and
-        in-flight requests are returned for re-placement.
+        Only the keys in the joiner's ring arcs move to it — every other
+        structure keeps its home and its warm cache.  The autoscaler
+        hydrates the node *before* calling this, so by the time traffic
+        can route here the hot plans are already local.
         """
-        node.state = "down"
+        if node.name in self.nodes:
+            raise ValueError(f"node {node.name!r} already in the fleet")
+        self.nodes[node.name] = node
+        self.ring.add(node.name)
+        self.breakers[node.name] = CircuitBreaker(self.policy.breaker)
+
+    def mark_down(self, node: ClusterNode, *, state: str = "down") -> List[Request]:
+        """Remove a node from the fleet — crash and scale-down share this.
+
+        The ring rebalances (only the departing node's keys move), the
+        plan index forgets its replicas, and the node's stranded queued
+        and in-flight requests are returned for re-placement.  A crash
+        leaves the node ``"down"``; a controlled scale-down passes
+        ``state="drained"`` — same machinery, different epitaph.  The
+        node stays in :attr:`nodes` either way, so its counters survive
+        into the fleet rollup.
+        """
+        node.state = state
         if node.name in self.ring:
             self.ring.remove(node.name)
         self.plan_index.drop_node(node.name)

@@ -5,10 +5,13 @@ the heavy scaling run lives in ``benchmarks/test_cluster_scaling.py``.
 """
 
 import pytest
-from hypothesis import given, settings
+from hypothesis import assume, given, settings
 from hypothesis import strategies as st
 
 from repro.cluster import (
+    AutoscalePolicy,
+    Autoscaler,
+    ClusterRouter,
     ClusterSpec,
     HashRing,
     PlanIndex,
@@ -375,3 +378,432 @@ class TestClusterBench:
             ClusterSpec(devices=("not-a-device",))
         with pytest.raises(ValueError):
             RoutingPolicy(spill_queue_depth=0)
+        with pytest.raises(ValueError):
+            ClusterSpec(n_nodes=2, autoscale=True, min_nodes=3, max_nodes=4)
+        with pytest.raises(ValueError):
+            ClusterSpec(n_nodes=4, autoscale=True, max_nodes=2)
+        with pytest.raises(ValueError):
+            ClusterSpec(n_nodes=2, autoscale=True, scale_interval_s=0.0)
+        with pytest.raises(ValueError):
+            ClusterSpec(n_nodes=2, autoscale=True, target_p99_s=-1.0)
+        with pytest.raises(ValueError):
+            ClusterSpec(n_nodes=2, autoscale=True, replicate_top_k=-1)
+        with pytest.raises(ValueError):
+            AutoscalePolicy(min_nodes=3, max_nodes=2)
+        with pytest.raises(ValueError):
+            AutoscalePolicy(scale_down_queue=5.0, scale_up_queue=4.0)
+        with pytest.raises(ValueError):
+            AutoscalePolicy(interval_s=0.0)
+
+
+# ---------------------------------------------------------------------------
+# Autoscaler unit behaviour: warm join, hot-key push, controlled drain
+# ---------------------------------------------------------------------------
+def _router_and_factory(n_nodes=4, **spec_kw):
+    spec = ClusterSpec(n_nodes=n_nodes, **spec_kw)
+    router = ClusterRouter(build_fleet(spec))
+
+    def factory(name, index):
+        from repro.cluster.bench import _make_node
+
+        return _make_node(spec, DEFAULT_PARAMS, index, name=name)
+
+    return router, factory
+
+
+def _warm_node(node, case, times=1):
+    a, b = case.matrices()
+    for _ in range(times):
+        node.service.multiply(a, b)
+    return (a.fingerprint(), b.fingerprint())
+
+
+class TestAutoscaler:
+    def test_replicate_hot_pushes_to_spill_targets(self, corpus):
+        router, factory = _router_and_factory()
+        key = _warm_node(router.nodes["node-0"], corpus[0], times=3)
+        router.plan_index.note(key, "node-0")
+        scaler = Autoscaler(
+            router, AutoscalePolicy(replicate_min_hits=1), factory
+        )
+        pushed = scaler.replicate_hot(0.0)
+        assert pushed >= 1
+        holders = router.plan_index.holders(key)
+        assert len(holders) >= 2
+        for name in holders:
+            assert router.nodes[name].service.plans.peek(key) is not None
+        assert router.plan_index.proactive == pushed
+
+    def test_warm_join_hydrates_before_taking_traffic(self, corpus):
+        router, factory = _router_and_factory(n_nodes=2)
+        key = _warm_node(router.nodes["node-0"], corpus[0], times=2)
+        router.plan_index.note(key, "node-0")
+        scaler = Autoscaler(router, AutoscalePolicy(), factory)
+        now = 0.5
+        node = scaler.scale_up(now, "test")
+        assert node.name == "node-2"
+        assert node.name in router.nodes and node.name in router.ring
+        assert node.joined_at_s == now
+        # Hydrated the hot plan through the verified fetch path...
+        assert node.service.plans.peek(key) is not None
+        event = scaler.events[-1]
+        assert event.action == "scale_up" and event.warm_plans == 1
+        # ...and holds its streams until the modelled transfer is done.
+        assert all(busy == now + event.transfer_s for busy in node.workers)
+        assert event.transfer_s > 0
+
+    def test_cold_join_skips_hydration(self, corpus):
+        router, factory = _router_and_factory(n_nodes=2)
+        key = _warm_node(router.nodes["node-0"], corpus[0], times=2)
+        router.plan_index.note(key, "node-0")
+        scaler = Autoscaler(router, AutoscalePolicy(warm_join=False), factory)
+        node = scaler.scale_up(0.5, "test")
+        assert node.service.plans.peek(key) is None
+        assert all(busy == 0.5 for busy in node.workers)
+
+    def test_scale_down_drains_only_inflight_free_nodes(self, corpus):
+        from repro.cluster.node import InFlight
+        from repro.serve.scheduler import Request
+
+        router, factory = _router_and_factory(n_nodes=3)
+        scaler = Autoscaler(router, AutoscalePolicy(), factory)
+        a, b = corpus[0].matrices()
+        busy = router.nodes["node-2"]
+        req = Request(id=1, case_name="c", a=a, b=b, arrival_s=0.0)
+        busy.inflight.append(
+            InFlight(
+                request=req,
+                worker=0,
+                start_s=0.0,
+                finish_s=1.0,
+                result=None,
+                cache_hit=False,
+            )
+        )
+        stranded = scaler.scale_down(1.0, "test")
+        assert stranded == []
+        victim = scaler.drained[0]
+        assert victim != "node-2"  # in-flight work is never drained
+        node = router.nodes[victim]
+        assert node.state == "drained" and not node.alive
+        assert victim not in router.ring
+        # Drained, not deleted: the rollup keeps its counters.
+        assert victim in router.nodes
+
+    def test_scale_down_returns_queued_work_for_replacement(self, corpus):
+        from repro.serve.scheduler import Request
+
+        router, factory = _router_and_factory(n_nodes=2)
+        scaler = Autoscaler(router, AutoscalePolicy(), factory)
+        a, b = corpus[0].matrices()
+        req = Request(id=7, case_name="c", a=a, b=b, arrival_s=0.0)
+        target = scaler.router.nodes["node-1"]
+        target.enqueue(req, 1024)
+        # Force node-1 to be the victim: node-0 keeps a deeper queue.
+        other = Request(id=8, case_name="c", a=a, b=b, arrival_s=0.0)
+        other2 = Request(id=9, case_name="c", a=a, b=b, arrival_s=0.0)
+        router.nodes["node-0"].enqueue(other, 1024)
+        router.nodes["node-0"].enqueue(other2, 1024)
+        stranded = scaler.scale_down(1.0, "test")
+        assert [r.id for r in stranded] == [7]
+        assert req.attempts == 0  # a drain re-places, it does not retry
+
+    def test_evaluate_respects_bounds_and_cooldown(self, corpus):
+        router, factory = _router_and_factory(n_nodes=2)
+        scaler = Autoscaler(
+            router,
+            AutoscalePolicy(min_nodes=2, max_nodes=2, cooldown_s=10.0),
+            factory,
+        )
+        # Empty queues would request a scale-down; bounds forbid it.
+        assert scaler.evaluate(0.1) == []
+        assert scaler.events == []
+        assert scaler.next_eval_s > 0.1  # the tick clock advanced anyway
+
+
+# ---------------------------------------------------------------------------
+# Property tests: membership churn
+# ---------------------------------------------------------------------------
+class TestChurnProperties:
+    @settings(max_examples=25, deadline=None)
+    @given(
+        ops=st.lists(
+            st.tuples(
+                st.sampled_from(["join", "leave", "crash"]),
+                st.integers(min_value=0, max_value=10**6),
+            ),
+            min_size=1,
+            max_size=12,
+        ),
+        key_seed=st.integers(min_value=0, max_value=1000),
+    )
+    def test_churn_moves_only_ring_arc_keys(self, ops, key_seed):
+        """Under any join/leave/crash sequence, a key changes owner only
+        when its ring arc moved: to the newcomer on a join, off the
+        departed member on a leave/crash — never between bystanders."""
+        ring = HashRing(["m0", "m1", "m2"])
+        members = {"m0", "m1", "m2"}
+        next_id = 3
+        keys = [f"k{key_seed}-{i}" for i in range(100)]
+        for action, salt in ops:
+            before = {k: ring.route(k) for k in keys}
+            if action == "join":
+                name = f"m{next_id}"
+                next_id += 1
+                ring.add(name)
+                members.add(name)
+                for k in keys:
+                    after = ring.route(k)
+                    assert after == before[k] or after == name
+            else:  # leave and crash are the same ring operation
+                if len(members) == 1:
+                    continue
+                victim = sorted(members)[salt % len(members)]
+                ring.remove(victim)
+                members.discard(victim)
+                for k in keys:
+                    if before[k] != victim:
+                        assert ring.route(k) == before[k]
+                    else:
+                        assert ring.route(k) != victim
+
+    @settings(max_examples=10, deadline=None)
+    @given(crashes=st.sets(st.integers(min_value=0, max_value=3), max_size=3))
+    def test_replicated_hot_plan_stays_reachable(self, corpus, crashes):
+        """As long as one replica holder survives the churn, the plan is
+        still reachable through the index for any alive requester."""
+        holders = {0, 1, 2}
+        assume(holders - crashes)  # at least one holder survives
+        assume(3 not in crashes)  # the requester itself stays up
+        router, factory = _router_and_factory()
+        key = _warm_node(router.nodes["node-0"], corpus[0], times=2)
+        index = router.plan_index
+        index.note(key, "node-0")
+        for i in (1, 2):
+            ok, _ = index.replicate(
+                key, router.nodes["node-0"], router.nodes[f"node-{i}"]
+            )
+            assert ok
+        for i in sorted(crashes):
+            router.mark_down(router.nodes[f"node-{i}"])
+        plan, transfer_s = index.fetch(
+            key, router.nodes["node-3"], router.nodes
+        )
+        assert plan is not None and plan.ready
+        assert transfer_s > 0
+
+    @settings(max_examples=5, deadline=None)
+    @given(
+        seed=st.integers(min_value=0, max_value=50),
+        crash_n=st.integers(min_value=1, max_value=40),
+    )
+    def test_conservation_under_autoscale_churn(self, corpus, seed, crash_n):
+        """Autoscaling plus a crash mid-run: every offered request still
+        reaches exactly one terminal state, no id dropped or duplicated,
+        and every completion matches the single-node reference."""
+        rep = run_cluster_bench(
+            cases=corpus,
+            spec=small_spec(seed=seed),
+            cluster=ClusterSpec(
+                n_nodes=2,
+                autoscale=True,
+                min_nodes=1,
+                max_nodes=4,
+                seed=seed,
+            ),
+            faults=parse_fault_spec(f"node_crash@node-1:n={crash_n}"),
+            compare_single=False,
+        )
+        assert rep.conservation_ok
+        assert rep.wrong_results == 0
+        outcomes = rep.completed + rep.shed + rep.timed_out + rep.failed
+        assert outcomes == rep.offered
+
+
+# ---------------------------------------------------------------------------
+# Planted bugs: each hardening check must catch its mutation
+# ---------------------------------------------------------------------------
+class TestPlantedBugs:
+    def _autoscale_report(self, corpus, seed=11):
+        return run_cluster_bench(
+            cases=corpus,
+            spec=small_spec(
+                rate=40_000.0, duration_s=0.15, zipf_alpha=1.1, seed=seed
+            ),
+            cluster=ClusterSpec(
+                n_nodes=2, autoscale=True, min_nodes=2, max_nodes=4, seed=seed
+            ),
+            compare_single=False,
+        )
+
+    def test_first_100_check_catches_skipped_hydration(
+        self, corpus, monkeypatch
+    ):
+        """Mutation: warm join that silently skips hydration.  The
+        joiner first-100 *local* hit-rate signal must expose it — a
+        hydrated joiner serves its early requests from its own cache, a
+        cold one pays a just-in-time fetch (or a cold plan) each time."""
+        warm = self._autoscale_report(corpus)
+        assert warm.autoscale["scale_ups"] >= 1
+        warm_rates = warm.autoscale["join_first_100"]
+        assert warm_rates
+
+        monkeypatch.setattr(
+            Autoscaler, "hydrate", lambda self, node: (0, 0.0)
+        )
+        mutated = self._autoscale_report(corpus)
+        mutated_rates = mutated.autoscale["join_first_100"]
+        assert mutated_rates
+        assert mutated.autoscale["warm_join_plans"] == 0
+        assert min(warm_rates.values()) > max(mutated_rates.values())
+
+    def test_adopt_refuses_stale_replica_frame(self, corpus):
+        """Mutation: hot-key replication ships a stale Plan-IR frame
+        (content drifted after the checksum was stamped).  The
+        checksum verification in ``PlanCache.adopt`` must refuse it."""
+        from dataclasses import replace as dc_replace
+
+        from repro.serve.plan_cache import PlanIntegrityError
+
+        router, _ = _router_and_factory(n_nodes=2)
+        source, target = router.nodes["node-0"], router.nodes["node-1"]
+        key = _warm_node(source, corpus[0], times=2)
+        index = router.plan_index
+        index.note(key, "node-0")
+
+        def stale_frame(replica):
+            rows = replica.c_row_nnz.copy()
+            rows[0] += 1  # the frame no longer matches its checksum
+            return dc_replace(replica, c_row_nnz=rows)
+
+        # The raw adopt path names the reason...
+        with pytest.raises(PlanIntegrityError) as exc:
+            target.service.plans.adopt(
+                stale_frame(source.service.plans.peek(key)),
+                expected_compat=target.plan_compat,
+            )
+        assert exc.value.reason == "checksum"
+
+        # ...and the proactive push path converts it into a refusal.
+        index._replica_hook = stale_frame
+        ok, transfer_s = index.replicate(key, source, target)
+        assert not ok and transfer_s == 0.0
+        assert index.integrity_rejects == 1
+        assert target.service.plans.peek(key) is None
+
+    def test_adopt_refuses_wrong_compat_replica(self, corpus):
+        """Mutation: a replica stamped for a different device/params
+        pair.  The compat verification must refuse it on both the pull
+        (fetch) and push (replicate) paths."""
+        from dataclasses import replace as dc_replace
+
+        router, _ = _router_and_factory(n_nodes=2)
+        source, target = router.nodes["node-0"], router.nodes["node-1"]
+        key = _warm_node(source, corpus[0], times=2)
+        index = router.plan_index
+        index.note(key, "node-0")
+        index._replica_hook = lambda replica: dc_replace(
+            replica, compat="p100|other-params"
+        )
+
+        ok, _ = index.replicate(key, source, target)
+        assert not ok
+        plan, _ = index.fetch(key, target, router.nodes)
+        assert plan is None
+        assert index.integrity_rejects == 2
+        assert target.service.plans.peek(key) is None
+
+
+# ---------------------------------------------------------------------------
+# Autoscaled bench: determinism, dynamic-membership rollup
+# ---------------------------------------------------------------------------
+class TestAutoscaledBench:
+    def _go(self, corpus, store=None, fault_spec=None, seed=11):
+        return run_cluster_bench(
+            cases=corpus,
+            spec=small_spec(
+                rate=40_000.0, duration_s=0.15, zipf_alpha=1.1, seed=seed
+            ),
+            cluster=ClusterSpec(
+                n_nodes=2,
+                autoscale=True,
+                min_nodes=2,
+                max_nodes=4,
+                seed=seed,
+                plan_store_dir=str(store) if store is not None else None,
+            ),
+            faults=(
+                parse_fault_spec(fault_spec) if fault_spec else None
+            ),
+            compare_single=False,
+        )
+
+    def test_autoscale_report_byte_deterministic(self, corpus, tmp_path):
+        """Same seed → byte-identical report, with and without a fault
+        plan firing during the scale events (distinct store dirs prove
+        the report carries no paths)."""
+        fault_spec = "node_crash@node-1:n=40;disk_corrupt@node-0:n=2"
+        for fs in (None, fault_spec):
+            tag = "faulted" if fs else "clean"
+            a = self._go(corpus, store=tmp_path / f"{tag}-a", fault_spec=fs)
+            b = self._go(corpus, store=tmp_path / f"{tag}-b", fault_spec=fs)
+            assert a.to_json() == b.to_json(), tag
+            assert a.conservation_ok and a.wrong_results == 0
+
+    def test_scale_up_under_overload(self, corpus):
+        rep = self._go(corpus)
+        assert rep.autoscale["scale_ups"] >= 1
+        assert rep.autoscale["joined"]
+        assert rep.conservation_ok and rep.wrong_results == 0
+
+    def test_joiners_appear_in_rollup_with_counters(self, corpus):
+        """Satellite fix: mid-run joiners must show up in the cluster
+        snapshot with correct counters, through the same generic rollup
+        as founders — no special-casing."""
+        rep = self._go(corpus)
+        node_names = [n["name"] for n in rep.metrics["nodes"]]
+        for joiner in rep.autoscale["joined"]:
+            assert joiner in node_names
+        by_name = {n["name"]: n for n in rep.metrics["nodes"]}
+        joiner = rep.autoscale["joined"][0]
+        assert by_name[joiner]["dispatches"] > 0
+        assert by_name[joiner]["joined_at_s"] > 0.0
+        # Fleet totals include the joiners' dispatches.
+        total = sum(n["dispatches"] for n in rep.metrics["nodes"])
+        assert rep.metrics["fleet"]["dispatches"] == total
+        assert rep.metrics["fleet"]["nodes"] == len(node_names)
+
+    def test_drained_node_totals_survive_rollup(self, corpus):
+        """Satellite fix: a scale-down must not silently drop the
+        departed node's totals from the fleet snapshot."""
+        rep = run_cluster_bench(
+            cases=corpus,
+            spec=small_spec(rate=2000.0, duration_s=0.2),
+            cluster=ClusterSpec(
+                n_nodes=4, autoscale=True, min_nodes=1, max_nodes=4, seed=3
+            ),
+            compare_single=False,
+        )
+        assert rep.autoscale["scale_downs"] >= 1
+        by_name = {n["name"]: n for n in rep.metrics["nodes"]}
+        for drained in rep.autoscale["drained"]:
+            assert drained in by_name
+            assert by_name[drained]["state"] == "drained"
+        # Every node the run ever had is in the snapshot, and the fleet
+        # dispatch total is the sum over all of them — drained included.
+        assert rep.metrics["fleet"]["dispatches"] == sum(
+            n["dispatches"] for n in rep.metrics["nodes"]
+        )
+        assert rep.conservation_ok and rep.wrong_results == 0
+        counters = rep.metrics["cluster"]["counters"]
+        assert counters.get("cluster.scale_downs", 0) >= 1
+
+    def test_fixed_fleet_report_has_no_autoscale_block(self, corpus):
+        rep = run_cluster_bench(
+            cases=corpus,
+            spec=small_spec(),
+            cluster=ClusterSpec(n_nodes=2),
+            compare_single=False,
+        )
+        assert rep.autoscale == {}
+        assert rep.config["autoscale"] is False
