@@ -28,10 +28,9 @@ import numpy as np
 if TYPE_CHECKING:  # pragma: no cover - annotation only
     from ..serve.service import SpGEMMService
 
-from ..core.context import MultiplyContext
 from ..core.params import DEFAULT_PARAMS, SpeckParams
-from ..core.speck import SpeckEngine
 from ..gpu import DeviceSpec, TITAN_V
+from ..graph.chain import ChainRunner
 from ..matrices.csr import CSR, INDEX_DTYPE, VALUE_DTYPE
 from ..matrices.ops import prune
 
@@ -87,10 +86,23 @@ class MclResult:
     nnz_history: List[int] = field(default_factory=list)
     #: spECK's adaptive decisions per expansion (diagnostics).
     decisions: List[Dict[str, object]] = field(default_factory=list)
+    #: Plan-cache hits across the expansions (service-routed runs; late
+    #: iterations with a stabilised pattern re-use the cached plan).
+    plan_hits: int = 0
+    #: Plan-cache misses across the expansions.
+    plan_misses: int = 0
+    #: Expansions planned speculatively from a seeded (previous-iteration)
+    #: estimate instead of sampling or exact cold analysis.
+    seeded: int = 0
 
     @property
     def total_expansion_s(self) -> float:
         return float(sum(self.expansion_times))
+
+    @property
+    def plan_hit_rate(self) -> float:
+        total = self.plan_hits + self.plan_misses
+        return self.plan_hits / total if total else 0.0
 
 
 def markov_clustering(
@@ -117,7 +129,12 @@ def markov_clustering(
     """
     if adj.rows != adj.cols:
         raise ValueError("MCL needs a square adjacency matrix")
-    engine = SpeckEngine(device, params) if service is None else None
+    # One chain runner drives every expansion: each squaring is a step of
+    # one long chained product, so plan reuse and estimate seeding carry
+    # across iterations and the run reports chain-level counters.
+    runner = ChainRunner(
+        service=service, device=device, params=params,
+    )
     flow = column_normalize(add_self_loops(adj))
     times: List[float] = []
     nnzs: List[int] = []
@@ -125,10 +142,7 @@ def markov_clustering(
     converged = False
     it = 0
     for it in range(1, max_iterations + 1):
-        if service is not None:
-            res = service.multiply(flow, flow)
-        else:
-            res = engine.multiply(flow, flow, ctx=MultiplyContext(flow, flow))
+        res = runner.step(flow, flow)
         times.append(res.time_s)
         decisions.append(dict(res.decisions))
         expanded = res.c
@@ -151,6 +165,9 @@ def markov_clustering(
         expansion_times=times,
         nnz_history=nnzs,
         decisions=decisions,
+        plan_hits=runner.plan_hits,
+        plan_misses=runner.plan_misses,
+        seeded=runner.seeded,
     )
 
 

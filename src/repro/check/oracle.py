@@ -60,6 +60,11 @@ _KNOWN_KINDS = ("oom", "launch", "overflow", "injected", "limitation", "crash")
 #: MemoryLedger (MKL is the host CPU baseline).
 _DEVICE_METHODS = tuple(m for m in PAPER_LINEUP if m != "MKL")
 
+#: Cases larger than this (by product count) skip the graph-workload
+#: oracles; they add several engine runs per case and the small cases
+#: already cover every code path.
+_GRAPH_PRODUCT_LIMIT = 200_000
+
 
 @dataclass
 class CaseVerdict:
@@ -175,14 +180,20 @@ def check_case(
     device: DeviceSpec = TITAN_V,
     *,
     mutation: Optional[Callable[[CSR, CSR, CSR], CSR]] = None,
+    graph_mutation: Optional[str] = None,
     faults: Optional[FaultPlan] = None,
     laws: bool = True,
+    graph: bool = True,
     gustavson_limit: int = 20_000,
 ) -> CaseVerdict:
     """Run every engine on one case and diff the results.
 
     ``mutation`` (test-only) transforms the batched engine's output
     before comparison, simulating an engine bug the oracle must catch.
+    ``graph_mutation`` names a planted graph-workload bug from
+    :data:`repro.check.graph_checks.GRAPH_MUTATIONS`; the masked /
+    chained / incremental oracles (run whenever ``graph`` is set and no
+    engine mutation is active) must catch it.
     With ``faults`` set, runs may fail — then the check asserts the
     failure is *structured* (taxonomy kind, machine-readable info)
     rather than asserting success.
@@ -282,6 +293,21 @@ def check_case(
             verdict.fail(f"law:{law}", detail)
         for law, detail in run_cost_laws(case, device):
             verdict.fail(f"cost-law:{law}", detail)
+
+    # -- graph workload oracles (masked / chained / incremental) ------------
+    # Engine mutations transform only the plain batched output, so the
+    # graph runs carry no signal under them; product-gated like Gustavson.
+    if (
+        graph
+        and mutation is None
+        and fault_ctx.total_products <= _GRAPH_PRODUCT_LIMIT
+    ):
+        from .graph_checks import run_graph_checks
+
+        run_graph_checks(
+            verdict, case, device, faults=faults,
+            graph_mutation=graph_mutation,
+        )
     return verdict
 
 

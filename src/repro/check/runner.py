@@ -87,26 +87,60 @@ def _failure_predicate(
     device: DeviceSpec,
     mutation: Optional[Callable[[CSR, CSR, CSR], CSR]],
     checks: List[str],
+    *,
+    graph_mutation: Optional[str] = None,
+    faults: Optional[FaultPlan] = None,
+    name: str = "minimize",
+    seed: int = 0,
+    index: int = 0,
 ) -> Callable[[CSR, CSR], bool]:
     """Does a shrunk ``(A, B)`` still trip any of the original checks?
 
     Restricting to the originally-failing check ids keeps the minimizer
-    from wandering onto an unrelated failure mid-shrink.
+    from wandering onto an unrelated failure mid-shrink.  The original
+    case's name and ``(seed, index)`` are kept so deterministic fault
+    rules (matched by case-name glob — ``mask_drop`` corruption in
+    particular) keep firing and the workload generators (mask, delta)
+    regenerate same-family inputs for every shrunk operand pair.
     """
     prefixes = tuple(checks)
 
     def predicate(a: CSR, b: CSR) -> bool:
         case = CheckCase(
-            name="minimize", seed=0, index=0, a=a, b=b,
+            name=name, seed=seed, index=index, a=a, b=b,
             family="minimize", mutations=(), b_mode="independent",
         )
         try:
-            v = check_case(case, device, mutation=mutation, laws=False)
+            v = check_case(
+                case, device, mutation=mutation,
+                graph_mutation=graph_mutation, faults=faults, laws=False,
+            )
         except Exception:  # noqa: BLE001 - a crash still reproduces a bug
             return True
         return any(f["check"].startswith(prefixes) for f in v.failures)
 
     return predicate
+
+
+def _resolve_mutation(mutation: Optional[str]):
+    """Split a ``--mutate`` name into (engine mutate fn, graph mutation).
+
+    Engine mutations transform the batched engine's output; graph
+    mutations plant a bug inside one of the graph-workload paths.  The
+    two registries share one CLI namespace.
+    """
+    from .graph_checks import GRAPH_MUTATIONS
+
+    if mutation is None:
+        return None, None
+    if mutation in MUTATIONS:
+        return MUTATIONS[mutation], None
+    if mutation in GRAPH_MUTATIONS:
+        return None, mutation
+    raise KeyError(
+        f"unknown mutation {mutation!r}; have "
+        f"{sorted(MUTATIONS) + sorted(GRAPH_MUTATIONS)}"
+    )
 
 
 def run_check(
@@ -130,13 +164,7 @@ def run_check(
     failures) are shrunk — at most ``max_minimize`` of them, minimizing
     is the expensive part — and written under ``artifact_dir``.
     """
-    mutate = None
-    if mutation is not None:
-        if mutation not in MUTATIONS:
-            raise KeyError(
-                f"unknown mutation {mutation!r}; have {sorted(MUTATIONS)}"
-            )
-        mutate = MUTATIONS[mutation]
+    mutate, graph_mutation = _resolve_mutation(mutation)
     report = CheckReport(seed=int(seed), cases=int(n_cases))
     if faults is not None:
         faults.observer = lambda event: setattr(
@@ -160,7 +188,8 @@ def run_check(
             report.resumed += 1
             continue
         verdict = check_case(
-            case, device, mutation=mutate, faults=faults, laws=laws
+            case, device, mutation=mutate, graph_mutation=graph_mutation,
+            faults=faults, laws=laws,
         )
         report.verdicts.append(verdict)
         append_jsonl(checkpoint, verdict.as_dict())
@@ -169,7 +198,8 @@ def run_check(
             print(f"{mark} {case.name} products={verdict.products}")
         if not verdict.ok and artifact_dir and minimized < max_minimize:
             path = _minimize_and_emit(
-                case, verdict, device, mutate, mutation, artifact_dir
+                case, verdict, device, mutate, mutation, artifact_dir,
+                graph_mutation=graph_mutation, faults=faults,
             )
             if path is not None:
                 report.artifacts.append(path)
@@ -184,11 +214,17 @@ def _minimize_and_emit(
     mutate: Optional[Callable[[CSR, CSR, CSR], CSR]],
     mutation_name: Optional[str],
     artifact_dir: str,
+    *,
+    graph_mutation: Optional[str] = None,
+    faults: Optional[FaultPlan] = None,
 ) -> Optional[str]:
     """Shrink a failing case and write its reproducer; None if it no
     longer reproduces deterministically (e.g. pure fault-mode noise)."""
     checks = [f["check"] for f in verdict.failures]
-    predicate = _failure_predicate(device, mutate, checks)
+    predicate = _failure_predicate(
+        device, mutate, checks, graph_mutation=graph_mutation,
+        faults=faults, name=case.name, seed=case.seed, index=case.index,
+    )
     if not predicate(case.a, case.b):
         return None
     result = minimize_case(
@@ -225,19 +261,18 @@ def replay_reproducer(
     a, b, meta = load_reproducer(directory)
     name = str(meta.get("case", os.path.basename(directory.rstrip("/")) or "replay"))
     mutation = mutation if mutation is not None else meta.get("mutation")
-    mutate = None
-    if mutation is not None:
-        if mutation not in MUTATIONS:
-            raise KeyError(
-                f"unknown mutation {mutation!r}; have {sorted(MUTATIONS)}"
-            )
-        mutate = MUTATIONS[str(mutation)]
+    mutate, graph_mutation = _resolve_mutation(
+        str(mutation) if mutation is not None else None
+    )
     case = CheckCase(
         name=name, seed=int(meta.get("seed", 0)), index=int(meta.get("index", 0)),
         a=a, b=b, family="replay", mutations=(), b_mode="independent",
     )
     report = CheckReport(seed=case.seed, cases=1)
     report.verdicts.append(
-        check_case(case, device, mutation=mutate, laws=False)
+        check_case(
+            case, device, mutation=mutate, graph_mutation=graph_mutation,
+            laws=False,
+        )
     )
     return report

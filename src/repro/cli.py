@@ -129,6 +129,20 @@ def build_parser() -> argparse.ArgumentParser:
     sb.add_argument("--timeout", type=float, default=1.0,
                     help="queue deadline in virtual seconds; 0 disables")
     sb.add_argument("--seed", type=int, default=0)
+    sb.add_argument("--workload",
+                    choices=("plain", "masked", "chain", "incremental"),
+                    default="plain",
+                    help="request shape: plain multiplies, masked SpGEMM, "
+                         "chained products, or incremental row-delta "
+                         "updates (see docs/WORKLOADS.md)")
+    sb.add_argument("--chain-length", type=int, default=3,
+                    help="chain power k per request (--workload chain)")
+    sb.add_argument("--mask-density", type=float, default=0.25,
+                    help="share of the exact product's entries each mask "
+                         "keeps (--workload masked)")
+    sb.add_argument("--delta-frac", type=float, default=0.02,
+                    help="share of A's rows each delta rewrites "
+                         "(--workload incremental)")
     sb.add_argument("--cache-mb", type=float, default=256.0,
                     help="plan-cache byte budget in MB")
     sb.add_argument("--queue-depth", type=int, default=256,
@@ -178,6 +192,19 @@ def build_parser() -> argparse.ArgumentParser:
     cb.add_argument("--timeout", type=float, default=0.25,
                     help="queue deadline in virtual seconds; 0 disables")
     cb.add_argument("--seed", type=int, default=0)
+    cb.add_argument("--workload",
+                    choices=("plain", "masked", "chain", "incremental"),
+                    default="plain",
+                    help="request shape replayed across the fleet "
+                         "(see docs/WORKLOADS.md)")
+    cb.add_argument("--chain-length", type=int, default=3,
+                    help="chain power k per request (--workload chain)")
+    cb.add_argument("--mask-density", type=float, default=0.25,
+                    help="share of the exact product's entries each mask "
+                         "keeps (--workload masked)")
+    cb.add_argument("--delta-frac", type=float, default=0.02,
+                    help="share of A's rows each delta rewrites "
+                         "(--workload incremental)")
     cb.add_argument("--cache-mb", type=float, default=256.0,
                     help="per-node plan-cache byte budget in MB")
     cb.add_argument("--queue-depth", type=int, default=128,
@@ -278,8 +305,9 @@ def build_parser() -> argparse.ArgumentParser:
     )
     chk.add_argument(
         "--mutate", metavar="NAME",
-        help="test-only: plant a named engine bug the harness must catch "
-             "(see repro.check.mutations)",
+        help="test-only: plant a named engine or graph-workload bug the "
+             "harness must catch (see repro.check.mutations and "
+             "repro.check.graph_checks)",
     )
     chk.add_argument(
         "--artifact-dir", metavar="DIR",
@@ -421,6 +449,10 @@ def _cmd_serve_bench(args) -> int:
         zipf_alpha=args.alpha,
         timeout_s=args.timeout if args.timeout > 0 else None,
         seed=args.seed,
+        workload=args.workload,
+        chain_length=args.chain_length,
+        mask_density=args.mask_density,
+        delta_frac=args.delta_frac,
     )
     report = run_serve_bench(
         spec=spec,
@@ -461,6 +493,10 @@ def _cmd_cluster_bench(args) -> int:
         zipf_alpha=args.alpha,
         timeout_s=args.timeout if args.timeout > 0 else None,
         seed=args.seed,
+        workload=args.workload,
+        chain_length=args.chain_length,
+        mask_density=args.mask_density,
+        delta_frac=args.delta_frac,
     )
     try:
         cluster = ClusterSpec(
@@ -594,13 +630,14 @@ def _cmd_check(args) -> int:
     import json as _json
 
     from .check import replay_reproducer, run_check
+    from .check.graph_checks import GRAPH_MUTATIONS
     from .check.mutations import MUTATIONS
 
     device = PRESETS[args.device]
-    if args.mutate and args.mutate not in MUTATIONS:
+    if args.mutate and args.mutate not in MUTATIONS and args.mutate not in GRAPH_MUTATIONS:
         print(
             f"error: unknown mutation {args.mutate!r}; "
-            f"have {sorted(MUTATIONS)}",
+            f"have {sorted(MUTATIONS) + sorted(GRAPH_MUTATIONS)}",
             file=sys.stderr,
         )
         return 2

@@ -37,7 +37,12 @@ from ..matrices.csr import CSR
 from ..serve.admission import AdmissionPolicy
 from ..serve.scheduler import Request, RequestOutcome
 from ..serve.service import SpGEMMService
-from ..serve.workload import WorkloadSpec, build_requests, serve_corpus
+from ..serve.workload import (
+    WorkloadSpec,
+    _workload_artifacts,
+    build_requests,
+    serve_corpus,
+)
 from .autoscaler import AutoscalePolicy, Autoscaler
 from .metrics import FleetMetrics
 from .node import ClusterNode, InFlight
@@ -184,7 +189,13 @@ def _reference_digests(
     for req in requests:
         if req.case_name in digests:
             continue
-        res = svc.multiply(req.a, req.b, case_name=req.case_name)
+        if req.workload is not None:
+            res = req.workload(
+                svc, req.a, req.b, faults=None,
+                case_name=req.case_name, brownout=None,
+            )
+        else:
+            res = svc.multiply(req.a, req.b, case_name=req.case_name)
         if res.valid and res.c is not None:
             digests[req.case_name] = _csr_digest(res.c)
     return digests
@@ -533,13 +544,23 @@ def _run_fleet(
                     committed_bytes=node.committed,
                 )
                 fleet.brownout(binfo.mode)
-                res = node.service.multiply(
-                    req.a,
-                    req.b,
-                    faults=faults,
-                    case_name=req.case_name,
-                    brownout=binfo,
-                )
+                if req.workload is not None:
+                    res = req.workload(
+                        node.service,
+                        req.a,
+                        req.b,
+                        faults=faults,
+                        case_name=req.case_name,
+                        brownout=binfo,
+                    )
+                else:
+                    res = node.service.multiply(
+                        req.a,
+                        req.b,
+                        faults=faults,
+                        case_name=req.case_name,
+                        brownout=binfo,
+                    )
                 router.note_plan(node, req)
                 node.note_served(
                     hit=res.decisions.get("plan_cache") == "hit",
@@ -793,7 +814,8 @@ def run_cluster_bench(
     spec = spec or WorkloadSpec(rate=80_000.0, duration_s=0.5, timeout_s=0.25)
     cluster = cluster or ClusterSpec()
 
-    requests = build_requests(cases, spec)
+    artifacts = _workload_artifacts(cases, spec)
+    requests = build_requests(cases, spec, artifacts=artifacts)
     reference = _reference_digests(requests, cluster.devices[0], params)
 
     nodes = build_fleet(cluster, params)
@@ -818,7 +840,7 @@ def run_cluster_bench(
         )
         single_nodes = build_fleet(single_cluster, params)
         single_run = _run_fleet(
-            build_requests(cases, spec),
+            build_requests(cases, spec, artifacts=artifacts),
             single_nodes,
             single_cluster,
             params=params,
@@ -882,6 +904,7 @@ def run_cluster_bench(
             "zipf_alpha": spec.zipf_alpha,
             "timeout_s": spec.timeout_s,
             "seed": spec.seed,
+            "workload": spec.workload,
             "router_seed": cluster.seed,
             # A boolean, never the path: the JSON report stays
             # byte-identical across machines and temp directories.

@@ -615,11 +615,26 @@ class SpeckEngine:
         Dispatches on ``params.execute_engine``: the batched engine
         computes whole (method, config) groups with flat numpy kernels;
         the scalar engine is the original row loop kept as its oracle.
+
+        Masked multiplies (``repro.graph.masked``) hand the engine a
+        :class:`~repro.graph.masked.MaskedContext` whose *modelled* facts
+        are mask-pruned; the executable accumulators still need the full
+        product's structure (each surviving entry is accumulated in its
+        full-product slot, so its value is unchanged by the mask), which
+        the masked context exposes as ``ctx.inner``.  The pruned-column
+        filter is applied afterwards — bit-identical to accumulating only
+        the surviving columns, because each output entry's accumulation
+        order never depends on the other columns' presence.
         """
         engine = execute_scalar if self.params.execute_engine == "scalar" else execute_batched
+        inner = getattr(ctx, "inner", None)
+        facts = inner if inner is not None else ctx
         c, _ = engine(
-            a, b, ctx.analysis, ctx.c_row_nnz, self.params, self.configs
+            a, b, facts.analysis, facts.c_row_nnz, self.params, self.configs
         )
+        apply_mask = getattr(ctx, "apply_mask", None)
+        if apply_mask is not None:
+            c = apply_mask(c)
         return c
 
 

@@ -12,6 +12,7 @@ from .sampler import (
     MultiplyEstimate,
     estimate_multiply,
     estimation_time_s,
+    seeded_estimate,
 )
 
 __all__ = [
@@ -21,4 +22,5 @@ __all__ = [
     "estimate_multiply",
     "estimated_plan_nbytes",
     "estimation_time_s",
+    "seeded_estimate",
 ]

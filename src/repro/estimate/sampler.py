@@ -44,6 +44,7 @@ __all__ = [
     "MultiplyEstimate",
     "estimate_multiply",
     "estimation_time_s",
+    "seeded_estimate",
 ]
 
 #: Threads per block of the (simulated) estimation kernel.
@@ -402,5 +403,70 @@ def estimate_multiply(
         footprint_bytes=est(float(fp_value), float(fp_bound)),
         ratio_symbolic=float(ratio_sym),
         ratio_numeric=float(ratio_num),
+        time_s=float(time_s),
+    )
+
+
+def seeded_estimate(
+    a: CSR,
+    b: CSR,
+    *,
+    seed: int = 0,
+    device: Optional[DeviceSpec] = None,
+) -> MultiplyEstimate:
+    """Build an estimate for ``A @ B`` from *exact* row statistics.
+
+    Chained products (``repro.graph.chain``) know iteration ``i``'s output
+    exactly by the time iteration ``i+1`` is planned, so instead of
+    resampling they derive the next multiply's per-row product counts in
+    one O(NNZ_A) pass over the known operands (the same quantity the
+    analysis kernel computes) and hand the engine an estimate whose
+    product bounds are *equalities* — the speculative bound check can
+    never fail, so the fallback path is provably dead for seeded plans.
+
+    The output-size quantities stay conservative (no symbolic pass has
+    run): ``c_nnz`` and ``c_row_max`` are bounded by the product counts,
+    which always hold.  The modelled time charges a streaming pass over
+    A's non-zeros with no per-product hashing — strictly cheaper than the
+    analysis + symbolic stages it replaces.
+    """
+    if a.cols != b.rows:
+        raise ValueError(f"dimension mismatch: A is {a.shape}, B is {b.shape}")
+    rows = a.rows
+    key = (a.fingerprint(), b.fingerprint())
+    b_row_nnz = b.row_nnz()
+    per_entry = b_row_nnz[a.indices]
+    cs = np.zeros(per_entry.size + 1, dtype=np.int64)
+    np.cumsum(per_entry, out=cs[1:])
+    prods = cs[a.indptr[1:]] - cs[a.indptr[:-1]]
+    p_total = int(prods.sum())
+    p_max = int(prods.max()) if prods.size else 0
+    mean_prod = p_total / rows if rows else 0.0
+
+    def est(value: float, bound: float) -> Estimate:
+        return Estimate(
+            value=float(value), bound=float(bound), sample_size=rows,
+            seed=int(seed), confidence=1.0,
+        )
+
+    from ..core.context import device_csr_bytes  # local: avoid import cycle
+
+    input_bytes = device_csr_bytes(a.rows, a.nnz) + device_csr_bytes(b.rows, b.nnz)
+    fp_value = input_bytes + device_csr_bytes(rows, p_total)
+    fp_bound = fp_value + 8 * p_total
+    ratio = p_max / max(mean_prod, 1e-9)
+    time_s = estimation_time_s(a.nnz, 0, device) if device is not None else 0.0
+    return MultiplyEstimate(
+        key=key,
+        seed=int(seed),
+        rows=rows,
+        sample_size=rows,
+        products=est(float(p_total), float(p_total)),
+        prod_max=est(float(p_max), float(p_max)),
+        c_nnz=est(float(p_total), float(p_total)),
+        c_row_max=est(float(p_max), float(p_max)),
+        footprint_bytes=est(float(fp_value), float(fp_bound)),
+        ratio_symbolic=float(ratio),
+        ratio_numeric=float(ratio),
         time_s=float(time_s),
     )

@@ -59,6 +59,11 @@ __all__ = [
 #: the estimator's confidence bounds by the rule's ``factor`` — deflating
 #: (< 1) forces the exact-analysis fallback path, inflating (> 1) makes
 #: the speculative allocation oversized.
+#: ``mask_drop`` is consulted once per masked multiply
+#: (:mod:`repro.graph.masked`; the method glob matches the case name) and
+#: silently drops a ``factor`` share of the masked plan's pruned-column
+#: set — a wrong-result corruption the masked differential oracle in
+#: :mod:`repro.check` must catch.
 SITES = (
     "alloc",
     "launch",
@@ -68,6 +73,7 @@ SITES = (
     "disk_corrupt",
     "disk_torn_write",
     "estimate_skew",
+    "mask_drop",
 )
 
 
@@ -443,6 +449,24 @@ class FaultScope:
             return None
         return 0.25 if rule.factor is None else float(rule.factor)
 
+    # -- graph workload sites ----------------------------------------------
+    def mask_drop(self, tag: str = "") -> Optional[float]:
+        """Consulted once per masked multiply (``repro.graph.masked``): a
+        firing rule returns the share of the masked plan's pruned-column
+        set to drop (``factor``, default 0.25, clamped to (0, 1]).  The
+        corruption is deterministic — every ``round(1/factor)``-th entry
+        of the allowed set disappears — and *silent*: the multiply
+        completes with entries missing from C, which only the masked
+        differential oracle in :mod:`repro.check` can expose.  Like
+        ``estimate_skew``, the rule's *method* glob is matched against
+        the case name, so ``mask_drop@chk-*`` targets check cases."""
+        case = self.matrix or self.method
+        rule = self._consult("mask_drop", tag or case, None, method=case)
+        if rule is None:
+            return None
+        factor = 0.25 if rule.factor is None else float(rule.factor)
+        return min(max(factor, 1e-9), 1.0)
+
 
 #: Shared inert scope for algorithms running without a fault plan.
 def null_scope(method: str = "", matrix: str = "") -> FaultScope:
@@ -469,6 +493,8 @@ def parse_fault_spec(spec: str) -> FaultPlan:
                                                   -- method-glob = store owner
                 | "estimate_skew"                 -- speculative estimation;
                                                   -- method-glob = case name
+                | "mask_drop"                     -- masked multiplies;
+                                                  -- method-glob = case name
         option::= "n=" INT        -- fire on the Nth site event (1-based)
                 | "bytes=" INT    -- alloc only: requests >= this size
                 | "matrix=" GLOB  -- restrict to matching case names
@@ -489,6 +515,8 @@ def parse_fault_spec(spec: str) -> FaultPlan:
         disk_torn_write@node-*:p=0.01   # 1% of appends die mid-write
         estimate_skew@skew_*:factor=0.2 # deflate bounds on skew_* cases:
                                         # speculative plans fall back
+        mask_drop@chk-*:factor=0.5      # silently drop half of the masked
+                                        # plan's pruned-column set
     """
     rules: List[FaultRule] = []
     seed = 0

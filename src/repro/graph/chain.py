@@ -1,0 +1,264 @@
+"""Chained SpGEMM: ``A^k`` and general multiply pipelines with plan reuse.
+
+Graph analytics rarely multiplies once: MCL squares a flow matrix until
+convergence, multi-hop reachability computes ``A^k``, AMG chains
+``R · A · P``.  Each iteration's operands are *produced by the previous
+iteration*, which changes the serving economics in two ways this module
+exploits:
+
+* **plan reuse** — iterates often stabilise structurally (MCL's late
+  iterations, re-running a chain on refreshed values), so every multiply
+  routes through the plan cache and the chain reports its cumulative
+  hit/miss counters;
+* **estimate seeding** — a *cold* iteration never needs to sample: the
+  previous iteration computed its output exactly, so the next multiply's
+  per-row product counts are derivable in one cheap pass
+  (:func:`~repro.estimate.seeded_estimate`) and the engine plans
+  speculatively with bounds that hold by construction — the
+  exact-analysis fallback is provably dead.
+
+:class:`ChainRunner` is the iteration primitive (one multiply at a time,
+counters accumulated across steps) that :func:`chain_apply` /
+:func:`chain` wrap and :func:`repro.apps.mcl.markov_clustering` builds
+its expansion step on.  The differential oracle in :mod:`repro.check`
+pins ``chain(A, k)`` to k sequential full multiplies, bit-identically.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from ..core.context import MultiplyContext
+from ..core.params import DEFAULT_PARAMS, SpeckParams
+from ..core.speck import SpeckEngine
+from ..estimate import seeded_estimate
+from ..faults import FailureInfo, FaultPlan
+from ..gpu import DeviceSpec, TITAN_V
+from ..matrices.csr import CSR
+from ..result import SpGEMMResult
+
+__all__ = ["ChainResult", "ChainRunner", "chain", "chain_apply"]
+
+
+class ChainRunner:
+    """Stateful iteration primitive for chained multiplies.
+
+    One ``step`` runs one multiply through the service (plan cache,
+    metrics, faults) or a standalone engine, accumulating the chain-level
+    counters — plan-cache hits/misses and how many cold steps were
+    planned from seeded estimates.  The first step always plans exactly
+    (there is no previous iteration to seed from); later cold steps are
+    seeded when ``seed_estimates`` is set.
+    """
+
+    def __init__(
+        self,
+        *,
+        service=None,
+        engine: Optional[SpeckEngine] = None,
+        device: DeviceSpec = TITAN_V,
+        params: SpeckParams = DEFAULT_PARAMS,
+        mode: str = "model",
+        seed_estimates: bool = True,
+        faults: Optional[FaultPlan] = None,
+        case_name: str = "",
+    ) -> None:
+        if service is None and engine is None:
+            engine = SpeckEngine(device, params)
+        self.service = service
+        self.engine = engine
+        self.device = service.device if service is not None else engine.device
+        self.mode = mode
+        self.seed_estimates = bool(seed_estimates)
+        self.faults = faults
+        self.case_name = case_name
+        self.plan_hits = 0
+        self.plan_misses = 0
+        self.seeded = 0
+        self.steps = 0
+        self._primed = False
+
+    def step(self, a: CSR, b: CSR, *, brownout=None) -> SpGEMMResult:
+        """Run one ``C = A · B`` of the chain and accumulate counters."""
+        estimate = None
+        if self.seed_estimates and self._primed and not self._plan_ready(a, b):
+            estimate = seeded_estimate(a, b, device=self.device)
+        if self.service is not None:
+            res = self.service.multiply(
+                a, b, mode=self.mode, faults=self.faults,
+                case_name=self.case_name, brownout=brownout,
+                estimate=estimate,
+            )
+        else:
+            ctx = MultiplyContext(a, b)
+            ctx.faults = self.faults
+            if self.case_name:
+                ctx.case_name = self.case_name
+            res = self.engine.multiply(
+                a, b, ctx=ctx, mode=self.mode, estimate=estimate
+            )
+        self.steps += 1
+        if res.valid:
+            self._primed = True
+            cache = res.decisions.get("plan_cache")
+            if cache == "hit":
+                self.plan_hits += 1
+            elif cache == "miss":
+                self.plan_misses += 1
+            if estimate is not None and res.decisions.get("speculative"):
+                self.seeded += 1
+        return res
+
+    def _plan_ready(self, a: CSR, b: CSR) -> bool:
+        """Would this multiply hit a ready cached plan?  Seeding an
+        estimate is pure waste on a hit — the service ignores it — so the
+        runner peeks (stat-neutral) before paying the exact row pass."""
+        if self.service is None:
+            return False
+        from ..serve.plan_cache import plan_key
+
+        plan = self.service.plans.peek(plan_key(a, b))
+        return plan is not None and plan.ready
+
+    def counters(self) -> Dict[str, int]:
+        return {
+            "chain_steps": self.steps,
+            "chain_plan_hits": self.plan_hits,
+            "chain_plan_misses": self.plan_misses,
+            "chain_seeded": self.seeded,
+        }
+
+
+@dataclass
+class ChainResult:
+    """Outcome of one chained-product run."""
+
+    #: The final product matrix (``None`` when a step failed).
+    c: Optional[CSR]
+    #: Chain length as requested (``k`` for ``A^k``; len(bs) + 1 operands).
+    k: int
+    #: Multiplies actually executed.
+    multiplies: int
+    #: Summed modelled seconds across every executed multiply.
+    time_s: float
+    #: Maximum per-step peak device memory.
+    peak_mem_bytes: int
+    #: Plan-cache hits across the chain's multiplies.
+    plan_hits: int = 0
+    #: Plan-cache misses across the chain's multiplies.
+    plan_misses: int = 0
+    #: Cold steps planned from a seeded (previous-iteration) estimate.
+    seeded: int = 0
+    valid: bool = True
+    failure: str = ""
+    failure_info: Optional[FailureInfo] = None
+    #: Per-step engine results, in execution order.
+    results: List[SpGEMMResult] = field(default_factory=list)
+    decisions: Dict[str, object] = field(default_factory=dict)
+
+    @property
+    def plan_hit_rate(self) -> float:
+        total = self.plan_hits + self.plan_misses
+        return self.plan_hits / total if total else 0.0
+
+    def as_result(self, method: str = "chain") -> SpGEMMResult:
+        """Flatten into one :class:`~repro.result.SpGEMMResult` so a chain
+        request rides the scheduler/bench plumbing like a plain multiply
+        (summed time, merged stage times, chain counters in decisions)."""
+        if not self.valid:
+            info = self.failure_info or FailureInfo(
+                kind="crash", message=self.failure
+            )
+            res = SpGEMMResult.failed(method, info)
+            res.decisions.update(self.decisions)
+            return res
+        stage_times: Dict[str, float] = {}
+        retries = 0
+        for r in self.results:
+            retries += r.retries
+            for name, t in r.stage_times.items():
+                stage_times[name] = stage_times.get(name, 0.0) + float(t)
+        return SpGEMMResult(
+            method=method,
+            c=self.c,
+            time_s=self.time_s,
+            peak_mem_bytes=self.peak_mem_bytes,
+            stage_times=stage_times,
+            retries=retries,
+            decisions=dict(self.decisions),
+        )
+
+
+def chain_apply(
+    a: CSR,
+    bs: Sequence[CSR],
+    *,
+    service=None,
+    engine: Optional[SpeckEngine] = None,
+    device: DeviceSpec = TITAN_V,
+    params: SpeckParams = DEFAULT_PARAMS,
+    mode: str = "model",
+    seed_estimates: bool = True,
+    faults: Optional[FaultPlan] = None,
+    case_name: str = "",
+    brownout=None,
+) -> ChainResult:
+    """Left-fold multiply: ``C = (((A · B₁) · B₂) ⋯ ) · Bₖ``.
+
+    Every step runs through one :class:`ChainRunner`; a failed step stops
+    the chain and surfaces its structured failure on the result.
+    """
+    runner = ChainRunner(
+        service=service, engine=engine, device=device, params=params,
+        mode=mode, seed_estimates=seed_estimates, faults=faults,
+        case_name=case_name,
+    )
+    c = a
+    results: List[SpGEMMResult] = []
+    time_s = 0.0
+    peak = 0
+    for b in bs:
+        res = runner.step(c, b, brownout=brownout)
+        results.append(res)
+        if not res.valid:
+            out = ChainResult(
+                c=None, k=len(bs) + 1, multiplies=runner.steps,
+                time_s=time_s, peak_mem_bytes=peak,
+                plan_hits=runner.plan_hits, plan_misses=runner.plan_misses,
+                seeded=runner.seeded, valid=False,
+                failure=res.failure, failure_info=res.failure_info,
+                results=results,
+            )
+            out.decisions.update(runner.counters())
+            return out
+        time_s += res.time_s
+        peak = max(peak, res.peak_mem_bytes)
+        c = res.c
+    out = ChainResult(
+        c=c, k=len(bs) + 1, multiplies=runner.steps, time_s=time_s,
+        peak_mem_bytes=peak, plan_hits=runner.plan_hits,
+        plan_misses=runner.plan_misses, seeded=runner.seeded,
+        results=results,
+    )
+    out.decisions.update(runner.counters())
+    return out
+
+
+def chain(
+    a: CSR,
+    k: int,
+    **kwargs,
+) -> ChainResult:
+    """Compute ``A^k`` (``k >= 1``) as a chained product.
+
+    ``chain(A, 1)`` is ``A`` itself with zero multiplies; higher powers
+    run ``k - 1`` sequential multiplies through
+    :func:`chain_apply`, reusing plans and seeding estimates across
+    iterations.
+    """
+    if a.rows != a.cols:
+        raise ValueError(f"chain needs a square matrix, got {a.shape}")
+    if k < 1:
+        raise ValueError(f"chain power must be >= 1, got {k}")
+    return chain_apply(a, [a] * (k - 1), **kwargs)

@@ -1,0 +1,335 @@
+"""Masked SpGEMM: ``C = (A · B) ⊙ M`` with up-front analysis pruning.
+
+The GraphBLAS-style output mask is the workhorse of graph analytics —
+triangle counting keeps only wedge closures that are already edges,
+filtered joins keep only candidate pairs — and it changes *planning*, not
+just post-processing: every intermediate product whose output position is
+masked out never needs an accumulator slot.  This module threads the mask
+through :class:`~repro.core.speck.SpeckEngine` by giving it a
+:class:`MaskedContext` whose row analysis and output sizes are the
+*mask-pruned* facts (per-row intersection of the reachable product
+positions with M's structure), so binning, load-balancing decisions and
+allocation sizing all see the pruned workload.
+
+Correctness is anchored to the post-filter law the differential oracle in
+:mod:`repro.check` enforces::
+
+    multiply_masked(A, B, M).c  ==  mask(multiply(A, B).c, M)
+
+In execute mode the engine computes the full product through the real
+accumulators and applies the pruned-column filter afterwards — each
+surviving entry's accumulation order is unchanged by the other columns'
+presence, so the result is bit-identical to the post-filtered full
+product (see :meth:`SpeckEngine._execute`).
+
+Plans are cached under a mask-tagged key (``mask_plan_tag``): a masked
+plan's analysis arrays are pruned and must never be served to an
+unmasked request on the same ``(A, B)`` fingerprints.
+
+The deterministic ``mask_drop`` fault site corrupts the pruned-column
+set before any fact is derived — a silent wrong-result fault only the
+masked oracle can catch.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..core.analysis import RowAnalysis, _segment_reduce
+from ..core.context import MultiplyContext
+from ..core.params import DEFAULT_PARAMS, SpeckParams
+from ..core.speck import SpeckEngine
+from ..faults import FaultPlan
+from ..gpu import DeviceSpec, TITAN_V
+from ..gpu.trace import Trace
+from ..kernels.reference import expand_products
+from ..matrices.csr import CSR, INDEX_DTYPE, VALUE_DTYPE
+from ..matrices.ops import pattern
+from ..result import SpGEMMResult
+
+__all__ = ["MaskedContext", "mask_plan_tag", "multiply_masked", "triangle_count"]
+
+
+def mask_plan_tag(m: CSR) -> str:
+    """The plan-cache tag of a masked multiply: the mask's structural
+    fingerprint, namespaced so it can never collide with other workload
+    tags."""
+    return f"masked:{m.fingerprint()}"
+
+
+def _drop_entries(m: CSR, factor: float) -> CSR:
+    """Deterministically drop a ``factor`` share of M's entries (the
+    ``mask_drop`` fault site's corruption): every ``round(1/factor)``-th
+    stored entry disappears, starting with the first."""
+    stride = max(int(round(1.0 / factor)), 1)
+    keep = np.ones(m.nnz, dtype=bool)
+    keep[::stride] = False
+    rows = m.row_ids()[keep]
+    indptr = np.zeros(m.rows + 1, dtype=INDEX_DTYPE)
+    if rows.size:
+        indptr[1:] = np.bincount(rows, minlength=m.rows)
+    np.cumsum(indptr, out=indptr)
+    return CSR(indptr, m.indices[keep], m.data[keep], m.shape, check=False)
+
+
+class MaskedContext(MultiplyContext):
+    """A :class:`MultiplyContext` whose facts are mask-pruned.
+
+    The engine consumes three views of the same multiplication:
+
+    * the *modelled* facts (``analysis``, ``c_row_nnz``, ``c``,
+      ``output_bytes``) are pruned by the mask — this is what makes the
+      masked pipeline cheaper than multiply-then-filter;
+    * ``inner`` exposes the full-product facts the executable
+      accumulators still need (a surviving entry is accumulated in its
+      full-product slot);
+    * ``apply_mask`` is the pruned-column filter the execute path applies
+      to the accumulated full product.
+
+    ``allowed`` is the column set actually used for pruning; it equals
+    ``pattern(mask)`` unless the ``mask_drop`` fault site corrupted it.
+    """
+
+    def __init__(self, a: CSR, b: CSR, m: CSR, *, allowed: Optional[CSR] = None) -> None:
+        super().__init__(a, b)
+        if m.shape != (a.rows, b.cols):
+            raise ValueError(
+                f"mask shape {m.shape} does not match product shape "
+                f"({a.rows}, {b.cols})"
+            )
+        #: The requested mask (uncorrupted; keys the cached plan).
+        self.mask_matrix = m
+        #: The pruned-column set the pipeline consults (0/1 pattern).
+        self.mask = allowed if allowed is not None else pattern(m)
+        #: Full-product facts for the executable accumulators.
+        self.inner = MultiplyContext(a, b)
+        self._full_products: Optional[int] = None
+
+    # -- the execute-path hooks consumed by SpeckEngine._execute ---------
+    def apply_mask(self, c: CSR) -> CSR:
+        """Keep only C's entries at positions in the pruned-column set."""
+        from ..matrices.ops import mask as ops_mask
+
+        return ops_mask(c, self.mask)
+
+    # -- mask-pruned facts ------------------------------------------------
+    def _compute_masked(self) -> None:
+        """One expansion pass deriving every masked fact.
+
+        Intermediate products are materialised once; membership of each
+        product's output position in the allowed set is a sorted-search
+        against the mask's composite keys (CSR order is already
+        row-major/column-minor, i.e. key-sorted).  The surviving products
+        yield the pruned per-row analysis *and* the masked product matrix
+        in the same expand/sort/compress shape as
+        :func:`~repro.kernels.reference.esc_multiply` — filtering before
+        the stable sort keeps each output entry's accumulation order
+        identical to the full product's, so values are bit-equal to the
+        post-filtered full product.
+        """
+        a, b, allowed = self.a, self.b, self.mask
+        out_rows, out_cols, out_vals = expand_products(a, b)
+        self._full_products = int(out_rows.size)
+        width = np.int64(max(b.cols, 1))
+        keys = out_rows * width + out_cols
+        akeys = allowed.row_ids() * width + allowed.indices
+        if keys.size and akeys.size:
+            pos = np.searchsorted(akeys, keys)
+            pos = np.minimum(pos, akeys.size - 1)
+            hit = akeys[pos] == keys
+        else:
+            hit = np.zeros(keys.size, dtype=bool)
+
+        # Pruned per-row / per-entry product counts.
+        counts = b.row_nnz()[a.indices]
+        entry_off = np.zeros(counts.size + 1, dtype=np.int64)
+        np.cumsum(counts, out=entry_off[1:])
+        cs = np.zeros(keys.size + 1, dtype=np.int64)
+        np.cumsum(hit.astype(np.int64), out=cs[1:])
+        per_entry_surv = cs[entry_off[1:]] - cs[entry_off[:-1]]
+        row_off = entry_off[a.indptr]
+        products = cs[row_off[1:]] - cs[row_off[:-1]]
+        max_ref = _segment_reduce(per_entry_surv, a.indptr, np.maximum, 0)
+
+        # Masked product matrix (expand/sort/compress over survivors).
+        skeys = keys[hit]
+        svals = out_vals[hit]
+        if skeys.size:
+            order = np.argsort(skeys, kind="stable")
+            skeys = skeys[order]
+            svals = svals[order]
+            new_run = np.empty(skeys.size, dtype=bool)
+            new_run[0] = True
+            np.not_equal(skeys[1:], skeys[:-1], out=new_run[1:])
+            starts = np.flatnonzero(new_run)
+            c_vals = np.add.reduceat(svals, starts)
+            uniq = skeys[starts]
+            c_rows = uniq // width
+            c_cols = uniq % width
+            indptr = np.zeros(a.rows + 1, dtype=INDEX_DTYPE)
+            indptr[1:] = np.bincount(c_rows, minlength=a.rows)
+            np.cumsum(indptr, out=indptr)
+            c = CSR(indptr, c_cols, c_vals, (a.rows, b.cols), check=False)
+        else:
+            c = CSR(
+                np.zeros(a.rows + 1, dtype=INDEX_DTYPE),
+                np.empty(0, dtype=INDEX_DTYPE),
+                np.empty(0, dtype=VALUE_DTYPE),
+                (a.rows, b.cols),
+                check=False,
+            )
+
+        # Masked column extents: the deduplicated survivors per row.
+        c_nnz_rows = c.row_nnz()
+        has = c_nnz_rows > 0
+        col_min = np.zeros(a.rows, dtype=np.int64)
+        col_max = np.full(a.rows, -1, dtype=np.int64)
+        if has.any():
+            col_min[has] = c.indices[c.indptr[:-1][has]]
+            col_max[has] = c.indices[c.indptr[1:][has] - 1]
+
+        if self._analysis is None:
+            self._analysis = RowAnalysis(
+                products=products,
+                max_ref_row=max_ref,
+                col_min=col_min,
+                col_max=col_max,
+                a_row_nnz=a.row_nnz(),
+                adjacency=self.inner.analysis.adjacency,
+            )
+        if self._c_row_nnz is None:
+            self._c_row_nnz = np.asarray(c_nnz_rows, dtype=np.int64).copy()
+        self._c = c
+
+    @property
+    def analysis(self) -> RowAnalysis:
+        if self._analysis is None:
+            self._compute_masked()
+        return self._analysis
+
+    @property
+    def c_row_nnz(self) -> np.ndarray:
+        if self._c_row_nnz is None:
+            self._compute_masked()
+        return self._c_row_nnz
+
+    @property
+    def c(self) -> CSR:
+        if self._c is None:
+            self._compute_masked()
+        return self._c
+
+    @property
+    def prune_ratio(self) -> float:
+        """Share of the full product's intermediate products the mask
+        pruned away (0 = nothing pruned, 1 = everything)."""
+        if self._full_products is None:
+            # A plan hit seeds the masked analysis without expanding; the
+            # full count is a cheap exact pass over the operands.
+            from ..kernels.reference import row_products
+
+            self._full_products = int(row_products(self.a, self.b).sum())
+        full = self._full_products
+        if full <= 0:
+            return 0.0
+        return 1.0 - self.analysis.prod_total / full
+
+
+def multiply_masked(
+    a: CSR,
+    b: CSR,
+    m: CSR,
+    *,
+    mode: str = "model",
+    service=None,
+    engine: Optional[SpeckEngine] = None,
+    device: DeviceSpec = TITAN_V,
+    params: SpeckParams = DEFAULT_PARAMS,
+    trace: Optional[Trace] = None,
+    faults: Optional[FaultPlan] = None,
+    case_name: str = "",
+    brownout=None,
+    ctx_cache: Optional[dict] = None,
+) -> SpGEMMResult:
+    """Run ``C = (A · B) ⊙ M`` through the spECK pipeline.
+
+    With ``service`` the plan is cached under the mask-tagged key
+    (:func:`mask_plan_tag`) so masked and unmasked plans for the same
+    operand structures never collide; otherwise a one-shot ``engine``
+    (or a fresh one on ``device``/``params``) runs without caching.
+
+    ``ctx_cache`` is a caller-held mutable dict memoising the
+    :class:`MaskedContext` across repeated identical requests (the
+    serve-bench workload replays one ``(A, B, M)`` triple thousands of
+    times); a corrupted run (``mask_drop`` fired) never touches it.
+
+    Result decisions carry ``masked=True``, the mask fingerprint and
+    ``mask_prune_ratio`` (the share of intermediate products the mask
+    eliminated before binning).
+    """
+    allowed = pattern(m)
+    dropped: Optional[float] = None
+    if faults is not None:
+        scope = faults.scope("masked", case_name)
+        dropped = scope.mask_drop()
+        if dropped is not None:
+            allowed = _drop_entries(allowed, dropped)
+    ctx = None
+    if ctx_cache is not None and dropped is None:
+        ctx = ctx_cache.get("ctx")
+    if ctx is None:
+        ctx = MaskedContext(a, b, m, allowed=allowed)
+        if ctx_cache is not None and dropped is None:
+            ctx_cache["ctx"] = ctx
+    if service is not None:
+        res = service.multiply(
+            a, b, mode=mode, ctx=ctx, trace=trace, faults=faults,
+            case_name=case_name, brownout=brownout,
+            plan_tag=mask_plan_tag(m),
+        )
+    else:
+        eng = engine if engine is not None else SpeckEngine(device, params)
+        ctx.faults = faults
+        if case_name:
+            ctx.case_name = case_name
+        res = eng.multiply(a, b, ctx=ctx, mode=mode, trace=trace)
+    if res.valid:
+        res.decisions["masked"] = True
+        res.decisions["mask_fingerprint"] = m.fingerprint()
+        res.decisions["mask_prune_ratio"] = float(ctx.prune_ratio)
+        if dropped is not None:
+            res.decisions["mask_drop"] = float(dropped)
+    return res
+
+
+def triangle_count(
+    a: CSR,
+    *,
+    mode: str = "model",
+    service=None,
+    engine: Optional[SpeckEngine] = None,
+    device: DeviceSpec = TITAN_V,
+    params: SpeckParams = DEFAULT_PARAMS,
+    faults: Optional[FaultPlan] = None,
+    case_name: str = "",
+) -> int:
+    """Triangles of the undirected simple graph with adjacency ``A``.
+
+    The classic masked-SpGEMM formulation: ``sum((A·A) ⊙ A) / 6`` over
+    the 0/1 pattern of a symmetric adjacency matrix — every triangle is
+    counted once per ordered vertex pair of each of its three edges.
+    Raises if the multiply fails (triangle counting has no partial
+    answer).
+    """
+    if a.rows != a.cols:
+        raise ValueError(f"adjacency matrix must be square, got {a.shape}")
+    p = pattern(a)
+    res = multiply_masked(
+        p, p, p, mode=mode, service=service, engine=engine,
+        device=device, params=params, faults=faults, case_name=case_name,
+    )
+    if not res.valid:
+        raise RuntimeError(f"triangle count multiply failed: {res.failure}")
+    return int(round(float(res.c.data.sum()) / 6.0))

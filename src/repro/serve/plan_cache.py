@@ -50,13 +50,23 @@ class PlanIntegrityError(ValueError):
         self.reason = reason
 
 
-def plan_key(a: CSR, b: CSR) -> Tuple[str, str]:
+def plan_key(a: CSR, b: CSR, tag: str = "") -> Tuple[str, ...]:
     """The cache key of a multiplication: structural fingerprints of A, B.
 
     Deliberately value-blind (see :meth:`repro.matrices.csr.CSR.fingerprint`)
     — numeric-only operand changes keep hitting the same plan.
+
+    ``tag`` distinguishes workload variants whose plans are *not*
+    interchangeable despite identical operand structures.  A masked
+    multiply (``repro.graph.masked``) prunes its analysis and output
+    sizes by the mask's structure, so its plan must never be served to
+    an unmasked request on the same ``(A, B)`` — the tag (e.g.
+    ``"masked:<mask fingerprint>"``) becomes a third key component.
+    An empty tag keeps the historical two-tuple key, so plain requests,
+    persisted plans, and cluster replica exchange are unaffected.
     """
-    return (a.fingerprint(), b.fingerprint())
+    base = (a.fingerprint(), b.fingerprint())
+    return base + (tag,) if tag else base
 
 
 @dataclass
@@ -67,7 +77,7 @@ class CachedPlan:
     effect of the first (cold) multiply and reuses it afterwards.
     """
 
-    key: Tuple[str, str]
+    key: Tuple[str, ...]
     ready: bool = False
     analysis: Optional[RowAnalysis] = None
     c_row_nnz: Optional[np.ndarray] = None
@@ -191,7 +201,7 @@ class PlanCache:
         if max_bytes <= 0:
             raise ValueError("plan cache budget must be positive")
         self.max_bytes = int(max_bytes)
-        self._plans: "OrderedDict[Tuple[str, str], CachedPlan]" = OrderedDict()
+        self._plans: "OrderedDict[Tuple[str, ...], CachedPlan]" = OrderedDict()
         self._lock = threading.Lock()
         self.hits = 0
         self.misses = 0
@@ -207,9 +217,14 @@ class PlanCache:
     # ------------------------------------------------------------------
     def get_or_create(
         self, a: CSR, b: CSR, mode: str = "full",
-        est_nbytes: Optional[int] = None,
+        est_nbytes: Optional[int] = None, tag: str = "",
     ) -> Tuple[CachedPlan, bool]:
         """Look up the plan for ``(A, B)``; returns ``(plan, hit)``.
+
+        ``tag`` is the workload tag folded into the key (see
+        :func:`plan_key`): masked requests pass their mask fingerprint
+        here so they can never collide with unmasked plans for the same
+        operand structures.
 
         ``hit`` is true only when the plan is already populated — a plan
         registered by a concurrent cold multiply that has not finished yet
@@ -234,7 +249,7 @@ class PlanCache:
         The refusal self-heals on mis-estimates: ``note_populated``
         re-checks the real size and inserts plans that do fit.
         """
-        key = plan_key(a, b)
+        key = plan_key(a, b, tag)
         with self._lock:
             plan = self._plans.get(key)
             if plan is not None and plan.ready:
@@ -275,7 +290,7 @@ class PlanCache:
             self._evict_locked()
 
     # ------------------------------------------------------------------
-    def peek(self, key: Tuple[str, str]) -> Optional[CachedPlan]:
+    def peek(self, key: Tuple[str, ...]) -> Optional[CachedPlan]:
         """The *ready* plan under ``key``, or ``None`` — stat-neutral.
 
         Used by cluster peers fetching a replica: a remote lookup is
@@ -358,7 +373,7 @@ class PlanCache:
         with self._lock:
             return len(self._plans)
 
-    def __contains__(self, key: Tuple[str, str]) -> bool:
+    def __contains__(self, key: Tuple[str, ...]) -> bool:
         with self._lock:
             return key in self._plans
 

@@ -337,8 +337,9 @@ def decode_plan(data: bytes) -> Tuple[CachedPlan, str]:
         sym_bp = _sub(arrays, "plan_sym.")
         num_bp = _sub(arrays, "plan_num.")
 
-        key_list = [str(k) for k in header["key"]]
-        plan = CachedPlan(key=(key_list[0], key_list[1]))
+        # Keys are two fingerprints, plus an optional workload tag for
+        # masked/variant plans — round-trip whatever length was written.
+        plan = CachedPlan(key=tuple(str(k) for k in header["key"]))
         plan.mode = str(header.get("mode", "full"))
         plan.populate(
             analysis=RowAnalysis(**analysis_arrays),

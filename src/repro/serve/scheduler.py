@@ -26,7 +26,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional
+from typing import Callable, Dict, Iterable, List, Optional
 
 from ..core.context import device_csr_bytes
 from ..estimate import RowEstimator
@@ -62,6 +62,12 @@ class Request:
     case_name: str = ""
     #: Scheduler-level re-executions consumed so far.
     attempts: int = 0
+    #: Optional workload executor for non-plain requests (masked, chained,
+    #: incremental — see :mod:`repro.graph`).  Called as
+    #: ``workload(service, a, b, faults=..., case_name=..., brownout=...)``
+    #: and must return an :class:`~repro.result.SpGEMMResult`; ``None``
+    #: dispatches a plain ``service.multiply``.
+    workload: Optional[Callable[..., SpGEMMResult]] = None
 
     def input_bytes(self) -> int:
         return device_csr_bytes(self.a.rows, self.a.nnz) + device_csr_bytes(
@@ -376,13 +382,23 @@ class ServeScheduler:
         brownout: Optional[BrownoutInfo] = None,
     ) -> Optional[RequestOutcome]:
         """Run one request; ``None`` means it was re-queued for retry."""
-        res = self.service.multiply(
-            req.a,
-            req.b,
-            faults=self.faults,
-            case_name=req.case_name,
-            brownout=brownout,
-        )
+        if req.workload is not None:
+            res = req.workload(
+                self.service,
+                req.a,
+                req.b,
+                faults=self.faults,
+                case_name=req.case_name,
+                brownout=brownout,
+            )
+        else:
+            res = self.service.multiply(
+                req.a,
+                req.b,
+                faults=self.faults,
+                case_name=req.case_name,
+                brownout=brownout,
+            )
         hit = res.decisions.get("plan_cache") == "hit"
         if res.valid:
             return RequestOutcome(

@@ -23,6 +23,7 @@ from ..core.context import MultiplyContext
 from ..core.params import DEFAULT_PARAMS, SpeckParams
 from ..core.speck import SpeckEngine
 from ..estimate import RowEstimator
+from ..estimate.sampler import MultiplyEstimate
 from ..faults import FaultPlan
 from ..gpu import DeviceSpec, TITAN_V
 from ..gpu.trace import Trace
@@ -172,6 +173,8 @@ class SpGEMMService:
         faults: Optional[FaultPlan] = None,
         case_name: str = "",
         brownout: Optional[BrownoutInfo] = None,
+        plan_tag: str = "",
+        estimate: Optional[MultiplyEstimate] = None,
     ) -> SpGEMMResult:
         """Run ``C = A · B`` through the engine with plan reuse.
 
@@ -190,6 +193,19 @@ class SpGEMMService:
         requests from a sampled estimate (plans tagged ``"speculative"``;
         subsequent speculative requests hit them without refining).
         Brownout rungs keep their own, already-cheap planning.
+
+        ``plan_tag`` namespaces the plan-cache key for workload variants
+        whose plans are not interchangeable with the plain product's
+        (see :func:`~repro.serve.plan_cache.plan_key`): masked multiplies
+        pass ``"masked:<mask fingerprint>"`` so a masked plan can never
+        be served to an unmasked request on the same operand structures.
+
+        ``estimate`` optionally supplies a caller-built
+        :class:`~repro.estimate.MultiplyEstimate` for a cold run —
+        ``repro.graph.chain`` seeds iteration ``i+1`` from iteration
+        ``i``'s exact row stats this way instead of resampling.  It is
+        ignored on a plan hit (reuse is cheaper than any estimate) and
+        takes precedence over the service's own sampling estimator.
         """
         rung = brownout.mode if brownout is not None else "full"
         if rung not in self._engines:
@@ -204,11 +220,16 @@ class SpGEMMService:
             else None
         )
         plan, hit = self.plans.get_or_create(
-            a, b, mode=plan_mode, est_nbytes=est_nbytes
+            a, b, mode=plan_mode, est_nbytes=est_nbytes, tag=plan_tag
         )
-        estimate = (
-            self.estimator.estimate(a, b) if speculate and not hit else None
-        )
+        if estimate is not None:
+            seeded = not hit
+            estimate = estimate if seeded else None
+        else:
+            seeded = False
+            estimate = (
+                self.estimator.estimate(a, b) if speculate and not hit else None
+            )
         if ctx is None:
             ctx = self.context_for(a, b)
         # Set unconditionally: cached contexts outlive requests, and a
@@ -235,7 +256,13 @@ class SpGEMMService:
             m.counter("service.plan_hits", "plan cache hits").inc()
         else:
             m.counter("service.plan_misses", "plan cache misses").inc()
-        if estimate is not None:
+        if estimate is not None and seeded:
+            m.counter(
+                "service.seeded_estimates",
+                "cold requests planned from a caller-seeded estimate "
+                "(chain iteration refinement)",
+            ).inc()
+        elif estimate is not None:
             m.counter(
                 "service.speculative_cold",
                 "cold requests planned from a sampled estimate",

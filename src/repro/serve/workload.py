@@ -29,17 +29,29 @@ from ..eval.suite import MatrixCase
 from ..faults import FaultPlan, FaultRule
 from ..gpu import DeviceSpec, TITAN_V
 from ..matrices import generators as gen
+from ..matrices import ops
+from ..matrices.csr import CSR
 from .admission import AdmissionPolicy
 from .scheduler import Request, RequestOutcome, ServeScheduler
 from .service import SpGEMMService
 
 __all__ = [
+    "WORKLOADS",
     "WorkloadSpec",
     "BenchReport",
     "build_requests",
     "run_serve_bench",
     "serve_corpus",
 ]
+
+#: Request shapes the benchmark can replay.  ``plain`` is one multiply per
+#: request; the graph workloads dispatch through :mod:`repro.graph`.
+WORKLOADS = ("plain", "masked", "chain", "incremental")
+
+#: SeedSequence branch for workload artifacts (masks, deltas), distinct
+#: from the arrival-timeline stream so adding a workload never perturbs
+#: the plain benchmark's arrivals.
+_WORKLOAD_BRANCH = 0x73657276  # "serv"
 
 
 def serve_corpus() -> List[MatrixCase]:
@@ -85,20 +97,152 @@ class WorkloadSpec:
     #: Queue deadline; ``None`` disables timeouts.
     timeout_s: Optional[float] = 1.0
     seed: int = 0
+    #: Request shape: one of :data:`WORKLOADS`.
+    workload: str = "plain"
+    #: Chain power ``k`` per request (``A^k``; square operands only —
+    #: rectangular cases degrade to a single multiply).
+    chain_length: int = 3
+    #: Share of the exact product's entries each case's mask keeps.
+    mask_density: float = 0.25
+    #: Share of A's rows each case's incremental delta rewrites.  Kept
+    #: small by default: on self-products the blast radius widens to
+    #: referencing rows, and past the engine's recompute threshold the
+    #: incremental path degenerates to full recomputes.
+    delta_frac: float = 0.02
 
     def __post_init__(self) -> None:
         if self.rate <= 0 or self.duration_s <= 0:
             raise ValueError("rate and duration must be positive")
         if self.zipf_alpha <= 0:
             raise ValueError("zipf_alpha must be positive")
+        if self.workload not in WORKLOADS:
+            raise ValueError(
+                f"unknown workload {self.workload!r}; have {list(WORKLOADS)}"
+            )
+        if self.chain_length < 2:
+            raise ValueError("chain_length must be >= 2")
+        if not 0.0 < self.mask_density <= 1.0:
+            raise ValueError("mask_density must be in (0, 1]")
+        if not 0.0 < self.delta_frac <= 1.0:
+            raise ValueError("delta_frac must be in (0, 1]")
+
+
+def _masked_workload(mask: CSR):
+    """Request executor for one case's masked multiply.
+
+    The memo dict reuses the (lazily computed) masked facts across the
+    thousands of identical replays of one ``(A, B, M)`` triple; a
+    ``mask_drop``-corrupted run bypasses it inside ``multiply_masked``.
+    """
+    memo: Dict[str, object] = {}
+
+    def run(service, a, b, *, faults, case_name, brownout):
+        from ..graph.masked import multiply_masked
+
+        return multiply_masked(
+            a, b, mask, service=service, faults=faults,
+            case_name=case_name, brownout=brownout, ctx_cache=memo,
+        )
+
+    return run
+
+
+def _chain_workload(steps: int):
+    """Request executor running a ``steps``-multiply chain as one entry."""
+
+    def run(service, a, b, *, faults, case_name, brownout):
+        from ..graph.chain import chain_apply
+
+        return chain_apply(
+            a, [b] * steps, service=service, faults=faults,
+            case_name=case_name, brownout=brownout,
+        ).as_result()
+
+    return run
+
+
+def _incremental_workload(c_old: CSR, delta):
+    """Request executor patching one case's cached product in place."""
+
+    def run(service, a, b, *, faults, case_name, brownout):
+        from ..graph.delta import incremental_multiply
+
+        return incremental_multiply(
+            a, b, c_old, delta, service=service, faults=faults,
+            case_name=case_name,
+        ).as_result()
+
+    return run
+
+
+def _workload_artifacts(
+    cases: Sequence[MatrixCase], spec: WorkloadSpec
+) -> Dict[str, Dict[str, object]]:
+    """Per-case workload inputs and expected outputs, seed-derived.
+
+    For every case the dict holds ``run`` (the request executor closure)
+    and ``ref`` (the exact expected C, used by the wrong-result check).
+    Masks keep a seeded ``mask_density`` subset of the exact product's
+    entry positions; deltas rewrite a seeded ``delta_frac`` share of A's
+    rows.  Everything derives from ``(spec.seed, case index)``, so a
+    same-seed re-run replays byte-identical workloads.
+    """
+    if spec.workload == "plain":
+        return {}
+    arts: Dict[str, Dict[str, object]] = {}
+    for i, case in enumerate(cases):
+        a, b = case.matrices()
+        rng = np.random.default_rng(
+            np.random.SeedSequence([int(spec.seed), i, _WORKLOAD_BRANCH])
+        )
+        c_ref = MultiplyContext(a, b).c
+        art: Dict[str, object] = {}
+        if spec.workload == "masked":
+            pat = ops.pattern(c_ref)
+            keep = rng.random(pat.nnz) < spec.mask_density
+            if pat.nnz and not keep.any():
+                keep[0] = True
+            mask = CSR.from_coo(
+                pat.row_ids()[keep],
+                pat.indices[keep],
+                np.ones(int(keep.sum())),
+                pat.shape,
+                sum_duplicates=False,
+            )
+            art["mask"] = mask
+            art["ref"] = ops.mask(c_ref, ops.pattern(mask))
+            art["run"] = _masked_workload(mask)
+        elif spec.workload == "chain":
+            chainable = b.rows == b.cols and a.cols == b.rows
+            steps = spec.chain_length - 1 if chainable else 1
+            c = c_ref
+            for _ in range(steps - 1):
+                c = MultiplyContext(c, b).c
+            art["ref"] = c
+            art["run"] = _chain_workload(steps)
+        else:  # incremental
+            from ..graph.delta import apply_delta, random_delta
+
+            delta = random_delta(a, rng=rng, frac=spec.delta_frac)
+            a_new = apply_delta(a, delta)
+            b_new = a_new if b is a else b
+            art["delta"] = delta
+            art["ref"] = MultiplyContext(a_new, b_new).c
+            art["run"] = _incremental_workload(c_ref, delta)
+        arts[case.name] = art
+    return arts
 
 
 def build_requests(
-    cases: Sequence[MatrixCase], spec: WorkloadSpec
+    cases: Sequence[MatrixCase],
+    spec: WorkloadSpec,
+    artifacts: Optional[Dict[str, Dict[str, object]]] = None,
 ) -> List[Request]:
     """Materialise the arrival timeline: Poisson times, Zipf operands."""
     if not cases:
         raise ValueError("workload needs at least one matrix case")
+    if spec.workload != "plain" and artifacts is None:
+        artifacts = _workload_artifacts(cases, spec)
     rng = np.random.default_rng(spec.seed)
     # Popularity rank r has weight 1/(r+1)^alpha; rank order is a seeded
     # shuffle of the cases so no family is systematically hottest.
@@ -118,6 +262,7 @@ def build_requests(
         if case.name not in pairs:
             pairs[case.name] = case.matrices()
         a, b = pairs[case.name]
+        art = artifacts.get(case.name) if artifacts else None
         requests.append(
             Request(
                 id=rid,
@@ -127,6 +272,7 @@ def build_requests(
                 priority=0 if rng.random() < spec.high_priority_frac else 1,
                 timeout_s=spec.timeout_s,
                 case_name=case.name,
+                workload=art["run"] if art is not None else None,
             )
         )
         rid += 1
@@ -175,8 +321,13 @@ class BenchReport:
     #: ``fallbacks / speculative_cold`` (0.0 when nothing speculated).
     fallback_rate: float = 0.0
     #: Completed results whose C mismatched the exact reference product
-    #: (only computed under ``--estimate``/``--speculative``; must be 0).
+    #: (computed under ``--estimate``/``--speculative`` and for every
+    #: non-plain ``--workload``; must be 0).
     wrong_results: int = 0
+    #: Aggregated graph-workload counters (empty for the plain workload):
+    #: mask prune ratio, chain plan-reuse hits/rate, incremental
+    #: recomputed-vs-total rows.
+    workload_stats: Dict[str, float] = field(default_factory=dict)
     metrics: Dict[str, object] = field(default_factory=dict)
 
     @property
@@ -226,6 +377,15 @@ class BenchReport:
                 f"sampled estimates, {self.fallbacks} bound-violation "
                 f"fallbacks ({self.fallback_rate * 100:.1f}%), "
                 f"{self.wrong_results} wrong results"
+            )
+        if self.workload_stats:
+            pairs = ", ".join(
+                f"{k}={v:.4g}"
+                for k, v in sorted(self.workload_stats.items())
+            )
+            lines.append(
+                f"workload ({self.config.get('workload', 'plain')}): "
+                f"{pairs}; {self.wrong_results} wrong results"
             )
         degraded = {k: v for k, v in self.brownouts.items() if k != "full"}
         if degraded:
@@ -286,14 +446,27 @@ def _verify_bit_identical(
 
 
 def _count_wrong_results(
-    outcomes: Sequence[RequestOutcome], cases: Sequence[MatrixCase]
+    outcomes: Sequence[RequestOutcome],
+    cases: Sequence[MatrixCase],
+    *,
+    spec: Optional[WorkloadSpec] = None,
+    artifacts: Optional[Dict[str, Dict[str, object]]] = None,
 ) -> int:
     """Completed results whose C differs from an independently computed
-    exact reference product (structure or values)."""
+    exact reference product (structure or values).
+
+    For graph workloads the reference is the workload's own: the
+    mask-filtered product, the sequentially folded chain, or the full
+    recompute of the delta-updated operands.
+    """
+    workload = spec.workload if spec is not None else "plain"
     refs: Dict[str, tuple] = {}
     for case in cases:
-        a, b = case.matrices()
-        c = MultiplyContext(a, b).c
+        if workload != "plain":
+            c = artifacts[case.name]["ref"]
+        else:
+            a, b = case.matrices()
+            c = MultiplyContext(a, b).c
         refs[case.name] = (c.fingerprint(), c.fingerprint_values())
     wrong = 0
     for o in outcomes:
@@ -361,8 +534,18 @@ def run_serve_bench(
         faults=faults,
         estimator=estimator,
     )
-    requests = build_requests(cases, spec)
+    artifacts = _workload_artifacts(cases, spec)
+    if spec.workload == "incremental":
+        # The incremental scenario starts from an already-served product:
+        # warm each case's base (A, B) plan so the delta path has a plan
+        # to row-patch (otherwise ``plans_patched`` would be dead code in
+        # an all-incremental replay).
+        for case in cases:
+            a, b = case.matrices()
+            service.multiply(a, b, case_name=case.name)
+    requests = build_requests(cases, spec, artifacts=artifacts)
     outcomes = scheduler.run(requests)
+    check_wrong = estimate or spec.workload != "plain"
     return summarize(
         outcomes,
         service,
@@ -374,7 +557,11 @@ def run_serve_bench(
         estimate=estimate,
         speculative=speculative,
         wrong_results=(
-            _count_wrong_results(outcomes, cases) if estimate else 0
+            _count_wrong_results(
+                outcomes, cases, spec=spec, artifacts=artifacts
+            )
+            if check_wrong
+            else 0
         ),
     )
 
@@ -413,6 +600,7 @@ def summarize(
             "zipf_alpha": spec.zipf_alpha,
             "timeout_s": spec.timeout_s,
             "seed": spec.seed,
+            "workload": spec.workload,
             "n_workers": scheduler.n_workers,
             "max_queue_depth": scheduler.admission.policy.max_queue_depth,
             # A boolean, never the path: reports stay byte-identical
@@ -443,6 +631,65 @@ def summarize(
         fallbacks=fallbacks,
         fallback_rate=fallbacks / spec_cold if spec_cold else 0.0,
         wrong_results=int(wrong_results),
+        workload_stats=_workload_stats(outcomes, spec),
         metrics=snap,
     )
     return report
+
+
+def _workload_stats(
+    outcomes: Sequence[RequestOutcome], spec: WorkloadSpec
+) -> Dict[str, float]:
+    """Aggregate the graph-workload counters from completed results."""
+    if spec.workload == "plain":
+        return {}
+    results = [
+        o.result for o in outcomes if o.ok and o.result is not None
+    ]
+    if spec.workload == "masked":
+        ratios = [
+            float(r.decisions.get("mask_prune_ratio", 0.0))
+            for r in results
+            if r.decisions.get("masked")
+        ]
+        return {
+            "masked_requests": float(len(ratios)),
+            "mask_prune_ratio_mean": (
+                float(np.mean(ratios)) if ratios else 0.0
+            ),
+        }
+    if spec.workload == "chain":
+        hits = sum(int(r.decisions.get("chain_plan_hits", 0)) for r in results)
+        misses = sum(
+            int(r.decisions.get("chain_plan_misses", 0)) for r in results
+        )
+        total = hits + misses
+        return {
+            "chain_multiplies": float(
+                sum(int(r.decisions.get("chain_steps", 0)) for r in results)
+            ),
+            "chain_plan_hits": float(hits),
+            "chain_plan_misses": float(misses),
+            "chain_plan_hit_rate": hits / total if total else 0.0,
+            "chain_seeded": float(
+                sum(int(r.decisions.get("chain_seeded", 0)) for r in results)
+            ),
+        }
+    # incremental
+    recomputed = sum(
+        int(r.decisions.get("rows_recomputed", 0)) for r in results
+    )
+    total_rows = sum(int(r.decisions.get("rows_total", 0)) for r in results)
+    return {
+        "incremental_rows_recomputed": float(recomputed),
+        "incremental_rows_total": float(total_rows),
+        "incremental_recompute_ratio": (
+            recomputed / total_rows if total_rows else 0.0
+        ),
+        "incremental_full_recomputes": float(
+            sum(1 for r in results if r.decisions.get("full_recompute"))
+        ),
+        "incremental_plans_patched": float(
+            sum(1 for r in results if r.decisions.get("plan_patched"))
+        ),
+    }
